@@ -1,0 +1,66 @@
+//! Criterion: decision cost of the two classifiers — the tree query
+//! is `O(depth)` (nanoseconds) while the profile-guided rules are
+//! trivial once bounds exist; the expensive part the paper charges to
+//! the profile-guided path is bound *collection*, measured here via
+//! the simulated micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use spmv_bench::context::{labeled_corpus, Platform};
+use spmv_machine::MachineModel;
+use spmv_sim::bounds::collect_bounds;
+use spmv_sim::cost::CostModel;
+use spmv_sim::profile::MatrixProfile;
+use spmv_sparse::features::{FeatureSet, FeatureVector};
+use spmv_sparse::gen;
+use spmv_tuner::dtree::TreeParams;
+use spmv_tuner::featclf::FeatureGuidedClassifier;
+use spmv_tuner::profile::ProfileClassifier;
+
+fn bench_tree_query(c: &mut Criterion) {
+    let platform = Platform::new(MachineModel::knc());
+    let samples = labeled_corpus(&platform, 30, 0.08, 5, Default::default());
+    let clf = FeatureGuidedClassifier::train(&samples, FeatureSet::Full, TreeParams::default());
+    let a = gen::circuit(20_000, 3, 0.3, 5, 1).expect("valid");
+    let fv = FeatureVector::extract(&a, 30 << 20, 8);
+    c.bench_function("classify/tree_query", |b| {
+        b.iter(|| black_box(clf.predict(black_box(&fv))));
+    });
+}
+
+fn bench_tree_training(c: &mut Criterion) {
+    let platform = Platform::new(MachineModel::knc());
+    let samples = labeled_corpus(&platform, 30, 0.08, 5, Default::default());
+    c.bench_function("classify/tree_train_30", |b| {
+        b.iter(|| {
+            black_box(FeatureGuidedClassifier::train(
+                &samples,
+                FeatureSet::Full,
+                TreeParams::default(),
+            ))
+        });
+    });
+}
+
+fn bench_profile_rules(c: &mut Criterion) {
+    let model = CostModel::new(MachineModel::knc());
+    let a = gen::powerlaw(30_000, 8, 2.0, 2).expect("valid");
+    let profile = MatrixProfile::analyze(&a, model.machine());
+    let bounds = collect_bounds(&model, &profile);
+    let clf = ProfileClassifier::default();
+    c.bench_function("classify/profile_rules", |b| {
+        b.iter(|| black_box(clf.classify(black_box(&bounds))));
+    });
+    // Bound collection — the real cost of the profile-guided path.
+    c.bench_function("classify/bound_collection_simulated", |b| {
+        b.iter(|| black_box(collect_bounds(&model, black_box(&profile))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tree_query, bench_tree_training, bench_profile_rules
+}
+criterion_main!(benches);

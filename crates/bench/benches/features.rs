@@ -1,0 +1,39 @@
+//! Criterion: feature-extraction cost (paper Table 2 complexity
+//! column) — the runtime the feature-guided classifier pays online.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use spmv_sparse::features::{FeatureSet, FeatureVector};
+use spmv_sparse::gen;
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("features/extract");
+    for k in 0..3 {
+        let n = 30_000usize << k;
+        let a = gen::banded(n, 12, 0.9, 7).expect("valid");
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| {
+                let fv = FeatureVector::extract(black_box(a), 30 << 20, 8);
+                black_box(fv.select(FeatureSet::Full));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_select(c: &mut Criterion) {
+    let a = gen::powerlaw(50_000, 8, 2.0, 3).expect("valid");
+    let fv = FeatureVector::extract(&a, 30 << 20, 8);
+    c.bench_function("features/select_full", |b| {
+        b.iter(|| black_box(fv.select(FeatureSet::Full)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_feature_extraction, bench_feature_select
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation: partitioned irregularity detection (paper future work).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, spmv_bench::experiments::DEFAULT_SCALE);
+    print!("{}", spmv_bench::experiments::ablations::partitioned_ml(scale, 16));
+}

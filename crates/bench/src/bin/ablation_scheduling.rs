@@ -1,0 +1,6 @@
+//! Ablation: scheduling policies on skewed matrices.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, spmv_bench::experiments::DEFAULT_SCALE);
+    print!("{}", spmv_bench::experiments::ablations::scheduling(scale));
+}

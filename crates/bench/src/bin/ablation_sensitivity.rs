@@ -1,0 +1,6 @@
+//! Ablation: architecture-parameter sensitivity of the class mix.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, spmv_bench::experiments::DEFAULT_SCALE);
+    print!("{}", spmv_bench::experiments::ablations::sensitivity(scale));
+}

@@ -1,0 +1,6 @@
+//! Ablation: grid-search sensitivity of the T_ML / T_IMB thresholds.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, 3.0);
+    print!("{}", spmv_bench::experiments::ablations::thresholds(120, scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 1: per-optimization speedups on KNC.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, spmv_bench::experiments::DEFAULT_SCALE);
+    print!("{}", spmv_bench::experiments::fig1::run(scale));
+}

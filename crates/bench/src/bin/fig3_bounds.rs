@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 3: per-class performance bounds on KNC.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, spmv_bench::experiments::DEFAULT_SCALE);
+    print!("{}", spmv_bench::experiments::fig3::run(scale));
+}

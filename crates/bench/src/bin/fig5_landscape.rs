@@ -1,0 +1,6 @@
+//! Regenerates the paper's performance-landscape figure (KNC/KNL/BDW).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, spmv_bench::experiments::DEFAULT_SCALE);
+    print!("{}", spmv_bench::experiments::fig5::run(scale, 210, 3.0));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 1: platform characteristics (+ host STREAM).
+fn main() {
+    print!("{}", spmv_bench::experiments::table1::run(true));
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Table 3: LOOCV accuracy of the feature-guided
+//! classifier over a 210-matrix corpus.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, 3.0);
+    print!("{}", spmv_bench::experiments::table3::run(210, scale));
+}

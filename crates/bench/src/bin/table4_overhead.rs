@@ -1,0 +1,6 @@
+//! Regenerates paper Table 4: amortization iterations per optimizer on KNL.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, spmv_bench::experiments::DEFAULT_SCALE);
+    print!("{}", spmv_bench::experiments::table4::run(scale, 210, 3.0));
+}

@@ -1,0 +1,7 @@
+//! Grounds the cost model: simulated vs real kernel timings on the
+//! machine running this binary, scored by rank correlation.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::experiments::parse_scale(&args, 0.5);
+    print!("{}", spmv_bench::experiments::validate_sim::run(scale, 5));
+}

@@ -1,0 +1,292 @@
+//! Ablation experiments beyond the paper's published tables:
+//!
+//! * [`thresholds`] — the §III-C grid search made visible: mean
+//!   optimizer gain across the `(T_ML, T_IMB)` grid on KNC;
+//! * [`scheduling`] — scheduling-policy comparison on skewed
+//!   matrices (why decomposition, not `auto`, fixes long rows);
+//! * [`partitioned_ml`] — the paper's future-work idea: detect
+//!   irregularity "by looking at the matrix in partitions, instead of
+//!   looking at it as a whole", which rescues `rajat30`-type
+//!   matrices.
+
+use spmv_kernels::variant::{KernelVariant, Optimization};
+use spmv_machine::MachineModel;
+use spmv_sim::cost::SimSpec;
+use spmv_sim::profile::MatrixProfile;
+use spmv_tuner::class::Bottleneck;
+use spmv_tuner::partitioned::PartitionedMlDetector;
+use spmv_tuner::profile::{grid_search, ProfileClassifier, Thresholds};
+
+use crate::context::{analyze, load_suite, Platform};
+use crate::table::{f, Table};
+
+/// Grid-search ablation: mean gain over a corpus at every grid point.
+pub fn thresholds(corpus_size: usize, size_factor: f64) -> String {
+    let platform = Platform::new(MachineModel::knc());
+    // Build per-sample artefacts once.
+    let entries = spmv_sparse::gen::suite::corpus(corpus_size, size_factor, 99);
+    let mut analyses = Vec::with_capacity(entries.len());
+    for e in &entries {
+        analyses.push(analyze(&platform, &e.matrix));
+    }
+    let bounds: Vec<_> = analyses.iter().map(|a| a.bounds.clone()).collect();
+
+    let grid = [1.05, 1.15, 1.25, 1.4, 1.8];
+    let mut table = Table::new(
+        "Ablation — (T_ML, T_IMB) grid search on KNC: mean speedup of the mapped \
+         optimizations over baseline",
+        &["T_ML \\ T_IMB", "1.05", "1.15", "1.25", "1.40", "1.80"],
+    );
+    for &t_ml in &grid {
+        let mut row = vec![format!("{t_ml:.2}")];
+        for &t_imb in &grid {
+            let clf = ProfileClassifier::new(Thresholds {
+                t_ml,
+                t_imb,
+                ..Thresholds::default()
+            });
+            let mut total = 0.0;
+            for a in &analyses {
+                let set = clf.classify(&a.bounds);
+                let g = platform.gflops(&a.profile, set.to_variant(&a.features));
+                total += g / a.bounds.p_csr;
+            }
+            row.push(format!("{:.3}", total / analyses.len() as f64));
+        }
+        table.row(row);
+    }
+
+    // And the programmatic search over the same grid.
+    let result = grid_search(&bounds, &grid, |i, set| {
+        let a = &analyses[i];
+        platform.gflops(&a.profile, set.to_variant(&a.features)) / a.bounds.p_csr
+    });
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\ngrid_search() picks T_ML={:.2}, T_IMB={:.2} (mean gain {:.3}); the paper's \
+         exhaustive search landed on T_ML=1.25, T_IMB=1.24.\n",
+        result.thresholds.t_ml, result.thresholds.t_imb, result.mean_gain
+    ));
+    out
+}
+
+/// Scheduling-policy ablation on the skewed suite subset.
+pub fn scheduling(scale: f64) -> String {
+    let platform = Platform::new(MachineModel::knc());
+    let skewed = ["rajat30", "ASIC_680k", "FullChip", "circuit5M", "degme", "flickr"];
+    let suite = load_suite(scale);
+    let mut table = Table::new(
+        &format!("Ablation — scheduling policies on skewed matrices, KNC GFLOP/s (scale {scale})"),
+        &["matrix", "equal-rows", "nnz-balanced", "guided(auto)", "decomposed", "best"],
+    );
+    for nm in suite.iter().filter(|m| skewed.contains(&m.name)) {
+        let profile = MatrixProfile::analyze(&nm.matrix, &platform.machine);
+        let equal = platform
+            .model
+            .simulate(&profile, SimSpec { equal_rows: true, ..SimSpec::baseline() })
+            .gflops;
+        let nnz = platform.gflops(&profile, KernelVariant::BASELINE);
+        let auto = platform.gflops(&profile, KernelVariant::single(Optimization::AutoSchedule));
+        let dec = platform.gflops(&profile, KernelVariant::single(Optimization::Decompose));
+        let best = ["equal-rows", "nnz-balanced", "guided", "decomposed"]
+            [argmax(&[equal, nnz, auto, dec])];
+        table.row(vec![
+            nm.name.to_string(),
+            f(equal),
+            f(nnz),
+            f(auto),
+            f(dec),
+            best.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nexpected shape: guided/auto cannot split a single dense row across threads, \
+         so decomposition wins on circuit matrices.\n",
+    );
+    out
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Future-work ablation: partitioned irregularity detection.
+///
+/// The global `P_ML / P_CSR` test dilutes latency-bound *regions*
+/// (paper: `rajat30`). Splitting the rows into `nparts` equal-nnz
+/// partitions and testing each partition's latency-stall share
+/// recovers them.
+pub fn partitioned_ml(scale: f64, nparts: usize) -> String {
+    let platform = Platform::new(MachineModel::knc());
+    let suite = load_suite(scale);
+    let clf = ProfileClassifier::default();
+    let mut table = Table::new(
+        &format!(
+            "Ablation — partitioned ML detection on KNC ({nparts} partitions, scale {scale})"
+        ),
+        &["matrix", "global ML?", "global P_ML/P_CSR", "max partition stall share", "partitioned ML?"],
+    );
+    let mut rescued = Vec::new();
+    for nm in &suite {
+        let an = analyze(&platform, &nm.matrix);
+        let global_ml = clf.classify(&an.bounds).contains(Bottleneck::ML);
+        let ratio = an.bounds.p_ml / an.bounds.p_csr.max(1e-12);
+
+        let detector = PartitionedMlDetector { nparts, ..Default::default() };
+        let share = detector.max_stall_share(&an.profile, &platform.machine);
+        // A partition whose latency stalls dominate its runtime is
+        // latency-bound even if the whole matrix is not.
+        let part_ml = detector.detect(&an.profile, &platform.machine);
+        if part_ml && !global_ml {
+            rescued.push(nm.name);
+        }
+        table.row(vec![
+            nm.name.to_string(),
+            global_ml.to_string(),
+            f(ratio),
+            f(share),
+            part_ml.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\nmatrices rescued by partitioned detection: {}\n",
+        if rescued.is_empty() { "(none)".to_string() } else { rescued.join(", ") }
+    ));
+    out
+}
+
+/// Architecture-sensitivity ablation: sweep the KNC model's memory
+/// latency and bandwidth and watch the class populations shift — the
+/// quantitative form of the paper's claim that bottlenecks are a
+/// property of the (matrix, architecture) *pair*.
+pub fn sensitivity(scale: f64) -> String {
+    use spmv_sim::bounds::collect_bounds;
+    use spmv_sim::cost::CostModel;
+
+    let base_machine = MachineModel::knc();
+    let suite = load_suite(scale);
+    // Profiles depend only on cache geometry, which the sweep keeps
+    // fixed — compute them once.
+    let profiles: Vec<_> = suite
+        .iter()
+        .map(|nm| MatrixProfile::analyze(&nm.matrix, &base_machine))
+        .collect();
+    let clf = ProfileClassifier::default();
+
+    let mut table = Table::new(
+        &format!(
+            "Ablation — class populations on KNC variants (suite of {}, scale {scale})",
+            suite.len()
+        ),
+        &["machine variant", "MB", "ML", "IMB", "CMP", "unclassified"],
+    );
+    let variants: Vec<(String, MachineModel)> = vec![
+        ("stock KNC".into(), base_machine.clone()),
+        ("1/4 latency (OoO-like)".into(), {
+            let mut m = base_machine.clone();
+            m.mem_latency_ns /= 4.0;
+            m.llc_latency_ns /= 4.0;
+            m.mlp *= 4.0;
+            m
+        }),
+        ("4x bandwidth (HBM-like)".into(), {
+            let mut m = base_machine.clone();
+            m.bw_main_gbps *= 4.0;
+            m.bw_llc_gbps *= 4.0;
+            m
+        }),
+        ("1/4 cores".into(), {
+            let mut m = base_machine.clone();
+            m.cores /= 4;
+            m.bw_main_gbps /= 1.5; // fewer cores pull less bandwidth
+            m
+        }),
+    ];
+    for (name, machine) in variants {
+        let model = CostModel::new(machine);
+        let mut counts = [0usize; 4];
+        let mut empty = 0usize;
+        for p in &profiles {
+            let set = clf.classify(&collect_bounds(&model, p));
+            if set.is_empty() {
+                empty += 1;
+            }
+            for (k, b) in Bottleneck::ALL.iter().enumerate() {
+                if set.contains(*b) {
+                    counts[k] += 1;
+                }
+            }
+        }
+        table.row(vec![
+            name,
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            counts[3].to_string(),
+            empty.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nexpected shape: cutting latency (out-of-order-like cores) empties the ML\n\
+         class; adding bandwidth (HBM) moves MB matrices toward CMP; the class mix\n\
+         is a property of the architecture as much as of the matrix.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_grid_renders() {
+        let report = thresholds(12, 0.08);
+        assert!(report.contains("grid_search() picks"));
+        assert!(report.contains("1.25"));
+    }
+
+    #[test]
+    fn scheduling_shows_decomposition_wins_for_circuits() {
+        let report = scheduling(0.05);
+        assert!(report.contains("rajat30"));
+        // At least one circuit matrix should have decomposed as best.
+        assert!(report.contains("decomposed"), "{report}");
+    }
+
+    #[test]
+    fn sensitivity_sweep_shifts_class_populations() {
+        let report = sensitivity(0.3);
+        assert!(report.contains("stock KNC"));
+        // Extract the ML column per machine variant and require the
+        // low-latency variant to have strictly fewer ML matrices.
+        let ml_counts: Vec<u32> = report
+            .lines()
+            .filter(|l| l.contains("KNC") || l.contains("latency") || l.contains("bandwidth") || l.contains("cores"))
+            .filter_map(|l| {
+                let cols: Vec<&str> = l.split_whitespace().collect();
+                // last 5 columns are MB ML IMB CMP unclassified
+                cols.get(cols.len().wrapping_sub(4))?.parse().ok()
+            })
+            .collect();
+        assert!(ml_counts.len() >= 2, "{report}");
+        let stock_ml = ml_counts[0];
+        let low_lat_ml = ml_counts[1];
+        assert!(low_lat_ml < stock_ml, "{stock_ml} -> {low_lat_ml}\n{report}");
+    }
+
+    #[test]
+    fn partitioned_detection_runs() {
+        let report = partitioned_ml(0.04, 8);
+        assert!(report.contains("rescued"));
+        assert!(report.contains("rajat30"));
+    }
+}

@@ -1,0 +1,53 @@
+//! One module per paper artifact; every function returns its rendered
+//! report so binaries print it and integration tests assert on it.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig3;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod validate_sim;
+
+/// Default suite scale used by the experiment binaries. `1.0`
+/// reproduces working-set sizes that straddle the platforms' LLCs
+/// like the original UF matrices; smaller values trade fidelity for
+/// speed (tests use `0.02`-`0.05`).
+pub const DEFAULT_SCALE: f64 = 1.0;
+
+/// Parses a `--scale X` style argument list (the only flag the
+/// experiment binaries accept), returning the scale.
+pub fn parse_scale(args: &[String], default: f64) -> f64 {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            if let Some(v) = it.next() {
+                match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 => return s,
+                    _ => {
+                        eprintln!("ignoring invalid --scale value {v:?}");
+                        return default;
+                    }
+                }
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let args: Vec<String> =
+            ["prog", "--scale", "0.25"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_scale(&args, 1.0), 0.25);
+        assert_eq!(parse_scale(&[], 1.0), 1.0);
+        let bad: Vec<String> = ["--scale", "-3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_scale(&bad, 0.5), 0.5);
+    }
+}

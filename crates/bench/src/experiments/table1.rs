@@ -1,0 +1,73 @@
+//! Table 1 — technical characteristics of the experimental platforms,
+//! printed from the machine presets, plus a live STREAM-triad
+//! measurement of the host for comparison.
+
+use spmv_machine::stream::measure_triad;
+use spmv_machine::MachineModel;
+
+use crate::table::{f, Table};
+
+/// Renders the platform table. `measure_host` additionally runs a
+/// real STREAM triad on the machine executing this binary.
+pub fn run(measure_host: bool) -> String {
+    let mut table = Table::new(
+        "Table 1 — experimental platform models",
+        &[
+            "codename",
+            "cores",
+            "thr/core",
+            "GHz",
+            "simd(f64)",
+            "LLC MiB",
+            "BW main GB/s",
+            "BW llc GB/s",
+            "mem lat ns",
+            "llc lat ns",
+        ],
+    );
+    for m in MachineModel::paper_platforms() {
+        table.row(vec![
+            m.name.clone(),
+            m.cores.to_string(),
+            m.threads_per_core.to_string(),
+            f(m.freq_ghz),
+            m.simd_lanes.to_string(),
+            (m.llc_bytes() >> 20).to_string(),
+            f(m.bw_main_gbps),
+            f(m.bw_llc_gbps),
+            f(m.mem_latency_ns),
+            f(m.llc_latency_ns),
+        ]);
+    }
+    let mut out = table.render();
+    if measure_host {
+        let triad = measure_triad(2_000_000, 3);
+        out.push_str(&format!(
+            "\nhost STREAM triad ({} MiB working set): {:.2} GB/s\n",
+            triad.working_set_bytes >> 20,
+            triad.gbps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1_values() {
+        let report = run(false);
+        // KNC: 57 cores, 128 GB/s main; KNL: 68 cores, 395/570;
+        // Broadwell: 22 cores, 60/200.
+        for needle in ["KNC", "57", "128", "KNL", "68", "395", "570", "Broadwell", "22", "60"] {
+            assert!(report.contains(needle), "{needle} missing\n{report}");
+        }
+    }
+
+    #[test]
+    fn host_measurement_appends_line() {
+        let report = run(true);
+        assert!(report.contains("host STREAM triad"));
+    }
+}

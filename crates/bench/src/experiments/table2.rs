@@ -1,0 +1,85 @@
+//! Table 2 — the structural feature set: values for the suite and an
+//! empirical check of the documented extraction complexities
+//! (`O(N)` vs `O(NNZ)` scaling).
+
+use std::time::Instant;
+
+use spmv_machine::MachineModel;
+use spmv_sparse::features::{FeatureSet, FeatureVector};
+use spmv_sparse::gen;
+
+use crate::context::load_suite;
+use crate::table::{f, Table};
+
+/// Renders the feature table for the suite plus the scaling check.
+pub fn run(scale: f64) -> String {
+    let knc = MachineModel::knc();
+    let suite = load_suite(scale);
+    let mut table = Table::new(
+        &format!("Table 2 — structural features of the suite (KNC LLC, scale {scale})"),
+        &[
+            "matrix", "size", "density", "nnz_min", "nnz_max", "nnz_avg", "nnz_sd", "bw_avg",
+            "bw_sd", "scat_avg", "scat_sd", "clust_avg", "miss_avg",
+        ],
+    );
+    for nm in &suite {
+        let fv = FeatureVector::extract(&nm.matrix, knc.llc_bytes(), knc.line_elems());
+        table.row(vec![
+            nm.name.to_string(),
+            f(fv.size_fits_llc),
+            format!("{:.2e}", fv.density),
+            f(fv.nnz_min),
+            f(fv.nnz_max),
+            f(fv.nnz_avg),
+            f(fv.nnz_sd),
+            f(fv.bw_avg),
+            f(fv.bw_sd),
+            f(fv.scatter_avg),
+            f(fv.scatter_sd),
+            f(fv.clustering_avg),
+            f(fv.misses_avg),
+        ]);
+    }
+    let mut out = table.render();
+    out.push('\n');
+    out.push_str(&scaling_check());
+    out
+}
+
+/// Times feature extraction on matrices of doubling size and reports
+/// the growth ratio, which should stay near-linear (the Table 2
+/// complexity column).
+fn scaling_check() -> String {
+    let mut out = String::from("extraction-time scaling check (expect ~2x per doubling):\n");
+    let mut prev: Option<f64> = None;
+    for k in 0..4 {
+        let n = 20_000usize << k;
+        let a = gen::banded(n, 8, 1.0, 7).expect("valid generator parameters");
+        let t0 = Instant::now();
+        let fv = FeatureVector::extract(&a, 30 << 20, 8);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(fv.select(FeatureSet::Full));
+        let ratio = prev.map(|p| dt / p).unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "  n={n:>7}  nnz={:>8}  t={:.3} ms  growth={}\n",
+            a.nnz(),
+            dt * 1e3,
+            if ratio.is_nan() { "-".to_string() } else { format!("{ratio:.2}x") }
+        ));
+        prev = Some(dt);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_table_covers_suite() {
+        let report = run(0.02);
+        assert!(report.contains("miss_avg"));
+        assert!(report.contains("consph"));
+        assert!(report.contains("scaling check"));
+    }
+}

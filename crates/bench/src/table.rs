@@ -1,0 +1,148 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table with an optional title.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are stringified by the caller).
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let mut line = String::new();
+        for (c, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<width$}  ", h, width = widths[c]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", cell, width = widths[c]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Renders comma-separated values (no title line).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn f(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".into();
+    }
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a speedup ratio as `1.75x`.
+pub fn speedup(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}x")
+    } else {
+        "-".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("longer-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, rule, 2 rows, title
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(0.1234), "0.1234");
+        assert_eq!(f(f64::INFINITY), "-");
+        assert_eq!(speedup(1.746), "1.75x");
+    }
+}

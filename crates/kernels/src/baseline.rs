@@ -1,0 +1,212 @@
+//! Baseline parallel CSR SpMV kernel.
+//!
+//! This is the paper's reference implementation: plain CSR traversal
+//! (Fig. 2) with a static one-dimensional row partitioning where each
+//! thread receives approximately equal nonzeros. All optimized
+//! kernels are measured against it.
+
+use std::ops::Range;
+
+use spmv_sparse::Csr;
+
+use crate::prefetch::PREFETCH_DIST;
+use crate::schedule::{execute, Schedule, ThreadTimes, YPtr};
+use crate::variant::SpmvKernel;
+use crate::vectorized::row_sum_unrolled;
+use crate::prefetch::{row_sum_prefetch, row_sum_unrolled_prefetch};
+
+/// Inner-loop flavor of a CSR-like kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InnerLoop {
+    /// Scalar accumulation, one element at a time.
+    Scalar,
+    /// 4-way unrolled with independent accumulators (vectorizable).
+    Unrolled,
+    /// Scalar with software prefetch of `x[colind[j + dist]]`.
+    Prefetch,
+    /// Unrolled + prefetch.
+    UnrolledPrefetch,
+}
+
+impl InnerLoop {
+    /// Combines vectorization/prefetch flags into a flavor.
+    pub fn from_flags(unroll: bool, prefetch: bool) -> InnerLoop {
+        match (unroll, prefetch) {
+            (false, false) => InnerLoop::Scalar,
+            (true, false) => InnerLoop::Unrolled,
+            (false, true) => InnerLoop::Prefetch,
+            (true, true) => InnerLoop::UnrolledPrefetch,
+        }
+    }
+
+    /// Computes the dot product of one sparse row with `x`.
+    #[inline(always)]
+    pub fn row_sum(self, cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+        match self {
+            InnerLoop::Scalar => row_sum_scalar(cols, vals, x),
+            InnerLoop::Unrolled => row_sum_unrolled(cols, vals, x),
+            InnerLoop::Prefetch => row_sum_prefetch(cols, vals, x, PREFETCH_DIST),
+            InnerLoop::UnrolledPrefetch => {
+                row_sum_unrolled_prefetch(cols, vals, x, PREFETCH_DIST)
+            }
+        }
+    }
+}
+
+/// Scalar row dot product (the paper's Fig. 2 inner loop).
+#[inline(always)]
+pub fn row_sum_scalar(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for (c, v) in cols.iter().zip(vals) {
+        sum += v * x[*c as usize];
+    }
+    sum
+}
+
+/// Parallel CSR SpMV kernel.
+#[derive(Debug)]
+pub struct CsrKernel<'a> {
+    a: &'a Csr,
+    /// Scheduling policy.
+    pub schedule: Schedule,
+    /// Worker thread count.
+    pub nthreads: usize,
+    /// Inner-loop flavor.
+    pub flavor: InnerLoop,
+}
+
+impl<'a> CsrKernel<'a> {
+    /// Creates the paper's baseline: scalar inner loop, nnz-balanced
+    /// static partitioning.
+    pub fn baseline(a: &'a Csr, nthreads: usize) -> CsrKernel<'a> {
+        CsrKernel { a, schedule: Schedule::NnzBalanced, nthreads, flavor: InnerLoop::Scalar }
+    }
+
+    /// Creates a kernel with explicit schedule and flavor.
+    pub fn with_options(
+        a: &'a Csr,
+        nthreads: usize,
+        schedule: Schedule,
+        flavor: InnerLoop,
+    ) -> CsrKernel<'a> {
+        CsrKernel { a, schedule, nthreads, flavor }
+    }
+
+    fn worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
+        let flavor = self.flavor;
+        for i in range {
+            let (cols, vals) = self.a.row(i);
+            // SAFETY: `execute` hands each worker disjoint row ranges
+            // and `y` points at a live buffer of `nrows` elements.
+            unsafe { y.write(i, flavor.row_sum(cols, vals, x)) };
+        }
+    }
+}
+
+impl SpmvKernel for CsrKernel<'_> {
+    fn run_timed(&self, x: &[f64], y: &mut [f64]) -> ThreadTimes {
+        assert_eq!(x.len(), self.a.ncols(), "x length");
+        assert_eq!(y.len(), self.a.nrows(), "y length");
+        let yp = YPtr(y.as_mut_ptr());
+        execute(self.schedule, self.a.rowptr(), self.nthreads, |range| {
+            self.worker(range, x, yp);
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("csr[{:?},{:?}]", self.flavor, self.schedule)
+    }
+
+    fn nrows(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.a.ncols()
+    }
+
+    fn format_bytes(&self) -> usize {
+        self.a.footprint_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use spmv_sparse::gen;
+
+    fn random_x(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    fn assert_matches_serial(a: &Csr, kernel: &dyn SpmvKernel) {
+        let x = random_x(a.ncols(), 1);
+        let mut y_ref = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y_ref);
+        let mut y = vec![0.0; a.nrows()];
+        kernel.run(&x, &mut y);
+        for (i, (u, v)) in y.iter().zip(&y_ref).enumerate() {
+            assert!((u - v).abs() < 1e-10, "row {i}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn baseline_matches_serial_reference() {
+        let a = gen::banded(500, 4, 0.8, 3).unwrap();
+        for nthreads in [1, 2, 4, 7] {
+            assert_matches_serial(&a, &CsrKernel::baseline(&a, nthreads));
+        }
+    }
+
+    #[test]
+    fn all_flavors_and_schedules_match() {
+        let a = gen::powerlaw(800, 6, 2.0, 5).unwrap();
+        for flavor in [
+            InnerLoop::Scalar,
+            InnerLoop::Unrolled,
+            InnerLoop::Prefetch,
+            InnerLoop::UnrolledPrefetch,
+        ] {
+            for schedule in [
+                Schedule::StaticRows,
+                Schedule::NnzBalanced,
+                Schedule::Dynamic { chunk: 16 },
+                Schedule::Guided,
+            ] {
+                let k = CsrKernel::with_options(&a, 4, schedule, flavor);
+                assert_matches_serial(&a, &k);
+            }
+        }
+    }
+
+    #[test]
+    fn run_timed_reports_all_threads() {
+        let a = gen::banded(300, 2, 1.0, 9).unwrap();
+        let k = CsrKernel::baseline(&a, 3);
+        let x = vec![1.0; 300];
+        let mut y = vec![0.0; 300];
+        let t = k.run_timed(&x, &mut y);
+        assert_eq!(t.seconds.len(), 3);
+        assert!(t.seconds.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn empty_rows_produce_zero() {
+        let a = Csr::from_raw(3, 3, vec![0, 1, 1, 2], vec![0, 2], vec![5.0, 7.0]).unwrap();
+        let k = CsrKernel::baseline(&a, 2);
+        let mut y = vec![9.0; 3];
+        k.run(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, [5.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn gflops_helper() {
+        let a = Csr::identity(4);
+        let k = CsrKernel::baseline(&a, 1);
+        // 2*nnz flops in 1 second = 8 flops/s
+        assert!((k.gflops(1.0, a.nnz()) - 8e-9).abs() < 1e-18);
+    }
+}

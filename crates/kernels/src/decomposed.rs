@@ -1,0 +1,204 @@
+//! Two-phase decomposed SpMV kernel — the paper's `IMB`-class
+//! optimization for highly uneven row lengths (paper Fig. 6).
+//!
+//! Phase 1 runs the usual row-parallel SpMV over the short part
+//! (long rows are present but empty, so their `y` entries are written
+//! as 0 and then overwritten). Phase 2 computes every long row with
+//! *all* threads: each thread takes an element chunk of each long
+//! row, and the partial sums are reduced afterwards.
+
+use std::ops::Range;
+
+use spmv_sparse::DecomposedCsr;
+
+use crate::baseline::InnerLoop;
+use crate::schedule::{execute, Schedule, ThreadTimes, YPtr};
+use crate::variant::SpmvKernel;
+use crate::vectorized::row_sum_unrolled8;
+
+/// Parallel decomposed SpMV kernel. Owns the decomposition product.
+#[derive(Debug)]
+pub struct DecomposedKernel {
+    d: DecomposedCsr,
+    /// Scheduling policy for the short-part phase.
+    pub schedule: Schedule,
+    /// Worker thread count.
+    pub nthreads: usize,
+    /// Inner-loop flavor for the short-part phase.
+    pub flavor: InnerLoop,
+}
+
+impl DecomposedKernel {
+    /// Wraps a decomposed matrix.
+    pub fn new(
+        d: DecomposedCsr,
+        nthreads: usize,
+        schedule: Schedule,
+        flavor: InnerLoop,
+    ) -> DecomposedKernel {
+        DecomposedKernel { d, nthreads, schedule, flavor }
+    }
+
+    /// Access to the decomposition (for footprint/threshold queries).
+    pub fn matrix(&self) -> &DecomposedCsr {
+        &self.d
+    }
+
+    fn short_worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
+        let short = self.d.short();
+        for i in range {
+            let (cols, vals) = short.row(i);
+            // SAFETY: disjoint ranges from `execute`; buffer is live.
+            unsafe { y.write(i, self.flavor.row_sum(cols, vals, x)) };
+        }
+    }
+
+    /// Phase 2: computes all long rows with an all-threads split and
+    /// returns per-thread busy seconds.
+    fn long_phase(&self, x: &[f64], y: &mut [f64]) -> Vec<f64> {
+        let long_rows = self.d.long_rows();
+        if long_rows.is_empty() {
+            return vec![0.0; self.nthreads];
+        }
+        let nthreads = self.nthreads.max(1);
+        let nlong = long_rows.len();
+        let mut partials = vec![0.0f64; nthreads * nlong];
+        let mut seconds = vec![0.0f64; nthreads];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nthreads);
+            for (t, pslot) in partials.chunks_mut(nlong).enumerate() {
+                let d = &self.d;
+                handles.push(scope.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    for (k, lr) in d.long_rows().iter().enumerate() {
+                        let len = lr.end - lr.start;
+                        let per = len.div_ceil(nthreads);
+                        let s = (t * per).min(len);
+                        let e = ((t + 1) * per).min(len);
+                        if s < e {
+                            let cols = &d.long_colind()[lr.start + s..lr.start + e];
+                            let vals = &d.long_values()[lr.start + s..lr.start + e];
+                            pslot[k] = row_sum_unrolled8(cols, vals, x);
+                        }
+                    }
+                    t0.elapsed().as_secs_f64()
+                }));
+            }
+            for (t, h) in handles.into_iter().enumerate() {
+                seconds[t] = h.join().expect("long-phase worker panicked");
+            }
+        });
+        // Reduction of partial sums (cheap: nthreads * nlong adds).
+        for (k, lr) in long_rows.iter().enumerate() {
+            let mut sum = 0.0;
+            for t in 0..nthreads {
+                sum += partials[t * nlong + k];
+            }
+            y[lr.row as usize] = sum;
+        }
+        seconds
+    }
+}
+
+impl SpmvKernel for DecomposedKernel {
+    fn run_timed(&self, x: &[f64], y: &mut [f64]) -> ThreadTimes {
+        assert_eq!(x.len(), self.d.ncols(), "x length");
+        assert_eq!(y.len(), self.d.nrows(), "y length");
+        let yp = YPtr(y.as_mut_ptr());
+        let mut times =
+            execute(self.schedule, self.d.short().rowptr(), self.nthreads, |range| {
+                self.short_worker(range, x, yp);
+            });
+        let long_secs = self.long_phase(x, y);
+        for (a, b) in times.seconds.iter_mut().zip(long_secs) {
+            *a += b;
+        }
+        times
+    }
+
+    fn name(&self) -> String {
+        format!("decomposed[{} long rows,{:?}]", self.d.long_rows().len(), self.schedule)
+    }
+
+    fn nrows(&self) -> usize {
+        self.d.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.d.ncols()
+    }
+
+    fn format_bytes(&self) -> usize {
+        self.d.short().footprint_bytes() + self.d.long_nnz() * (4 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use spmv_sparse::gen;
+    use spmv_sparse::Csr;
+
+    fn check(a: &Csr, threshold: usize, nthreads: usize) {
+        let d = DecomposedCsr::split(a, threshold).unwrap();
+        let k = DecomposedKernel::new(d, nthreads, Schedule::NnzBalanced, InnerLoop::Scalar);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..a.ncols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y_ref = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y_ref);
+        let mut y = vec![0.0; a.nrows()];
+        k.run(&x, &mut y);
+        for (i, (u, v)) in y.iter().zip(&y_ref).enumerate() {
+            assert!((u - v).abs() < 1e-9, "row {i}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn circuit_matrix_matches_serial() {
+        let a = gen::circuit(2000, 3, 0.4, 5, 7).unwrap();
+        for nthreads in [1, 2, 4] {
+            check(&a, 50, nthreads);
+        }
+    }
+
+    #[test]
+    fn no_long_rows_degenerates_gracefully() {
+        let a = gen::banded(300, 2, 1.0, 3).unwrap();
+        check(&a, 100, 3); // threshold above all rows: long part empty
+    }
+
+    #[test]
+    fn everything_long() {
+        let a = gen::block_dense(64, 16, 0, 5).unwrap();
+        check(&a, 1, 4); // all rows long
+    }
+
+    #[test]
+    fn unrolled_flavor_matches() {
+        let a = gen::circuit(1000, 2, 0.5, 4, 11).unwrap();
+        let d = DecomposedCsr::split(&a, 32).unwrap();
+        let k = DecomposedKernel::new(d, 4, Schedule::Guided, InnerLoop::Unrolled);
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64).cos()).collect();
+        let mut y_ref = vec![0.0; 1000];
+        a.spmv(&x, &mut y_ref);
+        let mut y = vec![0.0; 1000];
+        k.run(&x, &mut y);
+        for (u, v) in y.iter().zip(&y_ref) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timing_includes_both_phases() {
+        let a = gen::circuit(1500, 2, 0.5, 4, 13).unwrap();
+        let d = DecomposedCsr::split(&a, 32).unwrap();
+        let k = DecomposedKernel::new(d, 2, Schedule::NnzBalanced, InnerLoop::Scalar);
+        let x = vec![1.0; 1500];
+        let mut y = vec![0.0; 1500];
+        let t = k.run_timed(&x, &mut y);
+        assert_eq!(t.seconds.len(), 2);
+        assert!(t.max() > 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # spmv-kernels
+//!
+//! Executable parallel SpMV kernels for the `spmv-tune` workspace:
+//! the baseline CSR kernel of the paper (static, nnz-balanced 1-D row
+//! partitioning) plus the paper's optimization pool:
+//!
+//! | paper class | optimization | module |
+//! |---|---|---|
+//! | `MB` | column-index delta compression + vectorization | [`compressed`] |
+//! | `ML` | software prefetching of `x` | [`prefetch`] |
+//! | `IMB` | long-row decomposition / `auto` scheduling | [`decomposed`], [`schedule`] |
+//! | `CMP` | inner-loop unrolling + vectorization | [`vectorized`] |
+//!
+//! A [`variant::KernelVariant`] names a set of optimizations plus a
+//! scheduling policy; [`variant::build_kernel`] lowers it onto a
+//! concrete kernel object (performing any required format conversion
+//! and reporting its preprocessing time — the quantity amortized in
+//! the paper's Table 4 study).
+//!
+//! All kernels run on real threads (`std::thread::scope`), honour an
+//! explicit thread count, and can capture per-thread busy times — the
+//! measurement behind the paper's `P_IMB` bound.
+
+pub mod baseline;
+pub mod blocked;
+pub mod compressed;
+pub mod decomposed;
+pub mod prefetch;
+pub mod schedule;
+pub mod sliced;
+pub mod variant;
+pub mod vectorized;
+
+pub use schedule::{Schedule, ThreadTimes};
+pub use variant::{build_kernel, BuiltKernel, KernelVariant, Optimization, SpmvKernel};

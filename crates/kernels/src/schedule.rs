@@ -1,0 +1,318 @@
+//! Row scheduling policies and the threaded execution engine.
+//!
+//! The paper's baseline uses *static one-dimensional row partitioning
+//! with approximately equal nonzeros per thread*; the `IMB`-class
+//! `auto` scheduling optimization delegates the mapping to the
+//! runtime, which we model with dynamic (chunked work-stealing-style)
+//! and guided policies. Every policy here reports per-thread busy
+//! times, the raw data behind the paper's `P_IMB = 2·NNZ / t_median`
+//! bound.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use spmv_sparse::csr::partition_rows_by_nnz;
+
+/// Row-to-thread scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks with equal numbers of rows.
+    StaticRows,
+    /// Contiguous blocks with approximately equal numbers of
+    /// nonzeros (the paper's baseline).
+    NnzBalanced,
+    /// Threads claim fixed-size row chunks from a shared counter
+    /// (OpenMP `schedule(dynamic, chunk)` analogue).
+    Dynamic {
+        /// Rows per claimed chunk.
+        chunk: usize,
+    },
+    /// Threads claim chunks whose size decays with the remaining work
+    /// (OpenMP `schedule(guided)` analogue; our stand-in for the
+    /// paper's `auto`).
+    Guided,
+}
+
+impl Schedule {
+    /// Reasonable default chunk for dynamic scheduling of `nrows`.
+    pub fn default_dynamic(nrows: usize, nthreads: usize) -> Schedule {
+        let chunk = (nrows / (nthreads.max(1) * 32)).clamp(1, 4096);
+        Schedule::Dynamic { chunk }
+    }
+}
+
+/// Per-thread busy times of one parallel SpMV execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadTimes {
+    /// Seconds each thread spent computing (index = thread id).
+    pub seconds: Vec<f64>,
+}
+
+impl ThreadTimes {
+    /// Longest thread time — the parallel makespan.
+    pub fn max(&self) -> f64 {
+        self.seconds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Median thread time, the denominator of the paper's `P_IMB`
+    /// bound ("we use the median instead of the mean, as we require
+    /// reduced importance to be attached to outliers").
+    pub fn median(&self) -> f64 {
+        if self.seconds.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.seconds.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("thread times are finite"));
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        }
+    }
+
+    /// Imbalance ratio `max / median` (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let med = self.median();
+        if med == 0.0 {
+            1.0
+        } else {
+            self.max() / med
+        }
+    }
+}
+
+/// Shared mutable output vector handed to worker threads.
+///
+/// # Safety contract
+/// Workers obtained from [`execute`] receive disjoint row ranges, so
+/// every `y[i]` is written by exactly one worker. The pointer is only
+/// dereferenced inside the scoped-thread region, while the exclusive
+/// borrow of `y` is alive.
+#[derive(Clone, Copy)]
+pub(crate) struct YPtr(pub *mut f64);
+
+// SAFETY: see the struct-level contract — ranges are disjoint and the
+// pointee outlives the scope.
+unsafe impl Send for YPtr {}
+unsafe impl Sync for YPtr {}
+
+impl YPtr {
+    /// Writes `value` to `y[i]`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and owned (exclusively) by the calling
+    /// worker for the duration of the scope.
+    #[inline(always)]
+    pub unsafe fn write(self, i: usize, value: f64) {
+        // SAFETY: forwarded contract from the caller.
+        unsafe { *self.0.add(i) = value };
+    }
+}
+
+/// Executes `worker(range)` over `0..nrows` split according to
+/// `schedule`, on `nthreads` OS threads, and returns per-thread busy
+/// times.
+///
+/// `worker` must tolerate being called with any sub-range of
+/// `0..nrows` and must only touch state it owns for that range.
+pub fn execute<F>(
+    schedule: Schedule,
+    rowptr: &[usize],
+    nthreads: usize,
+    worker: F,
+) -> ThreadTimes
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let nrows = rowptr.len() - 1;
+    let nthreads = nthreads.max(1);
+    let mut seconds = vec![0.0f64; nthreads];
+
+    match schedule {
+        Schedule::StaticRows | Schedule::NnzBalanced => {
+            let parts: Vec<Range<usize>> = match schedule {
+                Schedule::StaticRows => {
+                    let per = nrows.div_ceil(nthreads);
+                    (0..nthreads)
+                        .map(|t| {
+                            let s = (t * per).min(nrows);
+                            s..((t + 1) * per).min(nrows)
+                        })
+                        .collect()
+                }
+                _ => partition_rows_by_nnz(rowptr, nthreads),
+            };
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(nthreads);
+                for part in parts {
+                    let worker = &worker;
+                    handles.push(scope.spawn(move || {
+                        let t0 = Instant::now();
+                        if !part.is_empty() {
+                            worker(part);
+                        }
+                        t0.elapsed().as_secs_f64()
+                    }));
+                }
+                for (t, h) in handles.into_iter().enumerate() {
+                    seconds[t] = h.join().expect("worker panicked");
+                }
+            });
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let next = AtomicUsize::new(0);
+            run_claiming(nthreads, &mut seconds, &worker, || {
+                let s = next.fetch_add(chunk, Ordering::Relaxed);
+                (s < nrows).then(|| s..(s + chunk).min(nrows))
+            });
+        }
+        Schedule::Guided => {
+            let next = AtomicUsize::new(0);
+            run_claiming(nthreads, &mut seconds, &worker, || {
+                // Claim ~(remaining / 2*nthreads), decaying to 1.
+                loop {
+                    let s = next.load(Ordering::Relaxed);
+                    if s >= nrows {
+                        return None;
+                    }
+                    let remaining = nrows - s;
+                    let take = (remaining / (2 * nthreads)).max(1);
+                    if next
+                        .compare_exchange(s, s + take, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return Some(s..(s + take).min(nrows));
+                    }
+                }
+            });
+        }
+    }
+    ThreadTimes { seconds }
+}
+
+/// Spawns `nthreads` workers that repeatedly `claim()` a range and
+/// process it until the supply is exhausted.
+fn run_claiming<F, C>(nthreads: usize, seconds: &mut [f64], worker: &F, claim: C)
+where
+    F: Fn(Range<usize>) + Sync,
+    C: Fn() -> Option<Range<usize>> + Sync,
+{
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            let claim = &claim;
+            handles.push(scope.spawn(move || {
+                let t0 = Instant::now();
+                while let Some(range) = claim() {
+                    worker(range);
+                }
+                t0.elapsed().as_secs_f64()
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            seconds[t] = h.join().expect("worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn uniform_rowptr(nrows: usize, per_row: usize) -> Vec<usize> {
+        (0..=nrows).map(|i| i * per_row).collect()
+    }
+
+    /// Runs a schedule and checks every row is visited exactly once.
+    fn check_coverage(schedule: Schedule, nrows: usize, nthreads: usize) {
+        let rowptr = uniform_rowptr(nrows, 3);
+        let visits = Mutex::new(vec![0u32; nrows]);
+        let times = execute(schedule, &rowptr, nthreads, |range| {
+            let mut v = visits.lock().unwrap();
+            for i in range {
+                v[i] += 1;
+            }
+        });
+        let v = visits.into_inner().unwrap();
+        assert!(v.iter().all(|&c| c == 1), "{schedule:?}: rows missed or repeated");
+        assert_eq!(times.seconds.len(), nthreads);
+    }
+
+    #[test]
+    fn all_schedules_cover_all_rows() {
+        for schedule in [
+            Schedule::StaticRows,
+            Schedule::NnzBalanced,
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::Guided,
+        ] {
+            check_coverage(schedule, 1000, 4);
+            check_coverage(schedule, 13, 8); // more threads than chunks
+            check_coverage(schedule, 1, 3);
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_splits_skewed_work() {
+        // One giant row then tiny rows.
+        let mut rowptr = vec![0usize, 1000];
+        for i in 1..100 {
+            rowptr.push(1000 + i);
+        }
+        let boundaries = Mutex::new(Vec::new());
+        execute(Schedule::NnzBalanced, &rowptr, 4, |range| {
+            boundaries.lock().unwrap().push(range);
+        });
+        let b = boundaries.into_inner().unwrap();
+        // First partition should contain just the giant row.
+        let first = b.iter().find(|r| r.start == 0).unwrap().clone();
+        assert_eq!(first, 0..1);
+    }
+
+    #[test]
+    fn thread_times_statistics() {
+        let t = ThreadTimes { seconds: vec![1.0, 2.0, 3.0, 10.0] };
+        assert_eq!(t.max(), 10.0);
+        assert_eq!(t.median(), 2.5);
+        assert_eq!(t.imbalance(), 4.0);
+        let balanced = ThreadTimes { seconds: vec![2.0, 2.0, 2.0] };
+        assert_eq!(balanced.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn empty_thread_times() {
+        let t = ThreadTimes { seconds: vec![] };
+        assert_eq!(t.median(), 0.0);
+        assert_eq!(t.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn default_dynamic_chunk_is_bounded() {
+        match Schedule::default_dynamic(1_000_000, 8) {
+            Schedule::Dynamic { chunk } => assert!((1..=4096).contains(&chunk)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Schedule::default_dynamic(10, 64) {
+            Schedule::Dynamic { chunk } => assert_eq!(chunk, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guided_chunks_decay() {
+        let rowptr = uniform_rowptr(10_000, 1);
+        let sizes = Mutex::new(Vec::new());
+        execute(Schedule::Guided, &rowptr, 4, |range| {
+            sizes.lock().unwrap().push(range.len());
+        });
+        let s = sizes.into_inner().unwrap();
+        let first_max = *s.iter().max().unwrap();
+        let last = *s.last().unwrap();
+        assert!(first_max > last, "guided should start big and end small");
+        assert_eq!(s.iter().sum::<usize>(), 10_000);
+    }
+}

@@ -1,0 +1,28 @@
+//! # spmv-machine
+//!
+//! Machine models and memory-system substrates for the `spmv-tune`
+//! workspace.
+//!
+//! The paper evaluates on three x86 platforms (Table 1): Intel Xeon
+//! Phi 3120P (Knights Corner), Xeon Phi 7250 (Knights Landing, flat
+//! HBM) and Xeon E5-2699 v4 (Broadwell). None of that hardware is
+//! available here, so this crate captures each platform as a
+//! [`model::MachineModel`] — core counts, SMT, SIMD width, cache
+//! hierarchy, STREAM bandwidths and cache-miss latency — which the
+//! `spmv-sim` crate turns into deterministic SpMV performance
+//! predictions.
+//!
+//! The crate also provides:
+//!
+//! * [`cache`] — a set-associative LRU cache simulator used to count
+//!   misses on the irregular `x`-vector accesses;
+//! * [`stream`] — a real STREAM-triad microbenchmark for calibrating
+//!   a [`model::MachineModel::host`] model on the machine running the
+//!   code.
+
+pub mod cache;
+pub mod model;
+pub mod stream;
+
+pub use cache::{Cache, CacheConfig};
+pub use model::MachineModel;

@@ -1,0 +1,291 @@
+//! Machine models with the paper's Table 1 platform presets.
+//!
+//! A [`MachineModel`] is a flat record of the architectural parameters
+//! that the paper's analysis identifies as the drivers of SpMV
+//! behaviour: parallel width (cores × SMT), SIMD width, the cache
+//! hierarchy, sustainable STREAM bandwidth from main memory and from
+//! the last-level cache, the main-memory access latency, and a few
+//! micro-architectural scalars (loop overhead, hardware-prefetch
+//! coverage) that the `spmv-sim` cost model consumes.
+
+/// Architectural description of a target platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable platform name (e.g. `"KNC"`).
+    pub name: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads per core actually used by SpMV (the paper
+    /// runs 4/core on the Phis, 2/core on Broadwell).
+    pub threads_per_core: usize,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// f64 lanes of the widest SIMD unit (8 for 512-bit, 4 for AVX2).
+    pub simd_lanes: usize,
+    /// L1 data cache per core, bytes.
+    pub l1d_bytes: usize,
+    /// L2 cache capacity in bytes. On the Phis this is the aggregate
+    /// (distributed) L2 — the platform's last-level cache.
+    pub l2_bytes: usize,
+    /// L3 capacity in bytes, 0 when the platform has no L3.
+    pub l3_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// STREAM-triad sustainable bandwidth from main memory, GB/s
+    /// (paper Table 1 "STREAM triad main").
+    pub bw_main_gbps: f64,
+    /// STREAM-triad bandwidth for LLC-resident working sets, GB/s
+    /// (paper Table 1 "STREAM triad llc").
+    pub bw_llc_gbps: f64,
+    /// Average main-memory access latency in nanoseconds. The paper
+    /// singles this out: Phi miss latency is "an order of magnitude
+    /// higher compared to multi-cores".
+    pub mem_latency_ns: f64,
+    /// Double-precision FLOPs per cycle per core without SIMD
+    /// (scalar FMA issue).
+    pub scalar_flops_per_cycle: f64,
+    /// Fraction of *regular* (streaming) access latency hidden by the
+    /// hardware prefetcher (0..1). Broadwell ≈ 1, KNC has only a weak
+    /// L2 prefetcher.
+    pub hw_prefetch_coverage: f64,
+    /// Per-row loop bookkeeping overhead in cycles. In-order cores
+    /// (KNC) pay much more here, which is what exposes the paper's
+    /// "short rows / loop overhead" CMP sub-case.
+    pub loop_overhead_cycles: f64,
+    /// Memory-level parallelism per thread: how many outstanding
+    /// random misses a thread overlaps on average. In-order KNC
+    /// threads barely overlap (≈1), Broadwell's out-of-order window
+    /// overlaps several — this ratio is what makes the same irregular
+    /// matrix ML-bound on the Phi but not on Broadwell.
+    pub mlp: f64,
+    /// Latency (ns) of a private-cache miss that is satisfied by the
+    /// aggregate last-level cache. On the Phis this is a *remote L2 /
+    /// directory* access over the ring/mesh — nearly as expensive as
+    /// DRAM — while on Broadwell an L3 hit is cheap. This asymmetry is
+    /// the paper's "very expensive (an order of magnitude higher
+    /// compared to multi-cores) cache miss latency".
+    pub llc_latency_ns: f64,
+}
+
+impl MachineModel {
+    /// Total hardware threads used for SpMV.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Last-level cache capacity in bytes (L3 when present, else the
+    /// aggregate L2).
+    #[inline]
+    pub fn llc_bytes(&self) -> usize {
+        if self.l3_bytes > 0 {
+            self.l3_bytes
+        } else {
+            self.l2_bytes
+        }
+    }
+
+    /// Matrix elements (f64) per cache line — the paper's prefetch
+    /// distance and the `misses_i` feature threshold.
+    #[inline]
+    pub fn line_elems(&self) -> u32 {
+        (self.line_bytes / std::mem::size_of::<f64>()) as u32
+    }
+
+    /// Per-core private cache capacity in bytes: the per-core L2 on
+    /// platforms with an L3, or the per-core slice of the distributed
+    /// aggregate L2 on the Phis. Misses out of this cache are what
+    /// cost [`MachineModel::llc_latency_ns`] /
+    /// [`MachineModel::mem_latency_ns`].
+    pub fn private_cache_bytes(&self) -> usize {
+        if self.l3_bytes > 0 {
+            self.l2_bytes
+        } else {
+            (self.l2_bytes / self.cores.max(1)).max(1024)
+        }
+    }
+
+    /// Peak double-precision GFLOP/s with full SIMD+FMA issue.
+    pub fn peak_gflops(&self) -> f64 {
+        self.cores as f64 * self.freq_ghz * self.scalar_flops_per_cycle * self.simd_lanes as f64
+    }
+
+    /// Sustainable bandwidth (GB/s) for a working set of `bytes`:
+    /// LLC bandwidth when it fits, main-memory bandwidth otherwise.
+    /// This is the paper's footnote 2: "we adjust the bandwidth
+    /// upwards for matrices that fit in the system's cache hierarchy".
+    pub fn bandwidth_for_working_set(&self, bytes: usize) -> f64 {
+        if bytes <= self.llc_bytes() {
+            self.bw_llc_gbps
+        } else {
+            self.bw_main_gbps
+        }
+    }
+
+    /// Intel Xeon Phi 3120P "Knights Corner" (paper Table 1).
+    ///
+    /// 57 cores × 4 threads @ 1.10 GHz, 512-bit SIMD, 30 MiB
+    /// aggregate L2, STREAM 128 / 140 GB/s, in-order cores with high
+    /// miss latency and essentially no useful hardware prefetch for
+    /// irregular streams.
+    pub fn knc() -> MachineModel {
+        MachineModel {
+            name: "KNC".into(),
+            cores: 57,
+            threads_per_core: 4,
+            freq_ghz: 1.10,
+            simd_lanes: 8,
+            l1d_bytes: 32 << 10,
+            l2_bytes: 30 << 20,
+            l3_bytes: 0,
+            line_bytes: 64,
+            bw_main_gbps: 128.0,
+            bw_llc_gbps: 140.0,
+            mem_latency_ns: 300.0,
+            scalar_flops_per_cycle: 2.0,
+            hw_prefetch_coverage: 0.55,
+            loop_overhead_cycles: 12.0,
+            mlp: 1.2,
+            llc_latency_ns: 250.0,
+        }
+    }
+
+    /// Intel Xeon Phi 7250 "Knights Landing", flat mode, application
+    /// allocated on MCDRAM/HBM (paper Table 1).
+    pub fn knl() -> MachineModel {
+        MachineModel {
+            name: "KNL".into(),
+            cores: 68,
+            threads_per_core: 4,
+            freq_ghz: 1.40,
+            simd_lanes: 8,
+            l1d_bytes: 32 << 10,
+            l2_bytes: 34 << 20,
+            l3_bytes: 0,
+            line_bytes: 64,
+            bw_main_gbps: 395.0,
+            bw_llc_gbps: 570.0,
+            mem_latency_ns: 170.0,
+            scalar_flops_per_cycle: 2.0,
+            hw_prefetch_coverage: 0.75,
+            loop_overhead_cycles: 6.0,
+            mlp: 2.5,
+            llc_latency_ns: 140.0,
+        }
+    }
+
+    /// Intel Xeon E5-2699 v4 "Broadwell" (paper Table 1).
+    pub fn broadwell() -> MachineModel {
+        MachineModel {
+            name: "Broadwell".into(),
+            cores: 22,
+            threads_per_core: 2,
+            freq_ghz: 2.20,
+            simd_lanes: 4,
+            l1d_bytes: 32 << 10,
+            l2_bytes: 256 << 10,
+            l3_bytes: 55 << 20,
+            line_bytes: 64,
+            bw_main_gbps: 60.0,
+            bw_llc_gbps: 200.0,
+            mem_latency_ns: 90.0,
+            scalar_flops_per_cycle: 2.0,
+            hw_prefetch_coverage: 0.95,
+            loop_overhead_cycles: 2.0,
+            mlp: 6.0,
+            llc_latency_ns: 18.0,
+        }
+    }
+
+    /// A model of the machine running this code, with conservative
+    /// defaults; bandwidths can be calibrated with
+    /// [`crate::stream::measure_triad`].
+    pub fn host() -> MachineModel {
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        MachineModel {
+            name: "Host".into(),
+            cores,
+            threads_per_core: 1,
+            freq_ghz: 2.5,
+            simd_lanes: 4,
+            l1d_bytes: 32 << 10,
+            l2_bytes: 512 << 10,
+            l3_bytes: 8 << 20,
+            line_bytes: 64,
+            bw_main_gbps: 20.0,
+            bw_llc_gbps: 80.0,
+            mem_latency_ns: 100.0,
+            scalar_flops_per_cycle: 2.0,
+            hw_prefetch_coverage: 0.9,
+            loop_overhead_cycles: 3.0,
+            mlp: 4.0,
+            llc_latency_ns: 15.0,
+        }
+    }
+
+    /// All three paper platforms, in the order of the paper's figures.
+    pub fn paper_platforms() -> Vec<MachineModel> {
+        vec![Self::knc(), Self::knl(), Self::broadwell()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let knc = MachineModel::knc();
+        assert_eq!(knc.cores, 57);
+        assert_eq!(knc.total_threads(), 228);
+        assert_eq!(knc.l2_bytes, 30 << 20);
+        assert_eq!(knc.bw_main_gbps, 128.0);
+
+        let knl = MachineModel::knl();
+        assert_eq!(knl.cores, 68);
+        assert_eq!(knl.total_threads(), 272);
+        assert_eq!(knl.bw_main_gbps, 395.0);
+        assert_eq!(knl.bw_llc_gbps, 570.0);
+
+        let bdw = MachineModel::broadwell();
+        assert_eq!(bdw.cores, 22);
+        assert_eq!(bdw.total_threads(), 44);
+        assert_eq!(bdw.l3_bytes, 55 << 20);
+    }
+
+    #[test]
+    fn llc_selection() {
+        assert_eq!(MachineModel::knc().llc_bytes(), 30 << 20);
+        assert_eq!(MachineModel::broadwell().llc_bytes(), 55 << 20);
+    }
+
+    #[test]
+    fn bandwidth_adjusts_for_cache_resident_sets() {
+        let bdw = MachineModel::broadwell();
+        assert_eq!(bdw.bandwidth_for_working_set(1 << 20), 200.0);
+        assert_eq!(bdw.bandwidth_for_working_set(1 << 30), 60.0);
+    }
+
+    #[test]
+    fn phi_latency_order_of_magnitude_above_broadwell() {
+        // The paper's architectural claim that drives ML-class diversity.
+        assert!(MachineModel::knc().mem_latency_ns >= 3.0 * MachineModel::broadwell().mem_latency_ns);
+    }
+
+    #[test]
+    fn peak_flops_sane() {
+        let knl = MachineModel::knl();
+        // 68 * 1.4 * 2 * 8 = 1523.2 GF/s (DP, one VPU worth of FMA issue)
+        assert!((knl.peak_gflops() - 1523.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_elems_is_eight_for_64b_lines() {
+        assert_eq!(MachineModel::knc().line_elems(), 8);
+    }
+
+    #[test]
+    fn host_model_has_positive_parallelism() {
+        assert!(MachineModel::host().total_threads() >= 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # spmv-ref
+//!
+//! MKL-like reference baselines — the comparison points of the paper's
+//! evaluation (§IV-C). Intel MKL itself is closed-source and
+//! x86-binary only, so this crate implements behavioural stand-ins
+//! (substitutions documented in DESIGN.md):
+//!
+//! * [`mkl_csr::MklLikeCsr`] — stands in for `mkl_dcsrmv()`: a plain
+//!   parallel CSR kernel with equal-row-count static partitioning and
+//!   no structure inspection;
+//! * [`inspector::InspectorExecutor`] — stands in for the MKL
+//!   Inspector-Executor `mkl_sparse_d_mv()`: an inspection phase
+//!   analyzes row-length statistics, rebalances the partitioning, and
+//!   converts regular matrices to an ELL hybrid; its preprocessing
+//!   cost is tracked for the amortization study.
+//!
+//! The [`simulate`] module mirrors both baselines inside the
+//! `spmv-sim` cost model so the multi-platform experiments can
+//! include them.
+
+pub mod inspector;
+pub mod mkl_csr;
+pub mod simulate;
+
+pub use inspector::InspectorExecutor;
+pub use mkl_csr::MklLikeCsr;

@@ -1,0 +1,143 @@
+//! Per-class performance bounds (paper §III-B).
+//!
+//! For every bottleneck class the paper derives an upper bound on
+//! SpMV performance by eliminating that bottleneck:
+//!
+//! * `P_MB` — analytic: minimum traffic at maximum sustainable
+//!   bandwidth, `2·NNZ / ((S_format + S_x + S_y) / B_max)`;
+//! * `P_ML` — measured: run the kernel with irregular `x` accesses
+//!   converted to regular ones (`colind[j] = i`);
+//! * `P_IMB` — measured: `2·NNZ / t_median` over per-thread times of
+//!   the baseline run;
+//! * `P_CMP` — measured: run the kernel with indirect references
+//!   eliminated entirely (unit-stride accesses only);
+//! * `P_peak` — analytic: all indexing structures compressed away,
+//!   `2·NNZ / ((S_values + S_x + S_y) / B_max)`.
+//!
+//! Here "measured" means simulated through [`CostModel`]; the same
+//! collection can also be performed on real hardware by the
+//! `spmv-tuner` crate's profiling front-end.
+
+use crate::cost::{CostModel, SimResult, SimSpec};
+use crate::profile::MatrixProfile;
+
+/// The bound profile of one matrix on one machine (all in GFLOP/s).
+#[derive(Debug, Clone)]
+pub struct Bounds {
+    /// Baseline CSR performance (`P_CSR`).
+    pub p_csr: f64,
+    /// Memory-bandwidth bound.
+    pub p_mb: f64,
+    /// Memory-latency bound (regularised `x` accesses).
+    pub p_ml: f64,
+    /// Imbalance bound (median thread time).
+    pub p_imb: f64,
+    /// Computation bound (no indirect references).
+    pub p_cmp: f64,
+    /// Format-independent peak.
+    pub p_peak: f64,
+    /// The simulated baseline run the bounds were derived from.
+    pub baseline: SimResult,
+}
+
+impl Bounds {
+    /// Formats the bound profile as a compact table row.
+    pub fn summary(&self) -> String {
+        format!(
+            "P_CSR={:7.2}  P_MB={:7.2}  P_ML={:7.2}  P_IMB={:7.2}  P_CMP={:7.2}  P_peak={:7.2}",
+            self.p_csr, self.p_mb, self.p_ml, self.p_imb, self.p_cmp, self.p_peak
+        )
+    }
+}
+
+/// Collects the full bound profile for `profile` under `model`.
+pub fn collect_bounds(model: &CostModel, profile: &MatrixProfile) -> Bounds {
+    let flops = 2.0 * profile.nnz as f64;
+    let bw = model
+        .machine()
+        .bandwidth_for_working_set(profile.working_set_bytes)
+        * 1e9;
+
+    let baseline = model.simulate(profile, SimSpec::baseline());
+    let p_csr = baseline.gflops;
+
+    let mb_bytes = (profile.csr_bytes + profile.xy_bytes()) as f64;
+    let p_mb = flops / (mb_bytes / bw) / 1e9;
+
+    let ml = model.simulate(profile, SimSpec { regular_x: true, ..SimSpec::baseline() });
+    let p_ml = ml.gflops;
+
+    let med = baseline.median_thread_seconds().max(1e-12);
+    let p_imb = flops / med / 1e9;
+
+    let cmp = model.simulate(profile, SimSpec { no_index: true, ..SimSpec::baseline() });
+    let p_cmp = cmp.gflops;
+
+    let peak_bytes = (profile.values_bytes + profile.xy_bytes()) as f64;
+    let p_peak = flops / (peak_bytes / bw) / 1e9;
+
+    Bounds { p_csr, p_mb, p_ml, p_imb, p_cmp, p_peak, baseline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_machine::MachineModel;
+    use spmv_sparse::gen;
+
+    fn bounds_for(a: &spmv_sparse::Csr, m: MachineModel) -> Bounds {
+        let model = CostModel::new(m);
+        let p = MatrixProfile::analyze(a, model.machine());
+        collect_bounds(&model, &p)
+    }
+
+    #[test]
+    fn peak_dominates_mb() {
+        // P_peak assumes the indexing structures vanish, so it is
+        // always at least P_MB.
+        for a in [
+            gen::banded(20_000, 20, 0.9, 1).unwrap(),
+            gen::powerlaw(50_000, 8, 2.0, 2).unwrap(),
+        ] {
+            let b = bounds_for(&a, MachineModel::knc());
+            assert!(b.p_peak >= b.p_mb, "{}", b.summary());
+        }
+    }
+
+    #[test]
+    fn regular_matrix_sits_near_its_bounds() {
+        // A large regular banded matrix: P_CSR close to P_MB and P_ML
+        // brings nothing (the paper's MB archetype).
+        let a = gen::banded(60_000, 40, 0.9, 1).unwrap();
+        let b = bounds_for(&a, MachineModel::knc());
+        assert!(b.p_csr / b.p_mb > 0.5, "{}", b.summary());
+        assert!(b.p_ml / b.p_csr < 1.25, "{}", b.summary());
+        assert!(b.p_imb / b.p_csr < 1.3, "{}", b.summary());
+    }
+
+    #[test]
+    fn irregular_matrix_has_high_ml_headroom_on_knc() {
+        let a = gen::random_uniform(120_000, 12, 7).unwrap();
+        let b = bounds_for(&a, MachineModel::knc());
+        assert!(b.p_ml / b.p_csr > 1.5, "{}", b.summary());
+    }
+
+    #[test]
+    fn skewed_matrix_has_high_imb_headroom() {
+        let a = gen::circuit(150_000, 4, 0.3, 6, 9).unwrap();
+        let b = bounds_for(&a, MachineModel::knc());
+        assert!(b.p_imb / b.p_csr > 2.0, "{}", b.summary());
+        // ... and its serialised dense rows are compute-limited:
+        assert!(b.p_cmp < b.p_mb, "{}", b.summary());
+    }
+
+    #[test]
+    fn summary_contains_all_bounds() {
+        let a = gen::banded(1_000, 4, 1.0, 3).unwrap();
+        let b = bounds_for(&a, MachineModel::broadwell());
+        let s = b.summary();
+        for key in ["P_CSR", "P_MB", "P_ML", "P_IMB", "P_CMP", "P_peak"] {
+            assert!(s.contains(key));
+        }
+    }
+}

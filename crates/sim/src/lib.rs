@@ -1,0 +1,38 @@
+//! # spmv-sim
+//!
+//! Deterministic SpMV performance simulator — the stand-in for the
+//! paper's Xeon Phi / Broadwell hardware.
+//!
+//! The paper's classifier logic consumes only *relative* performance
+//! numbers: the baseline `P_CSR` against per-class upper bounds
+//! (`P_MB`, `P_ML`, `P_IMB`, `P_CMP`, `P_peak`, §III-B) and the
+//! speedups of candidate optimizations. This crate produces those
+//! numbers from first principles:
+//!
+//! 1. [`profile::MatrixProfile`] — one structural analysis pass per
+//!    (matrix, machine): per-row nonzeros plus a warm, set-associative
+//!    LLC simulation of the `x[colind[j]]` stream that separates
+//!    *sequential* (hardware-prefetchable) from *random* misses.
+//! 2. [`cost::CostModel`] — lowers a
+//!    [`KernelVariant`](spmv_kernels::variant::KernelVariant) onto
+//!    per-thread execution times using a max(compute, bandwidth) +
+//!    latency-stall model with bandwidth drain sharing, honouring the
+//!    scheduling policy (static nnz-balanced, guided list-scheduling,
+//!    two-phase decomposed).
+//! 3. [`bounds`] — runs the paper's §III-B modified micro-kernels
+//!    inside the model to produce the per-class bound profile.
+//! 4. [`prep`] — estimates preprocessing/setup costs (format
+//!    conversion, feature extraction, micro-benchmark profiling, JIT
+//!    code generation) for the Table 4 amortization study.
+//!
+//! The model is calibrated qualitatively, not absolutely: DESIGN.md
+//! documents which published phenomena it must (and does) reproduce.
+
+pub mod bounds;
+pub mod cost;
+pub mod prep;
+pub mod profile;
+
+pub use bounds::{collect_bounds, Bounds};
+pub use cost::{CostModel, SimResult};
+pub use profile::MatrixProfile;

@@ -1,0 +1,176 @@
+//! Preprocessing / setup cost estimates (the `t_pre` of the paper's
+//! Table 4 amortization study).
+//!
+//! Every optimizer pays some combination of:
+//!
+//! * **format conversion** — delta compression, long-row
+//!   decomposition (bandwidth-bound copies plus per-nonzero work);
+//! * **feature extraction** — an `O(N)` or `O(NNZ)` sweep;
+//! * **online profiling** — the micro-benchmark runs behind the
+//!   profile-guided classifier (baseline, regularised-`x` and
+//!   no-index kernels, each executed `PROFILE_REPS` times plus a
+//!   `colind` rewrite for the `P_ML` benchmark);
+//! * **runtime code generation** — a fixed JIT cost per distinct
+//!   kernel built.
+
+use spmv_kernels::variant::{KernelVariant, Optimization};
+use spmv_machine::MachineModel;
+
+use crate::cost::{CostModel, SimSpec};
+use crate::profile::MatrixProfile;
+
+/// Repetitions of each micro-benchmark in the profiling phase (the
+/// paper times 64 SpMV operations; a profiling run can afford fewer).
+pub const PROFILE_REPS: usize = 16;
+
+/// Fixed JIT code-generation cost per built kernel, seconds.
+pub const CODEGEN_SECONDS: f64 = 0.010;
+
+/// Parallel efficiency assumed for preprocessing passes (conversions
+/// do not scale as well as SpMV itself).
+const PREP_EFFICIENCY: f64 = 0.5;
+
+/// Preprocessing cost model for one machine.
+#[derive(Debug, Clone)]
+pub struct PrepModel {
+    machine: MachineModel,
+}
+
+impl PrepModel {
+    /// Creates a preprocessing model for `machine`.
+    pub fn new(machine: MachineModel) -> PrepModel {
+        PrepModel { machine }
+    }
+
+    /// Seconds for a parallel streaming pass that reads + writes the
+    /// given bytes and spends `cycles_per_item * items` of compute.
+    fn pass_seconds(&self, bytes: f64, items: f64, cycles_per_item: f64) -> f64 {
+        let m = &self.machine;
+        let bw = m.bw_main_gbps * 1e9 * PREP_EFFICIENCY;
+        let compute = m.cores as f64 * m.freq_ghz * 1e9 * PREP_EFFICIENCY;
+        (bytes / bw).max(items * cycles_per_item / compute)
+    }
+
+    /// Cost of converting CSR to delta-compressed CSR.
+    pub fn compress_seconds(&self, p: &MatrixProfile) -> f64 {
+        self.pass_seconds((p.csr_bytes + p.delta_bytes) as f64, p.nnz as f64, 3.0)
+    }
+
+    /// Cost of splitting the matrix into short + long parts.
+    pub fn decompose_seconds(&self, p: &MatrixProfile) -> f64 {
+        self.pass_seconds(2.0 * p.csr_bytes as f64, p.nnz as f64, 1.0)
+    }
+
+    /// Cost of extracting structural features. `per_nnz` selects the
+    /// `O(NNZ)` feature set (vs the cheaper `O(N)` one).
+    pub fn feature_extract_seconds(&self, p: &MatrixProfile, per_nnz: bool) -> f64 {
+        let row_pass = self.pass_seconds(16.0 * p.nrows as f64, p.nrows as f64, 8.0);
+        if per_nnz {
+            row_pass + self.pass_seconds(4.0 * p.nnz as f64, p.nnz as f64, 2.0)
+        } else {
+            row_pass
+        }
+    }
+
+    /// Cost of the profile-guided classifier's online phase: the
+    /// baseline, regular-`x` and no-index micro-benchmarks, each run
+    /// [`PROFILE_REPS`] times, plus the `colind` rewrite that builds
+    /// the regular-`x` kernel input.
+    pub fn profiling_seconds(&self, model: &CostModel, p: &MatrixProfile) -> f64 {
+        let base = model.simulate(p, SimSpec::baseline()).seconds;
+        let ml = model.simulate(p, SimSpec { regular_x: true, ..SimSpec::baseline() }).seconds;
+        let cmp = model.simulate(p, SimSpec { no_index: true, ..SimSpec::baseline() }).seconds;
+        let colind_rewrite = self.pass_seconds(8.0 * p.nnz as f64, p.nnz as f64, 1.0);
+        PROFILE_REPS as f64 * (base + ml + cmp) + colind_rewrite
+    }
+
+    /// Conversion + code-generation cost of building one variant.
+    pub fn variant_seconds(&self, p: &MatrixProfile, variant: KernelVariant) -> f64 {
+        let mut t = CODEGEN_SECONDS;
+        if variant.contains(Optimization::Decompose) {
+            t += self.decompose_seconds(p);
+        }
+        if variant.contains(Optimization::Compress) {
+            t += self.compress_seconds(p);
+        }
+        t
+    }
+
+    /// Total cost of a trivial optimizer that builds and measures
+    /// every variant in `variants`, running each `reps` times.
+    pub fn trivial_sweep_seconds(
+        &self,
+        model: &CostModel,
+        p: &MatrixProfile,
+        variants: &[KernelVariant],
+        reps: usize,
+    ) -> f64 {
+        variants
+            .iter()
+            .map(|&v| {
+                let build = self.variant_seconds(p, v);
+                let run = model.simulate(p, SimSpec::variant(v)).seconds;
+                build + reps as f64 * run
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    fn setup() -> (CostModel, PrepModel, MatrixProfile) {
+        let machine = MachineModel::knl();
+        let model = CostModel::new(machine.clone());
+        let a = gen::banded(30_000, 20, 0.9, 3).unwrap();
+        let p = MatrixProfile::analyze(&a, &machine);
+        (model, PrepModel::new(machine), p)
+    }
+
+    #[test]
+    fn conversions_cost_more_than_codegen_alone() {
+        let (_, prep, p) = setup();
+        let plain = prep.variant_seconds(&p, KernelVariant::single(Optimization::Vectorize));
+        let comp = prep.variant_seconds(&p, KernelVariant::single(Optimization::Compress));
+        let dec = prep.variant_seconds(&p, KernelVariant::single(Optimization::Decompose));
+        assert!((plain - CODEGEN_SECONDS).abs() < 1e-12);
+        assert!(comp > plain);
+        assert!(dec > plain);
+    }
+
+    #[test]
+    fn nnz_features_cost_more_than_row_features() {
+        let (_, prep, p) = setup();
+        assert!(prep.feature_extract_seconds(&p, true) > prep.feature_extract_seconds(&p, false));
+    }
+
+    #[test]
+    fn profiling_costs_many_spmv_runs() {
+        let (model, prep, p) = setup();
+        let one_spmv = model.simulate(&p, SimSpec::baseline()).seconds;
+        let prof = prep.profiling_seconds(&model, &p);
+        assert!(prof > 2.0 * PROFILE_REPS as f64 * one_spmv, "{prof} vs {one_spmv}");
+    }
+
+    #[test]
+    fn trivial_combined_costs_more_than_single_sweep() {
+        let (model, prep, p) = setup();
+        let singles =
+            prep.trivial_sweep_seconds(&model, &p, &KernelVariant::all_singles(), 64);
+        let combined =
+            prep.trivial_sweep_seconds(&model, &p, &KernelVariant::singles_and_pairs(), 64);
+        assert!(combined > 2.0 * singles);
+    }
+
+    #[test]
+    fn feature_extraction_is_far_cheaper_than_profiling() {
+        // The core claim behind the feature-guided classifier's win in
+        // Table 4.
+        let (model, prep, p) = setup();
+        let feat = prep.feature_extract_seconds(&p, true);
+        let prof = prep.profiling_seconds(&model, &p);
+        assert!(prof > 10.0 * feat, "profiling {prof} vs features {feat}");
+    }
+}

@@ -1,0 +1,156 @@
+//! BiCGSTAB for general (non-symmetric) systems.
+
+use crate::jacobi::Jacobi;
+use crate::op::{LinOp, SolveStats};
+use crate::vecops::{axpy, dot, norm2, sub_into};
+
+/// Solves `A x = b` with BiCGSTAB from initial guess `x` (overwritten
+/// with the solution).
+///
+/// # Panics
+/// Panics if the operator is not square or dimensions disagree.
+pub fn bicgstab(
+    a: &impl LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    precond: Option<&Jacobi>,
+    tol: f64,
+    max_iter: usize,
+) -> SolveStats {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "BiCGSTAB needs a square operator");
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+
+    let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut r = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+    a.apply(x, &mut ax);
+    sub_into(b, &ax, &mut r);
+    let r0 = r.clone();
+
+    let mut history = Vec::new();
+    let mut residual = norm2(&r) / bnorm;
+    if residual <= tol {
+        return SolveStats { iterations: 0, residual, converged: true, history };
+    }
+
+    let mut rho = 1.0f64;
+    let mut alpha = 1.0f64;
+    let mut omega = 1.0f64;
+    let mut p = vec![0.0; n];
+    let mut v = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    let mut phat = vec![0.0; n];
+    let mut shat = vec![0.0; n];
+
+    let prec = |src: &[f64], dst: &mut [f64]| match precond {
+        Some(m) => m.apply(src, dst),
+        None => dst.copy_from_slice(src),
+    };
+
+    for it in 1..=max_iter {
+        let rho_new = dot(&r0, &r);
+        if rho_new.abs() < f64::MIN_POSITIVE {
+            return SolveStats { iterations: it - 1, residual, converged: false, history };
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + beta * (p - omega * v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        prec(&p, &mut phat);
+        a.apply(&phat, &mut v);
+        alpha = rho / dot(&r0, &v);
+        // s = r - alpha * v
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        let snorm = norm2(&s) / bnorm;
+        if snorm <= tol {
+            axpy(alpha, &phat, x);
+            history.push(snorm);
+            return SolveStats { iterations: it, residual: snorm, converged: true, history };
+        }
+        prec(&s, &mut shat);
+        a.apply(&shat, &mut t);
+        let tt = dot(&t, &t);
+        if tt.abs() < f64::MIN_POSITIVE {
+            return SolveStats { iterations: it - 1, residual, converged: false, history };
+        }
+        omega = dot(&t, &s) / tt;
+        axpy(alpha, &phat, x);
+        axpy(omega, &shat, x);
+        // r = s - omega * t
+        for i in 0..n {
+            r[i] = s[i] - omega * t[i];
+        }
+        residual = norm2(&r) / bnorm;
+        history.push(residual);
+        if residual <= tol {
+            return SolveStats { iterations: it, residual, converged: true, history };
+        }
+        if omega.abs() < f64::MIN_POSITIVE {
+            return SolveStats { iterations: it, residual, converged: false, history };
+        }
+    }
+    SolveStats { iterations: max_iter, residual, converged: false, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    #[test]
+    fn solves_nonsymmetric_circuit_system() {
+        let a = gen::circuit(500, 2, 0.2, 4, 3).unwrap();
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) * 0.5 - 1.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let stats = bicgstab(&a, &b, &mut x, None, 1e-10, 2_000);
+        assert!(stats.converged, "residual {}", stats.residual);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioner_helps_or_is_neutral() {
+        let a = gen::random_uniform(600, 6, 7).unwrap();
+        let b = vec![1.0; 600];
+        let mut x0 = vec![0.0; 600];
+        let plain = bicgstab(&a, &b, &mut x0, None, 1e-9, 3_000);
+        let m = Jacobi::new(&a);
+        let mut x1 = vec![0.0; 600];
+        let pre = bicgstab(&a, &b, &mut x1, Some(&m), 1e-9, 3_000);
+        assert!(plain.converged && pre.converged);
+        assert!(pre.iterations <= plain.iterations + 5);
+    }
+
+    #[test]
+    fn immediate_convergence_on_exact_guess() {
+        let a = gen::banded(100, 2, 1.0, 3).unwrap();
+        let x_true = vec![2.0; 100];
+        let mut b = vec![0.0; 100];
+        a.spmv(&x_true, &mut b);
+        let mut x = x_true.clone();
+        let stats = bicgstab(&a, &b, &mut x, None, 1e-12, 50);
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let a = gen::random_uniform(400, 8, 1).unwrap();
+        let b = vec![1.0; 400];
+        let mut x = vec![0.0; 400];
+        let stats = bicgstab(&a, &b, &mut x, None, 1e-15, 2);
+        assert!(!stats.converged);
+        assert!(stats.iterations <= 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! (Preconditioned) Conjugate Gradient for SPD systems.
+
+use crate::jacobi::Jacobi;
+use crate::op::{LinOp, SolveStats};
+use crate::vecops::{axpy, dot, norm2, sub_into, xpby};
+
+/// Solves `A x = b` with CG, starting from `x` (used as the initial
+/// guess and overwritten with the solution).
+///
+/// * `precond` — optional Jacobi preconditioner;
+/// * `tol` — relative residual target `‖r‖/‖b‖`;
+/// * `max_iter` — iteration budget.
+///
+/// # Panics
+/// Panics if the operator is not square or dimensions disagree.
+pub fn cg(
+    a: &impl LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    precond: Option<&Jacobi>,
+    tol: f64,
+    max_iter: usize,
+) -> SolveStats {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "CG needs a square operator");
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+
+    let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut r = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+    a.apply(x, &mut ax);
+    sub_into(b, &ax, &mut r);
+
+    let mut z = vec![0.0; n];
+    let apply_precond = |r: &[f64], z: &mut Vec<f64>| match precond {
+        Some(m) => m.apply(r, z),
+        None => z.copy_from_slice(r),
+    };
+    apply_precond(&r, &mut z);
+
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut history = Vec::new();
+    let mut residual = norm2(&r) / bnorm;
+    if residual <= tol {
+        return SolveStats { iterations: 0, residual, converged: true, history };
+    }
+
+    let mut ap = vec![0.0; n];
+    for it in 1..=max_iter {
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Not SPD (or breakdown): stop with what we have.
+            return SolveStats { iterations: it - 1, residual, converged: false, history };
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, x);
+        axpy(-alpha, &ap, &mut r);
+        residual = norm2(&r) / bnorm;
+        history.push(residual);
+        if residual <= tol {
+            return SolveStats { iterations: it, residual, converged: true, history };
+        }
+        apply_precond(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        xpby(&z, beta, &mut p);
+    }
+    SolveStats { iterations: max_iter, residual, converged: false, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    #[test]
+    fn solves_laplacian() {
+        let a = gen::stencil_2d(20, 20).unwrap();
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let stats = cg(&a, &b, &mut x, None, 1e-10, 2_000);
+        assert!(stats.converged, "residual {}", stats.residual);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioning_reduces_iterations() {
+        let a = gen::banded(800, 3, 1.0, 5).unwrap();
+        // Symmetrize: A + A^T is SPD thanks to diagonal dominance.
+        let at = a.transpose();
+        let mut coo = a.to_coo();
+        for (r, c, v) in at.to_coo().iter() {
+            coo.push(r, c, v).unwrap();
+        }
+        let spd = spmv_sparse::Csr::from_coo(&coo);
+        assert!(spd.is_symmetric(1e-10));
+        let n = spd.nrows();
+        let b = vec![1.0; n];
+        let mut x0 = vec![0.0; n];
+        let plain = cg(&spd, &b, &mut x0, None, 1e-8, 5_000);
+        let m = Jacobi::new(&spd);
+        let mut x1 = vec![0.0; n];
+        let pre = cg(&spd, &b, &mut x1, Some(&m), 1e-8, 5_000);
+        assert!(plain.converged && pre.converged);
+        assert!(
+            pre.iterations <= plain.iterations,
+            "{} vs {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = gen::stencil_2d(5, 5).unwrap();
+        let b = vec![0.0; 25];
+        let mut x = vec![0.0; 25];
+        let stats = cg(&a, &b, &mut x, None, 1e-12, 100);
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let a = gen::stencil_2d(30, 30).unwrap();
+        let b = vec![1.0; 900];
+        let mut x = vec![0.0; 900];
+        let stats = cg(&a, &b, &mut x, None, 1e-14, 3);
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(stats.history.len(), 3);
+    }
+
+    #[test]
+    fn history_is_monotone_for_spd() {
+        let a = gen::stencil_2d(15, 15).unwrap();
+        let b = vec![1.0; 225];
+        let mut x = vec![0.0; 225];
+        let stats = cg(&a, &b, &mut x, None, 1e-10, 1_000);
+        assert!(stats.converged);
+        // CG residuals are not strictly monotone, but the trend must
+        // be decreasing: final << initial.
+        assert!(stats.history.last().unwrap() < &stats.history[0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Restarted GMRES(m) for general systems.
+//!
+//! Arnoldi with modified Gram-Schmidt and Givens-rotation updates of
+//! the Hessenberg least-squares problem.
+
+use crate::jacobi::Jacobi;
+use crate::op::{LinOp, SolveStats};
+use crate::vecops::{norm2, sub_into};
+
+/// Solves `A x = b` with restarted GMRES from initial guess `x`
+/// (overwritten with the solution).
+///
+/// * `restart` — Krylov subspace dimension `m` between restarts;
+/// * `tol` — relative residual target;
+/// * `max_iter` — total inner-iteration budget across restarts.
+///
+/// # Panics
+/// Panics if the operator is not square, dimensions disagree, or
+/// `restart == 0`.
+pub fn gmres(
+    a: &impl LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    precond: Option<&Jacobi>,
+    restart: usize,
+    tol: f64,
+    max_iter: usize,
+) -> SolveStats {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "GMRES needs a square operator");
+    assert_eq!(b.len(), n, "b length");
+    assert_eq!(x.len(), n, "x length");
+    assert!(restart > 0, "restart must be positive");
+
+    let m = restart;
+    let bnorm = norm2(b).max(f64::MIN_POSITIVE);
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+
+    let prec = |src: &[f64], dst: &mut [f64]| match precond {
+        Some(p) => p.apply(src, dst),
+        None => dst.copy_from_slice(src),
+    };
+
+    let mut r = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    let mut residual;
+
+    'outer: loop {
+        // r = M^{-1} (b - A x)
+        a.apply(x, &mut tmp);
+        let mut raw = vec![0.0; n];
+        sub_into(b, &tmp, &mut raw);
+        prec(&raw, &mut r);
+        let beta = norm2(&r);
+        residual = norm2(&raw) / bnorm;
+        if residual <= tol || total_iters >= max_iter {
+            return SolveStats {
+                iterations: total_iters,
+                residual,
+                converged: residual <= tol,
+                history,
+            };
+        }
+
+        // Arnoldi basis (m+1 vectors) and Hessenberg in compact form.
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut first = r.clone();
+        for val in &mut first {
+            *val /= beta;
+        }
+        v.push(first);
+        let mut h = vec![vec![0.0f64; m]; m + 1]; // h[i][j]
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+
+        let mut k_used = 0usize;
+        for k in 0..m {
+            if total_iters >= max_iter {
+                break;
+            }
+            total_iters += 1;
+            // w = M^{-1} A v_k
+            a.apply(&v[k], &mut tmp);
+            let mut w = vec![0.0; n];
+            prec(&tmp, &mut w);
+            // Modified Gram-Schmidt.
+            for i in 0..=k {
+                let hik = crate::vecops::dot(&w, &v[i]);
+                h[i][k] = hik;
+                crate::vecops::axpy(-hik, &v[i], &mut w);
+            }
+            let wnorm = norm2(&w);
+            h[k + 1][k] = wnorm;
+            // Apply previous Givens rotations to column k.
+            for i in 0..k {
+                let t = cs[i] * h[i][k] + sn[i] * h[i + 1][k];
+                h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
+                h[i][k] = t;
+            }
+            // New rotation to eliminate h[k+1][k].
+            let denom = (h[k][k] * h[k][k] + wnorm * wnorm).sqrt().max(f64::MIN_POSITIVE);
+            cs[k] = h[k][k] / denom;
+            sn[k] = wnorm / denom;
+            h[k][k] = denom;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+            k_used = k + 1;
+
+            residual = g[k + 1].abs() / bnorm;
+            history.push(residual);
+
+            if wnorm < f64::MIN_POSITIVE {
+                break; // happy breakdown: exact solution in the space
+            }
+            if residual <= tol {
+                break;
+            }
+            let mut next = w;
+            for val in &mut next {
+                *val /= wnorm;
+            }
+            v.push(next);
+        }
+
+        // Back-substitution for y, then x += V y.
+        if k_used > 0 {
+            let mut y = vec![0.0f64; k_used];
+            for i in (0..k_used).rev() {
+                let mut s = g[i];
+                for j in i + 1..k_used {
+                    s -= h[i][j] * y[j];
+                }
+                y[i] = s / h[i][i];
+            }
+            for (j, yj) in y.iter().enumerate() {
+                crate::vecops::axpy(*yj, &v[j], x);
+            }
+        }
+
+        if residual <= tol {
+            // Recompute the true residual before declaring victory.
+            a.apply(x, &mut tmp);
+            let mut raw = vec![0.0; n];
+            sub_into(b, &tmp, &mut raw);
+            let true_res = norm2(&raw) / bnorm;
+            if true_res <= 10.0 * tol {
+                return SolveStats {
+                    iterations: total_iters,
+                    residual: true_res,
+                    converged: true,
+                    history,
+                };
+            }
+        }
+        if total_iters >= max_iter {
+            break 'outer;
+        }
+    }
+    a.apply(x, &mut tmp);
+    let mut raw = vec![0.0; n];
+    sub_into(b, &tmp, &mut raw);
+    residual = norm2(&raw) / bnorm;
+    SolveStats { iterations: total_iters, residual, converged: residual <= tol, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let a = gen::random_uniform(300, 6, 5).unwrap();
+        let x_true: Vec<f64> = (0..300).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut b = vec![0.0; 300];
+        a.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; 300];
+        let stats = gmres(&a, &b, &mut x, None, 30, 1e-10, 3_000);
+        assert!(stats.converged, "residual {}", stats.residual);
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn restart_changes_trajectory_but_still_converges() {
+        let a = gen::circuit(400, 2, 0.2, 4, 9).unwrap();
+        let b = vec![1.0; 400];
+        for m in [5, 20, 60] {
+            let mut x = vec![0.0; 400];
+            let stats = gmres(&a, &b, &mut x, None, m, 1e-9, 5_000);
+            assert!(stats.converged, "m={m}, residual {}", stats.residual);
+        }
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations_on_scaled_system() {
+        // A badly diagonal-scaled system where Jacobi shines.
+        let base = gen::banded(500, 2, 1.0, 3).unwrap();
+        let (nr, nc, rowptr, colind, mut values) = base.into_raw();
+        // Scale row i by 10^(i % 3).
+        for i in 0..nr {
+            let f = 10.0f64.powi((i % 3) as i32);
+            for v in &mut values[rowptr[i]..rowptr[i + 1]] {
+                *v *= f;
+            }
+        }
+        let a = spmv_sparse::Csr::from_raw(nr, nc, rowptr, colind, values).unwrap();
+        let b = vec![1.0; 500];
+        let mut x0 = vec![0.0; 500];
+        let plain = gmres(&a, &b, &mut x0, None, 30, 1e-9, 4_000);
+        let m = Jacobi::new(&a);
+        let mut x1 = vec![0.0; 500];
+        let pre = gmres(&a, &b, &mut x1, Some(&m), 30, 1e-9, 4_000);
+        assert!(pre.converged);
+        assert!(
+            !plain.converged || pre.iterations <= plain.iterations,
+            "pre {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn exact_guess_returns_immediately() {
+        let a = gen::banded(100, 2, 1.0, 3).unwrap();
+        let x_true = vec![1.5; 100];
+        let mut b = vec![0.0; 100];
+        a.spmv(&x_true, &mut b);
+        let mut x = x_true.clone();
+        let stats = gmres(&a, &b, &mut x, None, 10, 1e-12, 100);
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart")]
+    fn zero_restart_panics() {
+        let a = gen::banded(10, 1, 1.0, 1).unwrap();
+        let b = vec![1.0; 10];
+        let mut x = vec![0.0; 10];
+        gmres(&a, &b, &mut x, None, 0, 1e-8, 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! # spmv-solvers
+//!
+//! Iterative Krylov solvers built on the workspace's SpMV kernels.
+//!
+//! The paper motivates its low-overhead design with exactly these
+//! consumers (§IV-D): CG / GMRES-type methods call SpMV once (or
+//! twice) per iteration, and *preconditioned* runs may converge in
+//! dozens of iterations — too few to amortize heavyweight autotuning.
+//! This crate provides the solver side of that experiment plus
+//! realistic example applications:
+//!
+//! * [`fn@cg`] — Conjugate Gradient (SPD systems);
+//! * [`fn@bicgstab`] — BiCGSTAB (general systems);
+//! * [`fn@gmres`] — restarted GMRES(m);
+//! * [`eigen::power_method`] — dominant-eigenpair approximation;
+//! * [`jacobi::Jacobi`] — diagonal preconditioner;
+//! * [`op::LinOp`] — the operator abstraction every solver consumes,
+//!   implemented by [`spmv_sparse::Csr`] and by every
+//!   [`spmv_kernels::variant::SpmvKernel`].
+
+pub mod bicgstab;
+pub mod cg;
+pub mod eigen;
+pub mod gmres;
+pub mod jacobi;
+pub mod op;
+pub mod vecops;
+
+pub use bicgstab::bicgstab;
+pub use cg::cg;
+pub use eigen::power_method;
+pub use gmres::gmres;
+pub use jacobi::Jacobi;
+pub use op::{LinOp, SolveStats};

@@ -1,0 +1,101 @@
+//! Dense vector helpers shared by the solvers.
+
+/// Dot product.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for k in 0..chunks {
+        let i = 4 * k;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in 4 * chunks..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x + beta * y` (used by CG's direction update).
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+}
+
+/// `y = a - b`.
+pub fn sub_into(a: &[f64], b: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    for ((yi, ai), bi) in y.iter_mut().zip(a).zip(b) {
+        *yi = ai - bi;
+    }
+}
+
+/// Scales a vector in place.
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_for_all_remainders() {
+        for n in 0..12 {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| 2.0 - i as f64).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0]);
+    }
+
+    #[test]
+    fn sub_and_scale() {
+        let a = [5.0, 7.0];
+        let b = [1.0, 2.0];
+        let mut y = [0.0, 0.0];
+        sub_into(&a, &b, &mut y);
+        assert_eq!(y, [4.0, 5.0]);
+        scale(&mut y, -1.0);
+        assert_eq!(y, [-4.0, -5.0]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Block CSR (BCSR) — register-blocked sparse storage.
+//!
+//! Not part of the paper's original optimization pool, but the pool
+//! is explicitly designed for plug-and-play extension ("optimizations
+//! can be henceforth added or replaced"): BCSR is the classic
+//! `MB`-class alternative from OSKI/SPARSITY (register blocking
+//! amortises one column index over an `R×C` dense block, trading
+//! padding zeros for index compression and unrolled inner loops).
+//!
+//! The implementation uses a fixed compile-time-friendly block shape
+//! stored row-major per block, with block-aligned rows (the final
+//! partial block row is padded).
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix in BCSR format with `r x c` dense blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bcsr {
+    nrows: usize,
+    ncols: usize,
+    r: usize,
+    c: usize,
+    /// Block-row pointer (`nblock_rows + 1` entries).
+    browptr: Vec<usize>,
+    /// Block column indices (in units of block columns).
+    bcolind: Vec<u32>,
+    /// Dense block storage, `r*c` values per block, row-major.
+    values: Vec<f64>,
+}
+
+impl Bcsr {
+    /// Converts from CSR with the given block shape. Entries are
+    /// grouped into aligned `r x c` tiles; absent positions inside a
+    /// selected tile are stored as explicit zeros (the padding cost
+    /// that makes BCSR profitable only for clustered matrices).
+    ///
+    /// # Errors
+    /// [`SparseError::InvalidGenerator`] if `r` or `c` is zero.
+    pub fn from_csr(a: &Csr, r: usize, c: usize) -> Result<Bcsr> {
+        if r == 0 || c == 0 {
+            return Err(SparseError::InvalidGenerator("block dims must be positive".into()));
+        }
+        let nbrows = a.nrows().div_ceil(r);
+        let mut browptr = Vec::with_capacity(nbrows + 1);
+        browptr.push(0usize);
+        let mut bcolind: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+
+        // Scratch: block column -> slot index for the current block row.
+        let mut slot: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for br in 0..nbrows {
+            slot.clear();
+            let row_lo = br * r;
+            let row_hi = ((br + 1) * r).min(a.nrows());
+            // Discover the block columns of this block row (sorted).
+            let mut bcols: Vec<u32> = Vec::new();
+            for i in row_lo..row_hi {
+                for &col in a.row(i).0 {
+                    bcols.push(col / c as u32);
+                }
+            }
+            bcols.sort_unstable();
+            bcols.dedup();
+            let base_block = bcolind.len();
+            for (k, &bc) in bcols.iter().enumerate() {
+                slot.insert(bc, base_block + k);
+                bcolind.push(bc);
+            }
+            values.resize(bcolind.len() * r * c, 0.0);
+            // Scatter the entries into their blocks.
+            for i in row_lo..row_hi {
+                let (cols, vals) = a.row(i);
+                let local_r = i - row_lo;
+                for (k, &col) in cols.iter().enumerate() {
+                    let bc = col / c as u32;
+                    let block = slot[&bc];
+                    let local_c = (col as usize) % c;
+                    values[block * r * c + local_r * c + local_c] = vals[k];
+                }
+            }
+            browptr.push(bcolind.len());
+        }
+        Ok(Bcsr { nrows: a.nrows(), ncols: a.ncols(), r, c, browptr, bcolind, values })
+    }
+
+    /// Number of rows (unpadded).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (unpadded).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Block shape `(r, c)`.
+    #[inline]
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.r, self.c)
+    }
+
+    /// Number of stored blocks.
+    #[inline]
+    pub fn nblocks(&self) -> usize {
+        self.bcolind.len()
+    }
+
+    /// Number of block rows.
+    #[inline]
+    pub fn nblock_rows(&self) -> usize {
+        self.browptr.len() - 1
+    }
+
+    /// Stored values including padding zeros.
+    #[inline]
+    pub fn stored_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill ratio: stored slots per original nonzero (`>= 1`; the
+    /// OSKI profitability metric).
+    pub fn fill_ratio(&self, original_nnz: usize) -> f64 {
+        if original_nnz == 0 {
+            return 1.0;
+        }
+        self.values.len() as f64 / original_nnz as f64
+    }
+
+    /// Memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.browptr.len()) * 8 + self.bcolind.len() * 4 + self.values.len() * 8
+    }
+
+    /// Serial SpMV: `y = A * x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        self.spmv_block_rows_into(0..self.nblock_rows(), x, y);
+    }
+
+    /// SpMV over a contiguous range of **block rows**, writing into
+    /// the output slice starting at scalar row `range.start * r`.
+    /// `out` must cover exactly those scalar rows (the final block row
+    /// may be shorter than `r`).
+    pub fn spmv_block_rows_into(&self, range: std::ops::Range<usize>, x: &[f64], out: &mut [f64]) {
+        let (r, c) = (self.r, self.c);
+        let row0 = range.start * r;
+        let mut acc = vec![0.0f64; r];
+        for br in range {
+            acc.fill(0.0);
+            for b in self.browptr[br]..self.browptr[br + 1] {
+                let col0 = self.bcolind[b] as usize * c;
+                let block = &self.values[b * r * c..(b + 1) * r * c];
+                let width = c.min(self.ncols.saturating_sub(col0));
+                for (lr, a) in acc.iter_mut().enumerate() {
+                    let brow = &block[lr * c..lr * c + width];
+                    let xs = &x[col0..col0 + width];
+                    let mut s = 0.0;
+                    for (bv, xv) in brow.iter().zip(xs) {
+                        s += bv * xv;
+                    }
+                    *a += s;
+                }
+            }
+            let rows_here = r.min(self.nrows - br * r);
+            let off = br * r - row0;
+            out[off..off + rows_here].copy_from_slice(&acc[..rows_here]);
+        }
+    }
+
+    /// Block-row pointer array.
+    #[inline]
+    pub fn browptr(&self) -> &[usize] {
+        &self.browptr
+    }
+
+    /// Picks a profitable block shape for `a` (from the classic 1x1 /
+    /// 2x2 / 4x4 / 2x4 candidates) by estimated footprint, or `None`
+    /// when every blocked shape inflates the footprint past plain CSR.
+    pub fn auto_shape(a: &Csr) -> Option<(usize, usize)> {
+        let csr_bytes = a.footprint_bytes() as f64;
+        let mut best: Option<((usize, usize), f64)> = None;
+        for &(r, c) in &[(2usize, 2usize), (4, 4), (2, 4), (4, 2)] {
+            let Ok(b) = Bcsr::from_csr(a, r, c) else { continue };
+            let bytes = b.footprint_bytes() as f64;
+            if bytes < csr_bytes && best.map(|(_, bb)| bytes < bb).unwrap_or(true) {
+                best = Some(((r, c), bytes));
+            }
+        }
+        best.map(|(shape, _)| shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn check_product(a: &Csr, r: usize, c: usize) {
+        let bb = Bcsr::from_csr(a, r, c).unwrap();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 9) as f64) - 4.0).collect();
+        let mut y1 = vec![0.0; a.nrows()];
+        let mut y2 = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y1);
+        bb.spmv(&x, &mut y2);
+        for (i, (u, v)) in y1.iter().zip(&y2).enumerate() {
+            assert!((u - v).abs() < 1e-10, "({r}x{c}) row {i}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn matches_csr_for_many_shapes() {
+        let a = gen::banded(200, 5, 0.8, 3).unwrap();
+        for (r, c) in [(1, 1), (2, 2), (3, 3), (4, 4), (2, 4), (5, 3)] {
+            check_product(&a, r, c);
+        }
+    }
+
+    #[test]
+    fn non_divisible_dimensions_padded() {
+        let a = gen::banded(101, 3, 1.0, 7).unwrap(); // 101 % 2 != 0
+        check_product(&a, 2, 2);
+        check_product(&a, 4, 4);
+        let b = Bcsr::from_csr(&a, 2, 2).unwrap();
+        assert_eq!(b.nblock_rows(), 51);
+    }
+
+    #[test]
+    fn rejects_zero_blocks() {
+        let a = Csr::identity(4);
+        assert!(Bcsr::from_csr(&a, 0, 2).is_err());
+        assert!(Bcsr::from_csr(&a, 2, 0).is_err());
+    }
+
+    #[test]
+    fn one_by_one_blocks_store_exactly_nnz() {
+        let a = gen::powerlaw(300, 5, 2.0, 1).unwrap();
+        let b = Bcsr::from_csr(&a, 1, 1).unwrap();
+        assert_eq!(b.stored_values(), a.nnz());
+        assert!((b.fill_ratio(a.nnz()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_blocks_compress_clustered_matrices() {
+        let a = gen::block_dense(256, 16, 0, 9).unwrap();
+        let b = Bcsr::from_csr(&a, 4, 4).unwrap();
+        // Clustered matrix: small fill overhead, smaller footprint.
+        assert!(b.fill_ratio(a.nnz()) < 1.2, "fill {}", b.fill_ratio(a.nnz()));
+        assert!(b.footprint_bytes() < a.footprint_bytes());
+    }
+
+    #[test]
+    fn scattered_matrices_inflate() {
+        let a = gen::random_uniform(400, 6, 3).unwrap();
+        let b = Bcsr::from_csr(&a, 4, 4).unwrap();
+        assert!(b.fill_ratio(a.nnz()) > 2.0, "fill {}", b.fill_ratio(a.nnz()));
+    }
+
+    #[test]
+    fn auto_shape_decisions() {
+        let clustered = gen::block_dense(256, 16, 0, 9).unwrap();
+        assert!(Bcsr::auto_shape(&clustered).is_some());
+        let scattered = gen::random_uniform(400, 6, 3).unwrap();
+        assert_eq!(Bcsr::auto_shape(&scattered), None);
+    }
+
+    #[test]
+    fn partial_block_row_range() {
+        let a = gen::banded(64, 4, 1.0, 5).unwrap();
+        let b = Bcsr::from_csr(&a, 2, 2).unwrap();
+        let x = vec![1.0; 64];
+        let mut full = vec![0.0; 64];
+        a.spmv(&x, &mut full);
+        let mut part = vec![0.0; 16]; // block rows 8..16 = scalar rows 16..32
+        b.spmv_block_rows_into(8..16, &x, &mut part);
+        for (u, v) in part.iter().zip(&full[16..32]) {
+            assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+        }
+    }
+}

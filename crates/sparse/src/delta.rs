@@ -1,0 +1,521 @@
+//! Delta-compressed CSR — the paper's `MB`-class optimization.
+//!
+//! Column indices are stored as deltas from the previous nonzero in
+//! the same row (the first nonzero of each row is stored absolutely).
+//! Following Pooch & Nieder as adopted by the paper, deltas are either
+//! **8-bit or 16-bit, never both**, "in order to limit the branching
+//! overhead during SpMV computation". Deltas that do not fit the
+//! chosen width escape to a 32-bit side stream through a sentinel
+//! value, so every matrix remains representable.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Width of the delta stream. One width per matrix (paper: "8- or
+/// 16-bit deltas wherever possible, but never both").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaWidth {
+    /// 1-byte deltas, sentinel `u8::MAX`.
+    U8,
+    /// 2-byte deltas, sentinel `u16::MAX`.
+    U16,
+}
+
+impl DeltaWidth {
+    /// Bytes per stored delta.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            DeltaWidth::U8 => 1,
+            DeltaWidth::U16 => 2,
+        }
+    }
+
+    /// Largest delta representable without escaping.
+    #[inline]
+    pub fn max_inline(self) -> u32 {
+        match self {
+            DeltaWidth::U8 => u8::MAX as u32 - 1,
+            DeltaWidth::U16 => u16::MAX as u32 - 1,
+        }
+    }
+}
+
+/// Delta stream storage, one variant per [`DeltaWidth`].
+#[derive(Debug, Clone, PartialEq)]
+enum Deltas {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+}
+
+impl Deltas {
+    fn len(&self) -> usize {
+        match self {
+            Deltas::U8(v) => v.len(),
+            Deltas::U16(v) => v.len(),
+        }
+    }
+}
+
+/// CSR with delta-compressed column indices.
+///
+/// Layout:
+/// * `rowptr` — as in CSR, indexes both `values` and the delta stream;
+/// * `firstcol[i]` — absolute column of the first nonzero of row `i`
+///   (0 for empty rows);
+/// * `deltas[j]` — gap to the previous column for the 2nd.. nonzeros
+///   of a row; the first slot of each row is a padding 0 so streams
+///   stay aligned with `values`;
+/// * sentinel deltas escape to `exceptions`, consumed in row-major
+///   order; `exc_ptr[i]` points at row `i`'s first exception.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaCsr {
+    nrows: usize,
+    ncols: usize,
+    width: DeltaWidth,
+    rowptr: Vec<usize>,
+    firstcol: Vec<u32>,
+    deltas: Deltas,
+    exceptions: Vec<u32>,
+    exc_ptr: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl DeltaCsr {
+    /// Compresses `a` with an automatically chosen delta width: the
+    /// width with the smaller total footprint wins (8-bit unless the
+    /// escape traffic makes 16-bit cheaper).
+    pub fn from_csr(a: &Csr) -> DeltaCsr {
+        let (n8, n16) = count_escapes(a);
+        let nnz = a.nnz();
+        let cost8 = nnz + 4 * n8; // bytes: 1/delta + 4/escape
+        let cost16 = 2 * nnz + 4 * n16;
+        let width = if cost8 <= cost16 { DeltaWidth::U8 } else { DeltaWidth::U16 };
+        Self::with_width(a, width)
+    }
+
+    /// Compresses `a` with an explicit delta width.
+    pub fn with_width(a: &Csr, width: DeltaWidth) -> DeltaCsr {
+        let nrows = a.nrows();
+        let nnz = a.nnz();
+        let max_inline = width.max_inline();
+        let mut firstcol = Vec::with_capacity(nrows);
+        let mut exceptions = Vec::new();
+        let mut exc_ptr = Vec::with_capacity(nrows + 1);
+        let mut d8 = Vec::new();
+        let mut d16 = Vec::new();
+        match width {
+            DeltaWidth::U8 => d8.reserve(nnz),
+            DeltaWidth::U16 => d16.reserve(nnz),
+        }
+        let mut push = |v: u32| match width {
+            DeltaWidth::U8 => d8.push(v as u8),
+            DeltaWidth::U16 => d16.push(v as u16),
+        };
+        let sentinel = match width {
+            DeltaWidth::U8 => u8::MAX as u32,
+            DeltaWidth::U16 => u16::MAX as u32,
+        };
+        for (_, cols, _) in a.rows() {
+            exc_ptr.push(exceptions.len() as u32);
+            firstcol.push(cols.first().copied().unwrap_or(0));
+            for (k, &c) in cols.iter().enumerate() {
+                if k == 0 {
+                    push(0); // alignment padding; column is in firstcol
+                    continue;
+                }
+                let gap = c - cols[k - 1];
+                if gap <= max_inline {
+                    push(gap);
+                } else {
+                    push(sentinel);
+                    exceptions.push(gap);
+                }
+            }
+        }
+        exc_ptr.push(exceptions.len() as u32);
+        DeltaCsr {
+            nrows,
+            ncols: a.ncols(),
+            width,
+            rowptr: a.rowptr().to_vec(),
+            firstcol,
+            deltas: match width {
+                DeltaWidth::U8 => Deltas::U8(d8),
+                DeltaWidth::U16 => Deltas::U16(d16),
+            },
+            exceptions,
+            exc_ptr,
+            values: a.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Chosen delta width.
+    #[inline]
+    pub fn width(&self) -> DeltaWidth {
+        self.width
+    }
+
+    /// Row pointer array.
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Nonzero values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of escaped (sentinel) deltas.
+    #[inline]
+    pub fn n_exceptions(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Memory footprint in bytes of the compressed representation —
+    /// the `S_format` that enters the `P_MB` bound when this format is
+    /// selected.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.nrows + 1) * std::mem::size_of::<usize>()
+            + self.nrows * std::mem::size_of::<u32>()          // firstcol
+            + self.deltas.len() * self.width.bytes()
+            + self.exceptions.len() * std::mem::size_of::<u32>()
+            + (self.nrows + 1) * std::mem::size_of::<u32>()    // exc_ptr
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Compression ratio of index data relative to plain CSR
+    /// (`< 1.0` means the compressed form is smaller).
+    pub fn index_compression_ratio(&self, original: &Csr) -> f64 {
+        self.footprint_bytes() as f64 / original.footprint_bytes() as f64
+    }
+
+    /// Serial SpMV over the compressed format: `y = A * x`.
+    ///
+    /// # Panics
+    /// Panics if vector lengths do not match the matrix shape.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        self.spmv_rows(0..self.nrows, x, y);
+    }
+
+    /// SpMV restricted to a contiguous row range (building block for
+    /// the parallel kernel in `spmv-kernels`).
+    pub fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        match &self.deltas {
+            Deltas::U8(d) => self.spmv_rows_impl(rows, x, y, d, u8::MAX as u32, |v| u32::from(*v)),
+            Deltas::U16(d) => {
+                self.spmv_rows_impl(rows, x, y, d, u16::MAX as u32, |v| u32::from(*v))
+            }
+        }
+    }
+
+    /// SpMV over a contiguous row range writing into a range-local
+    /// output slice: `out[k] = (A*x)[rows.start + k]`. This form lets
+    /// parallel callers hand each worker a disjoint `&mut` sub-slice
+    /// of `y`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rows.len()`.
+    pub fn spmv_rows_into(&self, rows: std::ops::Range<usize>, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), rows.len(), "output slice length");
+        let start = rows.start;
+        match &self.deltas {
+            Deltas::U8(d) => self.spmv_rows_into_impl(rows, x, out, start, d, u8::MAX as u32),
+            Deltas::U16(d) => self.spmv_rows_into_impl(rows, x, out, start, d, u16::MAX as u32),
+        }
+    }
+
+    #[inline]
+    fn spmv_rows_into_impl<T: Copy + Into<u32>>(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        out: &mut [f64],
+        start: usize,
+        deltas: &[T],
+        sentinel: u32,
+    ) {
+        for i in rows {
+            let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+            let mut exc = self.exc_ptr[i] as usize;
+            let mut col = self.firstcol[i];
+            let mut sum = 0.0;
+            for j in s..e {
+                if j > s {
+                    let d: u32 = deltas[j].into();
+                    let gap = if d == sentinel {
+                        let g = self.exceptions[exc];
+                        exc += 1;
+                        g
+                    } else {
+                        d
+                    };
+                    col += gap;
+                }
+                sum += self.values[j] * x[col as usize];
+            }
+            out[i - start] = sum;
+        }
+    }
+
+    #[inline]
+    fn spmv_rows_impl<T>(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        y: &mut [f64],
+        deltas: &[T],
+        sentinel: u32,
+        widen: impl Fn(&T) -> u32,
+    ) {
+        for i in rows {
+            let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+            let mut exc = self.exc_ptr[i] as usize;
+            let mut col = self.firstcol[i];
+            let mut sum = 0.0;
+            for j in s..e {
+                if j > s {
+                    let d = widen(&deltas[j]);
+                    let gap = if d == sentinel {
+                        let g = self.exceptions[exc];
+                        exc += 1;
+                        g
+                    } else {
+                        d
+                    };
+                    col += gap;
+                }
+                sum += self.values[j] * x[col as usize];
+            }
+            y[i] = sum;
+        }
+    }
+
+    /// Decompresses back to plain CSR (exact structural roundtrip).
+    ///
+    /// # Errors
+    /// Propagates validation errors; a successful compression always
+    /// roundtrips.
+    pub fn to_csr(&self) -> Result<Csr> {
+        let mut colind = Vec::with_capacity(self.nnz());
+        match &self.deltas {
+            Deltas::U8(d) => self.decode_into(&mut colind, d, u8::MAX as u32, |v| u32::from(*v)),
+            Deltas::U16(d) => self.decode_into(&mut colind, d, u16::MAX as u32, |v| u32::from(*v)),
+        }
+        Csr::from_raw(self.nrows, self.ncols, self.rowptr.clone(), colind, self.values.clone())
+    }
+
+    fn decode_into<T>(
+        &self,
+        colind: &mut Vec<u32>,
+        deltas: &[T],
+        sentinel: u32,
+        widen: impl Fn(&T) -> u32,
+    ) {
+        for i in 0..self.nrows {
+            let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+            let mut exc = self.exc_ptr[i] as usize;
+            let mut col = self.firstcol[i];
+            for j in s..e {
+                if j > s {
+                    let d = widen(&deltas[j]);
+                    col += if d == sentinel {
+                        let g = self.exceptions[exc];
+                        exc += 1;
+                        g
+                    } else {
+                        d
+                    };
+                }
+                colind.push(col);
+            }
+        }
+    }
+
+    /// Validates internal consistency (used by property tests).
+    ///
+    /// # Errors
+    /// [`SparseError::LengthMismatch`] describing the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        if self.rowptr.len() != self.nrows + 1 {
+            return Err(SparseError::LengthMismatch { detail: "rowptr".into() });
+        }
+        if self.deltas.len() != self.values.len() {
+            return Err(SparseError::LengthMismatch { detail: "deltas vs values".into() });
+        }
+        if self.exc_ptr.len() != self.nrows + 1 {
+            return Err(SparseError::LengthMismatch { detail: "exc_ptr".into() });
+        }
+        if *self.exc_ptr.last().unwrap() as usize != self.exceptions.len() {
+            return Err(SparseError::LengthMismatch { detail: "exc_ptr tail".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Counts deltas that would escape at 8- and 16-bit widths.
+fn count_escapes(a: &Csr) -> (usize, usize) {
+    let mut n8 = 0;
+    let mut n16 = 0;
+    for (_, cols, _) in a.rows() {
+        for w in cols.windows(2) {
+            let gap = w[1] - w[0];
+            if gap > DeltaWidth::U8.max_inline() {
+                n8 += 1;
+            }
+            if gap > DeltaWidth::U16.max_inline() {
+                n16 += 1;
+            }
+        }
+    }
+    (n8, n16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn banded(n: usize, band: usize) -> Csr {
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            for c in i.saturating_sub(band)..(i + band + 1).min(n) {
+                coo.push(i, c, (i + c) as f64 + 1.0).unwrap();
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn scattered(n: usize, stride: usize) -> Csr {
+        let mut coo = Coo::new(n, n * stride).unwrap();
+        for i in 0..n {
+            for k in 0..8.min(n) {
+                coo.push(i, k * stride, 1.0 + k as f64).unwrap();
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn banded_picks_u8_and_roundtrips() {
+        let a = banded(64, 2);
+        let d = DeltaCsr::from_csr(&a);
+        assert_eq!(d.width(), DeltaWidth::U8);
+        assert_eq!(d.n_exceptions(), 0);
+        assert_eq!(d.to_csr().unwrap(), a);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn scattered_needs_escapes_or_u16() {
+        let a = scattered(16, 1000);
+        let d8 = DeltaCsr::with_width(&a, DeltaWidth::U8);
+        assert!(d8.n_exceptions() > 0);
+        assert_eq!(d8.to_csr().unwrap(), a);
+        let d16 = DeltaCsr::with_width(&a, DeltaWidth::U16);
+        assert_eq!(d16.n_exceptions(), 0);
+        assert_eq!(d16.to_csr().unwrap(), a);
+    }
+
+    #[test]
+    fn auto_width_minimizes_footprint() {
+        let a = scattered(16, 70000); // gaps exceed u16 as well
+        let auto = DeltaCsr::from_csr(&a);
+        let d8 = DeltaCsr::with_width(&a, DeltaWidth::U8);
+        let d16 = DeltaCsr::with_width(&a, DeltaWidth::U16);
+        assert!(auto.footprint_bytes() <= d8.footprint_bytes().min(d16.footprint_bytes()) + 1);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        for a in [banded(50, 3), scattered(20, 700)] {
+            let d = DeltaCsr::from_csr(&a);
+            let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 7) as f64 - 3.0).collect();
+            let mut y_ref = vec![0.0; a.nrows()];
+            let mut y = vec![0.0; a.nrows()];
+            a.spmv(&x, &mut y_ref);
+            d.spmv(&x, &mut y);
+            for (u, v) in y.iter().zip(&y_ref) {
+                assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_rows_partial_range() {
+        let a = banded(32, 1);
+        let d = DeltaCsr::from_csr(&a);
+        let x = vec![1.0; a.ncols()];
+        let mut y_full = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y_full);
+        let mut y = vec![0.0; a.nrows()];
+        d.spmv_rows(8..24, &x, &mut y);
+        for i in 8..24 {
+            assert_eq!(y[i], y_full[i]);
+        }
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[31], 0.0);
+    }
+
+    #[test]
+    fn compression_shrinks_regular_matrices() {
+        let a = banded(256, 4);
+        let d = DeltaCsr::from_csr(&a);
+        assert!(d.index_compression_ratio(&a) < 1.0);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let mut coo = Coo::new(4, 4).unwrap();
+        coo.push(0, 3, 2.0).unwrap();
+        coo.push(3, 0, 5.0).unwrap();
+        let a = Csr::from_coo(&coo);
+        let d = DeltaCsr::from_csr(&a);
+        assert_eq!(d.to_csr().unwrap(), a);
+        let mut y = vec![0.0; 4];
+        d.spmv(&[1.0, 1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, [2.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn exact_boundary_gap_stays_inline() {
+        // gap of exactly max_inline must not escape
+        let mut coo = Coo::new(1, 300).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 254, 1.0).unwrap(); // u8 max_inline = 254
+        let a = Csr::from_coo(&coo);
+        let d = DeltaCsr::with_width(&a, DeltaWidth::U8);
+        assert_eq!(d.n_exceptions(), 0);
+        let mut coo2 = Coo::new(1, 300).unwrap();
+        coo2.push(0, 0, 1.0).unwrap();
+        coo2.push(0, 255, 1.0).unwrap(); // gap 255 = sentinel -> escapes
+        let a2 = Csr::from_coo(&coo2);
+        let d2 = DeltaCsr::with_width(&a2, DeltaWidth::U8);
+        assert_eq!(d2.n_exceptions(), 1);
+        assert_eq!(d2.to_csr().unwrap(), a2);
+    }
+}

@@ -1,0 +1,254 @@
+//! ELLPACK + COO hybrid format.
+//!
+//! The Inspector-Executor reference baseline (`spmv-ref`) converts a
+//! matrix to this format when its row lengths are regular enough: the
+//! first `ell_width` nonzeros of every row are stored in a dense
+//! column-padded layout (good for vector units and regular traversal),
+//! and the overflow tail goes to a COO list.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// ELL + COO hybrid sparse matrix.
+///
+/// ELL slab layout is row-major: entry `(i, k)` of the slab lives at
+/// `i * ell_width + k`. Padding slots carry column `u32::MAX` and
+/// value `0.0`; kernels must skip the sentinel column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllHybrid {
+    nrows: usize,
+    ncols: usize,
+    ell_width: usize,
+    ell_colind: Vec<u32>,
+    ell_values: Vec<f64>,
+    tail: Coo,
+}
+
+/// Column sentinel marking an ELL padding slot.
+pub const ELL_PAD: u32 = u32::MAX;
+
+impl EllHybrid {
+    /// Converts `a`, keeping up to `ell_width` nonzeros per row in the
+    /// ELL slab and spilling the rest into the COO tail.
+    pub fn from_csr(a: &Csr, ell_width: usize) -> EllHybrid {
+        let nrows = a.nrows();
+        let mut ell_colind = vec![ELL_PAD; nrows * ell_width];
+        let mut ell_values = vec![0.0f64; nrows * ell_width];
+        let mut tail = Coo::new(nrows, a.ncols()).expect("shape already validated by Csr");
+        for (i, cols, vals) in a.rows() {
+            let keep = cols.len().min(ell_width);
+            let base = i * ell_width;
+            ell_colind[base..base + keep].copy_from_slice(&cols[..keep]);
+            ell_values[base..base + keep].copy_from_slice(&vals[..keep]);
+            for k in keep..cols.len() {
+                tail.push(i, cols[k] as usize, vals[k]).expect("indices valid by construction");
+            }
+        }
+        EllHybrid { nrows, ncols: a.ncols(), ell_width, ell_colind, ell_values, tail }
+    }
+
+    /// Picks an ELL width the way a typical hybrid autotuner does:
+    /// wide enough to cover ~95% of rows fully, capped at a small
+    /// multiple of the mean row length so padding stays bounded.
+    pub fn auto_width(a: &Csr) -> usize {
+        let n = a.nrows();
+        if n == 0 || a.nnz() == 0 {
+            return 0;
+        }
+        let mut lens: Vec<usize> = (0..n).map(|i| a.row_nnz(i)).collect();
+        lens.sort_unstable();
+        let p95 = lens[(n as f64 * 0.95) as usize % n];
+        let mean = (a.nnz() as f64 / n as f64).ceil() as usize;
+        p95.min(mean.saturating_mul(2)).max(1)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// ELL slab width (entries per row).
+    #[inline]
+    pub fn ell_width(&self) -> usize {
+        self.ell_width
+    }
+
+    /// Stored (non-padding) nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.ell_colind.iter().filter(|&&c| c != ELL_PAD).count() + self.tail.nnz()
+    }
+
+    /// Nonzeros that spilled to the COO tail.
+    #[inline]
+    pub fn tail_nnz(&self) -> usize {
+        self.tail.nnz()
+    }
+
+    /// Fraction of ELL slab slots that are padding (wasted memory).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.ell_colind.is_empty() {
+            return 0.0;
+        }
+        let pad = self.ell_colind.iter().filter(|&&c| c == ELL_PAD).count();
+        pad as f64 / self.ell_colind.len() as f64
+    }
+
+    /// Memory footprint in bytes (slab incl. padding + tail).
+    pub fn footprint_bytes(&self) -> usize {
+        self.ell_colind.len() * 4
+            + self.ell_values.len() * 8
+            + self.tail.nnz() * (4 + 4 + 8)
+    }
+
+    /// Serial SpMV: `y = A * x`.
+    ///
+    /// # Panics
+    /// Panics on vector length mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        self.spmv_ell_rows(0..self.nrows, x, y);
+        for (r, c, v) in self.tail.iter() {
+            y[r] += v * x[c];
+        }
+    }
+
+    /// ELL-slab-only SpMV over a contiguous row range (overwrites
+    /// `y[rows]`; the tail must be added afterwards).
+    pub fn spmv_ell_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        let w = self.ell_width;
+        for i in rows {
+            let base = i * w;
+            let mut sum = 0.0;
+            for k in 0..w {
+                let c = self.ell_colind[base + k];
+                if c == ELL_PAD {
+                    break; // rows are packed left-to-right
+                }
+                sum += self.ell_values[base + k] * x[c as usize];
+            }
+            y[i] = sum;
+        }
+    }
+
+    /// ELL-slab-only SpMV over a row range writing into a range-local
+    /// slice: `out[k] = slab_row(rows.start + k) · x`. Lets parallel
+    /// callers hand each worker a disjoint `&mut` sub-slice of `y`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rows.len()`.
+    pub fn spmv_ell_rows_into(&self, rows: std::ops::Range<usize>, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), rows.len(), "output slice length");
+        let w = self.ell_width;
+        let start = rows.start;
+        for i in rows {
+            let base = i * w;
+            let mut sum = 0.0;
+            for k in 0..w {
+                let c = self.ell_colind[base + k];
+                if c == ELL_PAD {
+                    break;
+                }
+                sum += self.ell_values[base + k] * x[c as usize];
+            }
+            out[i - start] = sum;
+        }
+    }
+
+    /// COO tail accessor (row-major order of the original matrix).
+    #[inline]
+    pub fn tail(&self) -> &Coo {
+        &self.tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn irregular() -> Csr {
+        // row lengths: 1, 4, 2, 0
+        let mut coo = Coo::new(4, 8).unwrap();
+        coo.push(0, 3, 1.0).unwrap();
+        for c in 0..4 {
+            coo.push(1, 2 * c, c as f64 + 1.0).unwrap();
+        }
+        coo.push(2, 0, 5.0).unwrap();
+        coo.push(2, 7, 6.0).unwrap();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn conversion_preserves_nnz() {
+        let a = irregular();
+        for w in 1..6 {
+            let h = EllHybrid::from_csr(&a, w);
+            assert_eq!(h.nnz(), a.nnz(), "width {w}");
+        }
+    }
+
+    #[test]
+    fn tail_holds_overflow() {
+        let a = irregular();
+        let h = EllHybrid::from_csr(&a, 2);
+        assert_eq!(h.tail_nnz(), 2); // row 1 spills 2 entries
+        let h4 = EllHybrid::from_csr(&a, 4);
+        assert_eq!(h4.tail_nnz(), 0);
+    }
+
+    #[test]
+    fn spmv_matches_csr_for_all_widths() {
+        let a = irregular();
+        let x: Vec<f64> = (0..8).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let mut y_ref = vec![0.0; 4];
+        a.spmv(&x, &mut y_ref);
+        for w in 1..6 {
+            let h = EllHybrid::from_csr(&a, w);
+            let mut y = vec![0.0; 4];
+            h.spmv(&x, &mut y);
+            for (u, v) in y.iter().zip(&y_ref) {
+                assert!((u - v).abs() < 1e-12, "width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_ratio_reflects_irregularity() {
+        let a = irregular();
+        let h = EllHybrid::from_csr(&a, 4);
+        // 16 slots, 7 nonzeros -> 9 padded
+        assert!((h.padding_ratio() - 9.0 / 16.0).abs() < 1e-12);
+        let id = Csr::identity(8);
+        let hid = EllHybrid::from_csr(&id, 1);
+        assert_eq!(hid.padding_ratio(), 0.0);
+    }
+
+    #[test]
+    fn auto_width_regular_matrix() {
+        let id = Csr::identity(64);
+        assert_eq!(EllHybrid::auto_width(&id), 1);
+    }
+
+    #[test]
+    fn auto_width_bounded_for_skewed() {
+        // one dense row of 128, the rest singletons
+        let mut coo = Coo::new(128, 128).unwrap();
+        for c in 0..128 {
+            coo.push(0, c, 1.0).unwrap();
+        }
+        for i in 1..128 {
+            coo.push(i, i, 1.0).unwrap();
+        }
+        let a = Csr::from_coo(&coo);
+        let w = EllHybrid::auto_width(&a);
+        assert!(w <= 4, "width {w} should be bounded by 2x mean");
+    }
+}

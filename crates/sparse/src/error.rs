@@ -1,0 +1,114 @@
+//! Error type shared by all sparse-matrix operations.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting or parsing sparse
+/// matrices.
+#[derive(Debug)]
+pub enum SparseError {
+    /// A coordinate lies outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// A CSR row-pointer array is malformed (wrong length, not
+    /// monotone, or inconsistent with `nnz`).
+    InvalidRowPtr(String),
+    /// Structural arrays disagree in length.
+    LengthMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// The matrix dimensions are invalid for the requested operation.
+    DimensionMismatch {
+        /// Description of the expected vs found shape.
+        detail: String,
+    },
+    /// A MatrixMarket stream could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed (0 = header).
+        line: usize,
+        /// Description of the failure.
+        detail: String,
+    },
+    /// Underlying I/O failure while reading or writing a matrix.
+    Io(std::io::Error),
+    /// A generator was asked for an impossible structure.
+    InvalidGenerator(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) outside {nrows}x{ncols} matrix"
+            ),
+            SparseError::InvalidRowPtr(detail) => {
+                write!(f, "invalid CSR row pointer array: {detail}")
+            }
+            SparseError::LengthMismatch { detail } => {
+                write!(f, "array length mismatch: {detail}")
+            }
+            SparseError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            SparseError::Parse { line, detail } => {
+                write!(f, "MatrixMarket parse error at line {line}: {detail}")
+            }
+            SparseError::Io(e) => write!(f, "I/O error: {e}"),
+            SparseError::InvalidGenerator(detail) => {
+                write!(f, "invalid generator parameters: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 4, ncols: 4 };
+        let s = e.to_string();
+        assert!(s.contains("(5, 7)"));
+        assert!(s.contains("4x4"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = SparseError::Parse { line: 12, detail: "bad token".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

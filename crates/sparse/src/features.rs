@@ -1,0 +1,238 @@
+//! Structural feature extraction (paper Table 2).
+//!
+//! Features characterise a sparse matrix cheaply enough that the
+//! feature-guided classifier's runtime stays negligible compared to a
+//! single SpMV. Two families exist:
+//!
+//! * `O(N)` features — derived from the row pointer and first/last
+//!   column of each row (`nnz_*`, `bw_*`, `scatter_*`, `density`,
+//!   `size`);
+//! * `O(NNZ)` features — require a sweep of all column indices
+//!   (`clustering_avg`, `misses_avg`).
+//!
+//! The paper's Table 3 classifiers use either an `O(N)` subset or the
+//! full `O(NNZ)` set; [`FeatureSet`] mirrors that split.
+
+use crate::csr::Csr;
+use crate::stats::RowStats;
+
+/// Which subset of Table 2 features to extract/use, matching the two
+/// classifier rows of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSet {
+    /// `nnz_{min,max,sd}`, `bw_avg`, `scatter_{avg,sd}` — extraction
+    /// cost `O(N)`.
+    RowOnly,
+    /// `size`, `bw_{avg,sd}`, `nnz_{min,max,avg,sd}`, `misses_avg`,
+    /// `scatter_sd` — extraction cost `O(NNZ)`.
+    Full,
+}
+
+impl FeatureSet {
+    /// Names of the features selected by this set, in the order they
+    /// appear in [`FeatureVector::select`].
+    pub fn names(self) -> &'static [&'static str] {
+        match self {
+            FeatureSet::RowOnly => {
+                &["nnz_min", "nnz_max", "nnz_sd", "bw_avg", "scatter_avg", "scatter_sd"]
+            }
+            FeatureSet::Full => &[
+                "size",
+                "bw_avg",
+                "bw_sd",
+                "nnz_min",
+                "nnz_max",
+                "nnz_avg",
+                "nnz_sd",
+                "misses_avg",
+                "scatter_sd",
+            ],
+        }
+    }
+}
+
+/// The full Table 2 feature vector of a sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    /// 1.0 when the SpMV working set fits in the last-level cache of
+    /// the target platform, 0.0 otherwise.
+    pub size_fits_llc: f64,
+    /// `NNZ / N^2`.
+    pub density: f64,
+    /// Min / max / mean / sd of nonzeros per row.
+    pub nnz_min: f64,
+    /// See [`FeatureVector::nnz_min`].
+    pub nnz_max: f64,
+    /// See [`FeatureVector::nnz_min`].
+    pub nnz_avg: f64,
+    /// See [`FeatureVector::nnz_min`].
+    pub nnz_sd: f64,
+    /// Min / max / mean / sd of per-row column span.
+    pub bw_min: f64,
+    /// See [`FeatureVector::bw_min`].
+    pub bw_max: f64,
+    /// See [`FeatureVector::bw_min`].
+    pub bw_avg: f64,
+    /// See [`FeatureVector::bw_min`].
+    pub bw_sd: f64,
+    /// Mean / sd of `scatter_i = nnz_i / bw_i` (the paper also calls
+    /// this feature *dispersion*).
+    pub scatter_avg: f64,
+    /// See [`FeatureVector::scatter_avg`].
+    pub scatter_sd: f64,
+    /// Mean of `clustering_i = ngroups_i / nnz_i`.
+    pub clustering_avg: f64,
+    /// Mean of the naive per-row cache-miss estimate.
+    pub misses_avg: f64,
+    /// Number of rows (kept for context, not a Table 2 feature).
+    pub nrows: f64,
+    /// Number of nonzeros (kept for context, not a Table 2 feature).
+    pub nnz: f64,
+}
+
+impl FeatureVector {
+    /// Extracts all features from `a`.
+    ///
+    /// * `llc_bytes` — last-level cache capacity of the target
+    ///   platform, for the binary `size` feature. The working set is
+    ///   `S_CSR + S_x + S_y`.
+    /// * `line_elems` — elements per cache line, for `misses_avg`.
+    pub fn extract(a: &Csr, llc_bytes: usize, line_elems: u32) -> FeatureVector {
+        let stats = RowStats::compute(a, line_elems);
+        Self::from_stats(a, &stats, llc_bytes)
+    }
+
+    /// Builds the feature vector from precomputed [`RowStats`]
+    /// (lets callers share one `O(NNZ)` sweep among consumers).
+    pub fn from_stats(a: &Csr, stats: &RowStats, llc_bytes: usize) -> FeatureVector {
+        let nnz_s = stats.nnz_summary();
+        let bw_s = stats.bw_summary();
+        let sc_s = stats.scatter_summary();
+        let ws = working_set_bytes(a);
+        let n = a.nrows().max(1) as f64;
+        FeatureVector {
+            size_fits_llc: if ws <= llc_bytes { 1.0 } else { 0.0 },
+            density: a.nnz() as f64 / (n * a.ncols().max(1) as f64),
+            nnz_min: nnz_s.min,
+            nnz_max: nnz_s.max,
+            nnz_avg: nnz_s.avg,
+            nnz_sd: nnz_s.sd,
+            bw_min: bw_s.min,
+            bw_max: bw_s.max,
+            bw_avg: bw_s.avg,
+            bw_sd: bw_s.sd,
+            scatter_avg: sc_s.avg,
+            scatter_sd: sc_s.sd,
+            clustering_avg: stats.clustering_avg(),
+            misses_avg: stats.misses_avg(),
+            nrows: a.nrows() as f64,
+            nnz: a.nnz() as f64,
+        }
+    }
+
+    /// Projects the features selected by `set` into a flat vector, in
+    /// the order of [`FeatureSet::names`].
+    pub fn select(&self, set: FeatureSet) -> Vec<f64> {
+        match set {
+            FeatureSet::RowOnly => vec![
+                self.nnz_min,
+                self.nnz_max,
+                self.nnz_sd,
+                self.bw_avg,
+                self.scatter_avg,
+                self.scatter_sd,
+            ],
+            FeatureSet::Full => vec![
+                self.size_fits_llc,
+                self.bw_avg,
+                self.bw_sd,
+                self.nnz_min,
+                self.nnz_max,
+                self.nnz_avg,
+                self.nnz_sd,
+                self.misses_avg,
+                self.scatter_sd,
+            ],
+        }
+    }
+}
+
+/// SpMV working-set size in bytes: CSR footprint plus the `x` and `y`
+/// vectors. This is what the paper compares against the LLC capacity
+/// for the binary `size` feature.
+pub fn working_set_bytes(a: &Csr) -> usize {
+    a.footprint_bytes() + (a.ncols() + a.nrows()) * std::mem::size_of::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn tridiagonal(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n).unwrap();
+        for i in 0..n {
+            if i > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+            }
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn tridiagonal_features() {
+        let a = tridiagonal(100);
+        let f = FeatureVector::extract(&a, 1 << 20, 8);
+        assert_eq!(f.nnz_min, 2.0);
+        assert_eq!(f.nnz_max, 3.0);
+        assert!((f.nnz_avg - 2.98).abs() < 1e-12);
+        assert_eq!(f.bw_max, 2.0);
+        assert_eq!(f.size_fits_llc, 1.0);
+        assert_eq!(f.misses_avg, 0.0);
+        assert!(f.density > 0.0 && f.density < 0.03);
+    }
+
+    #[test]
+    fn size_feature_tracks_llc() {
+        let a = tridiagonal(1000);
+        let small = FeatureVector::extract(&a, 64, 8);
+        let big = FeatureVector::extract(&a, 1 << 30, 8);
+        assert_eq!(small.size_fits_llc, 0.0);
+        assert_eq!(big.size_fits_llc, 1.0);
+    }
+
+    #[test]
+    fn select_orders_match_names() {
+        let a = tridiagonal(10);
+        let f = FeatureVector::extract(&a, 1 << 20, 8);
+        for set in [FeatureSet::RowOnly, FeatureSet::Full] {
+            assert_eq!(f.select(set).len(), set.names().len());
+        }
+        let v = f.select(FeatureSet::Full);
+        assert_eq!(v[0], f.size_fits_llc);
+        assert_eq!(v[7], f.misses_avg);
+    }
+
+    #[test]
+    fn working_set_accounts_vectors() {
+        let a = tridiagonal(10);
+        assert_eq!(working_set_bytes(&a), a.footprint_bytes() + 20 * 8);
+    }
+
+    #[test]
+    fn scattered_matrix_has_high_misses_avg() {
+        let mut coo = Coo::new(4, 4096).unwrap();
+        for i in 0..4 {
+            for k in 0..8 {
+                coo.push(i, k * 512, 1.0).unwrap();
+            }
+        }
+        let f = FeatureVector::extract(&Csr::from_coo(&coo), 1 << 20, 8);
+        assert_eq!(f.misses_avg, 7.0);
+        assert!(f.scatter_avg < 0.01);
+    }
+}

@@ -1,0 +1,117 @@
+//! Block-dense matrix generator.
+//!
+//! Models matrices with long, dense, highly clustered rows such as
+//! `human_gene1` (~1100 nonzeros/row) or `nd24k` (~400/row): dense
+//! blocks tile the neighbourhood of the diagonal, so rows are long but
+//! accesses to `x` are perfectly local. Depending on the platform's
+//! bandwidth these land in the `MB` class (big working set) or `CMP`
+//! (cache-resident / vectorization-hungry).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Generates an `n x n` matrix of dense `block x block` tiles.
+///
+/// Each block row gets the diagonal tile plus `extra_blocks` random
+/// off-diagonal tiles; every selected tile is fully dense.
+///
+/// # Errors
+/// [`SparseError::InvalidGenerator`] for zero sizes or `block > n`.
+pub fn block_dense(n: usize, block: usize, extra_blocks: usize, seed: u64) -> Result<Csr> {
+    if n == 0 || block == 0 {
+        return Err(SparseError::InvalidGenerator("n and block must be positive".into()));
+    }
+    if block > n {
+        return Err(SparseError::InvalidGenerator(format!("block {block} exceeds n {n}")));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nblocks = n.div_ceil(block);
+    let est = n * block * (1 + extra_blocks);
+    let mut coo = Coo::with_capacity(n, n, est)?;
+    for bi in 0..nblocks {
+        // Choose block columns: diagonal + extras (distinct).
+        let mut bcols = vec![bi];
+        while bcols.len() < 1 + extra_blocks.min(nblocks - 1) {
+            let c = rng.gen_range(0..nblocks);
+            if !bcols.contains(&c) {
+                bcols.push(c);
+            }
+        }
+        bcols.sort_unstable();
+        let r0 = bi * block;
+        let r1 = ((bi + 1) * block).min(n);
+        for i in r0..r1 {
+            let mut row_abs = 0.0;
+            let mut diag_slot = None;
+            for &bc in &bcols {
+                let c0 = bc * block;
+                let c1 = ((bc + 1) * block).min(n);
+                for c in c0..c1 {
+                    if c == i {
+                        diag_slot = Some(c);
+                        continue;
+                    }
+                    let v = super::random_value(&mut rng);
+                    row_abs += v.abs();
+                    coo.push(i, c, v)?;
+                }
+            }
+            // Dominant diagonal (diagonal tile always included).
+            debug_assert!(diag_slot.is_some());
+            coo.push(i, i, row_abs + 1.0)?;
+        }
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(block_dense(0, 4, 1, 1).is_err());
+        assert!(block_dense(16, 0, 1, 1).is_err());
+        assert!(block_dense(8, 16, 1, 1).is_err());
+    }
+
+    #[test]
+    fn rows_are_long_and_clustered() {
+        let a = block_dense(512, 64, 1, 5).unwrap();
+        let st = RowStats::compute(&a, 8);
+        let s = st.nnz_summary();
+        assert!(s.min >= 64.0, "min row {}", s.min);
+        // clustering_avg small: long runs of consecutive columns
+        assert!(st.clustering_avg() < 0.1);
+        // only the (at most one) inter-tile jump can miss; within-block gaps are 1
+        assert!(st.misses_avg() <= 1.0);
+    }
+
+    #[test]
+    fn exact_density_no_extras() {
+        let a = block_dense(128, 32, 0, 3).unwrap();
+        assert_eq!(a.nnz(), 128 * 32);
+        for i in 0..128 {
+            assert_eq!(a.row_nnz(i), 32);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(block_dense(96, 16, 2, 4).unwrap(), block_dense(96, 16, 2, 4).unwrap());
+    }
+
+    #[test]
+    fn ragged_tail_block_handled() {
+        let a = block_dense(100, 32, 0, 2).unwrap();
+        assert_eq!(a.nrows(), 100);
+        // last block row has rows 96..100 with 4-wide diagonal tile
+        assert_eq!(a.row_nnz(99), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Circuit-simulation matrix generator.
+//!
+//! Models matrices such as `rajat30`, `ASIC_680k`, `FullChip` and
+//! `circuit5M`: the overwhelming majority of rows are very short
+//! (diagonal plus a handful of couplings), while a few rows — power
+//! and ground nets — are extremely dense, concentrating a large
+//! fraction of all nonzeros. Those dense rows serialise on a single
+//! thread under row partitioning (`IMB`) and their long streaming
+//! inner loops are compute-limited (`CMP`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Generates an `n x n` circuit-like matrix.
+///
+/// * `n_dense_rows` — number of power-net rows;
+/// * `dense_fill` — fraction of all columns present in each dense row
+///   (`0 < dense_fill <= 1`), e.g. `0.5` mimics `rajat30`'s rows that
+///   touch a large share of the circuit;
+/// * `sparse_nnz_per_row` — nonzeros in ordinary rows (diagonal plus
+///   near-diagonal couplings plus one long-range coupling).
+///
+/// # Errors
+/// [`SparseError::InvalidGenerator`] on degenerate parameters.
+pub fn circuit(
+    n: usize,
+    n_dense_rows: usize,
+    dense_fill: f64,
+    sparse_nnz_per_row: usize,
+    seed: u64,
+) -> Result<Csr> {
+    if n == 0 {
+        return Err(SparseError::InvalidGenerator("n must be positive".into()));
+    }
+    if n_dense_rows >= n {
+        return Err(SparseError::InvalidGenerator(format!(
+            "n_dense_rows {n_dense_rows} must be < n {n}"
+        )));
+    }
+    if !(dense_fill > 0.0 && dense_fill <= 1.0) {
+        return Err(SparseError::InvalidGenerator(format!("dense_fill {dense_fill} outside (0,1]")));
+    }
+    if sparse_nnz_per_row == 0 {
+        return Err(SparseError::InvalidGenerator("sparse_nnz_per_row must be >= 1".into()));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dense_len = ((n as f64 * dense_fill) as usize).max(1);
+    let est = n * sparse_nnz_per_row + n_dense_rows * dense_len;
+    let mut coo = Coo::with_capacity(n, n, est)?;
+
+    // Dense rows are spread through the matrix (not adjacent), as in
+    // real circuit orderings; deterministic placement keeps the
+    // generator reproducible independent of rng call order.
+    let dense_stride = n / (n_dense_rows + 1).max(1);
+    let dense_rows: Vec<usize> =
+        (1..=n_dense_rows).map(|k| (k * dense_stride).min(n - 1)).collect();
+
+    let mut is_dense = vec![false; n];
+    for &r in &dense_rows {
+        is_dense[r] = true;
+    }
+
+    let mut buf = Vec::new();
+    for i in 0..n {
+        if is_dense[i] {
+            // Power net: evenly strided columns across the whole row.
+            let stride = (n as f64 / dense_len as f64).max(1.0);
+            let mut row_abs = 0.0;
+            let mut prev = usize::MAX;
+            for k in 0..dense_len {
+                let c = ((k as f64 * stride) as usize).min(n - 1);
+                if c == prev || c == i {
+                    continue;
+                }
+                prev = c;
+                let v = super::random_value(&mut rng);
+                row_abs += v.abs();
+                coo.push(i, c, v)?;
+            }
+            coo.push(i, i, row_abs + 1.0)?;
+        } else {
+            // Ordinary net: diagonal + local couplings + one long hop.
+            let k = sparse_nnz_per_row;
+            buf.clear();
+            let mut row_abs = 0.0;
+            for d in 1..k {
+                let c = if d == k - 1 {
+                    rng.gen_range(0..n) // long-range coupling
+                } else {
+                    // local coupling within +-8
+                    let off = rng.gen_range(1..=8usize);
+                    if rng.gen_bool(0.5) { i.saturating_sub(off) } else { (i + off).min(n - 1) }
+                };
+                if c != i && !buf.contains(&(c as u32)) {
+                    buf.push(c as u32);
+                    let v = super::random_value(&mut rng);
+                    row_abs += v.abs();
+                    coo.push(i, c, v)?;
+                }
+            }
+            coo.push(i, i, row_abs + 1.0)?;
+        }
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(circuit(0, 1, 0.5, 3, 1).is_err());
+        assert!(circuit(10, 10, 0.5, 3, 1).is_err());
+        assert!(circuit(10, 1, 0.0, 3, 1).is_err());
+        assert!(circuit(10, 1, 0.5, 0, 1).is_err());
+    }
+
+    #[test]
+    fn dense_rows_dominate_nnz() {
+        let a = circuit(10_000, 4, 0.6, 4, 21).unwrap();
+        let st = RowStats::compute(&a, 8);
+        let s = st.nnz_summary();
+        assert!(s.max > 1000.0, "max row {}", s.max);
+        assert!(s.avg < 20.0, "avg row {}", s.avg);
+        // The 4 dense rows carry a large share of all nonzeros.
+        let mut lens: Vec<u32> = st.nnz.clone();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: u32 = lens[..4].iter().sum();
+        assert!(f64::from(top4) > 0.3 * a.nnz() as f64);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(circuit(500, 2, 0.5, 3, 7).unwrap(), circuit(500, 2, 0.5, 3, 7).unwrap());
+    }
+
+    #[test]
+    fn sparse_rows_stay_short() {
+        let a = circuit(2000, 2, 0.5, 5, 9).unwrap();
+        let st = RowStats::compute(&a, 8);
+        let short = st.nnz.iter().filter(|&&k| k <= 6).count();
+        assert!(short >= 1990);
+    }
+
+    #[test]
+    fn all_rows_have_diagonal() {
+        let a = circuit(300, 2, 0.4, 4, 3).unwrap();
+        for (i, &d) in a.diagonal().iter().enumerate() {
+            assert!(d >= 1.0, "row {i} diagonal {d}");
+        }
+    }
+}

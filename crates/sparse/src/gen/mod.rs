@@ -1,0 +1,133 @@
+//! Synthetic sparse matrix generators.
+//!
+//! The paper evaluates on matrices from the University of Florida
+//! Sparse Matrix Collection. That corpus is not redistributable inside
+//! this repository, so we generate structural stand-ins: each
+//! generator reproduces one *archetype* of sparsity structure that
+//! drives a distinct SpMV bottleneck:
+//!
+//! | archetype | paper exemplars | dominant bottleneck |
+//! |---|---|---|
+//! | [`fn@banded`] FEM band | `consph`, `boneS10`, `cant` | MB |
+//! | [`stencil`] 2-D/3-D grids | `parabolic_fem`, `thermal2` | MB / IMB on many-core |
+//! | [`random_uniform`] | — (worst-case irregular) | ML |
+//! | [`fn@powerlaw`] graphs | `web-Google`, `flickr`, `webbase-1M` | ML + IMB |
+//! | [`fn@circuit`] few dense rows | `rajat30`, `ASIC_680k`, `circuit5M` | IMB + CMP |
+//! | [`block_dense`] | `human_gene1`, `nd24k` | MB / CMP |
+//!
+//! All generators are deterministic given their seed.
+
+pub mod banded;
+pub mod blockdense;
+pub mod circuit;
+pub mod permute;
+pub mod powerlaw;
+pub mod random;
+pub mod rmat;
+pub mod stencil;
+pub mod suite;
+
+pub use banded::banded;
+pub use permute::{jittered_permutation, permute_symmetric};
+pub use blockdense::block_dense;
+pub use circuit::circuit;
+pub use powerlaw::powerlaw;
+pub use random::random_uniform;
+pub use rmat::{rmat, RmatParams};
+pub use stencil::{stencil_2d, stencil_3d};
+pub use suite::{corpus, Archetype, SuiteMatrix, SUITE};
+
+use rand::Rng;
+
+/// Draws `k` distinct column indices from `0..ncols` into `buf`
+/// (sorted). Falls back to a dense prefix when `k >= ncols`.
+pub(crate) fn sample_distinct<R: Rng>(rng: &mut R, ncols: usize, k: usize, buf: &mut Vec<u32>) {
+    buf.clear();
+    if k >= ncols {
+        buf.extend(0..ncols as u32);
+        return;
+    }
+    // Rejection sampling is fine for the sparse case (k << ncols);
+    // switch to a partial Fisher-Yates style reservoir when dense.
+    if k * 4 >= ncols {
+        // Dense-ish: Bernoulli sweep with adjusted probability.
+        let p = k as f64 / ncols as f64;
+        for c in 0..ncols {
+            if rng.gen_bool(p.min(1.0)) {
+                buf.push(c as u32);
+            }
+        }
+        if buf.is_empty() {
+            buf.push(rng.gen_range(0..ncols) as u32);
+        }
+        return;
+    }
+    while buf.len() < k {
+        let c = rng.gen_range(0..ncols) as u32;
+        buf.push(c);
+        if buf.len() == k {
+            buf.sort_unstable();
+            buf.dedup();
+        }
+    }
+    buf.sort_unstable();
+    buf.dedup();
+    // Top up after dedup (rarely loops more than once when k << ncols).
+    while buf.len() < k {
+        let c = rng.gen_range(0..ncols) as u32;
+        if buf.binary_search(&c).is_err() {
+            let pos = buf.partition_point(|&x| x < c);
+            buf.insert(pos, c);
+        }
+    }
+}
+
+/// Random nonzero value in `[-1, 1] \ {0}`; keeping magnitudes O(1)
+/// makes solver tests well-conditioned after diagonal boosting.
+pub(crate) fn random_value<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v.abs() > 1e-3 {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut buf = Vec::new();
+        for &(ncols, k) in &[(100usize, 5usize), (100, 60), (10, 10), (10, 20), (1000, 1)] {
+            sample_distinct(&mut rng, ncols, k, &mut buf);
+            assert!(!buf.is_empty());
+            assert!(buf.len() <= k.min(ncols) || k * 4 >= ncols);
+            for w in buf.windows(2) {
+                assert!(w[0] < w[1], "sorted distinct");
+            }
+            assert!(buf.iter().all(|&c| (c as usize) < ncols));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_exact_when_sparse() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = Vec::new();
+        sample_distinct(&mut rng, 10_000, 17, &mut buf);
+        assert_eq!(buf.len(), 17);
+    }
+
+    #[test]
+    fn random_value_never_tiny() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = random_value(&mut rng);
+            assert!(v.abs() > 1e-3 && v.abs() <= 1.0);
+        }
+    }
+}

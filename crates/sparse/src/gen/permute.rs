@@ -1,0 +1,169 @@
+//! Symmetric permutations of sparse matrices.
+//!
+//! Real unstructured-mesh matrices (`parabolic_fem`, `offshore`,
+//! `thermal2`) come from mesh generators whose node numbering is only
+//! *locally* coherent — unlike the perfectly ordered grids our
+//! stencil generators produce. [`jittered_permutation`] scrambles
+//! indices within a sliding window, and [`permute_symmetric`] applies
+//! `P A Pᵀ`, turning an ideal grid matrix into a realistically
+//! irregular one while preserving its spectrum and row-length
+//! distribution.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Builds a permutation of `0..n` where each index moves at most
+/// ~`window` positions: a Fisher-Yates shuffle restricted to a
+/// sliding window. `window = 0` yields the identity; `window >= n`
+/// yields a full shuffle.
+pub fn jittered_permutation(n: usize, window: usize, seed: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    if window == 0 || n < 2 {
+        return perm;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n - 1 {
+        let hi = (i + window).min(n - 1);
+        let j = rng.gen_range(i..=hi);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Applies the symmetric permutation `B = P A Pᵀ`, i.e.
+/// `B[perm[i]][perm[j]] = A[i][j]`.
+///
+/// # Errors
+/// [`SparseError::DimensionMismatch`] if `perm.len() != nrows` (the
+/// matrix must be square for a symmetric permutation).
+pub fn permute_symmetric(a: &Csr, perm: &[u32]) -> Result<Csr> {
+    if a.nrows() != a.ncols() || perm.len() != a.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            detail: format!(
+                "permutation length {} vs square matrix {}x{}",
+                perm.len(),
+                a.nrows(),
+                a.ncols()
+            ),
+        });
+    }
+    debug_assert!(is_permutation(perm));
+    let mut coo = Coo::with_capacity(a.nrows(), a.ncols(), a.nnz())?;
+    for (i, cols, vals) in a.rows() {
+        let pi = perm[i] as usize;
+        for (k, &c) in cols.iter().enumerate() {
+            coo.push(pi, perm[c as usize] as usize, vals[k])?;
+        }
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+/// Checks that `perm` is a bijection of `0..perm.len()`.
+pub fn is_permutation(perm: &[u32]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        let p = p as usize;
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::stencil_2d;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn jittered_permutation_is_a_permutation() {
+        for (n, w) in [(100usize, 0usize), (100, 5), (100, 50), (100, 1000), (1, 3)] {
+            let p = jittered_permutation(n, w, 7);
+            assert!(is_permutation(&p), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn zero_window_is_identity() {
+        let p = jittered_permutation(50, 0, 3);
+        assert!(p.iter().enumerate().all(|(i, &v)| v as usize == i));
+    }
+
+    #[test]
+    fn displacement_is_locally_bounded_on_average() {
+        // Individual elements can drift further than the window by
+        // chained forward swaps, but the *typical* displacement stays
+        // on the order of the window — that is the locality property
+        // the generator relies on.
+        let w = 10;
+        let p = jittered_permutation(1_000, w, 9);
+        let mean_disp: f64 = p
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v as f64 - i as f64).abs())
+            .sum::<f64>()
+            / p.len() as f64;
+        assert!(mean_disp <= 2.0 * w as f64, "mean displacement {mean_disp}");
+        assert!(mean_disp >= 1.0, "permutation did nothing");
+    }
+
+    #[test]
+    fn permutation_preserves_structure_statistics() {
+        let a = stencil_2d(30, 30).unwrap();
+        let p = jittered_permutation(a.nrows(), 40, 5);
+        let b = permute_symmetric(&a, &p).unwrap();
+        assert_eq!(b.nnz(), a.nnz());
+        assert!(b.is_symmetric(1e-12));
+        // Row-length multiset is invariant under symmetric permutation.
+        let mut la: Vec<u32> = RowStats::compute(&a, 8).nnz;
+        let mut lb: Vec<u32> = RowStats::compute(&b, 8).nnz;
+        la.sort_unstable();
+        lb.sort_unstable();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn permutation_preserves_the_product_up_to_reordering() {
+        let a = stencil_2d(12, 12).unwrap();
+        let n = a.nrows();
+        let p = jittered_permutation(n, 20, 11);
+        let b = permute_symmetric(&a, &p).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        // y_a = A x; y_b = B (P x) must equal P (A x).
+        let mut px = vec![0.0; n];
+        for i in 0..n {
+            px[p[i] as usize] = x[i];
+        }
+        let mut ya = vec![0.0; n];
+        a.spmv(&x, &mut ya);
+        let mut yb = vec![0.0; n];
+        b.spmv(&px, &mut yb);
+        for i in 0..n {
+            assert!((yb[p[i] as usize] - ya[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_increases_bandwidth_spread() {
+        let a = stencil_2d(60, 60).unwrap();
+        let p = jittered_permutation(a.nrows(), 600, 3);
+        let b = permute_symmetric(&a, &p).unwrap();
+        let bw_a = RowStats::compute(&a, 8).bw_summary().avg;
+        let bw_b = RowStats::compute(&b, 8).bw_summary().avg;
+        assert!(bw_b > 2.0 * bw_a, "bw {bw_a} -> {bw_b}");
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let a = stencil_2d(4, 4).unwrap();
+        assert!(permute_symmetric(&a, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Power-law (scale-free graph) matrix generator.
+//!
+//! Models web/citation/social graphs (`web-Google`, `flickr`,
+//! `webbase-1M`): row lengths follow a truncated Zipf distribution
+//! (many very short rows, a heavy tail of hubs) and column targets are
+//! skewed toward popular vertices. The combination produces both
+//! irregular `x` accesses (`ML`) and thread imbalance (`IMB`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Generates an `n x n` power-law matrix.
+///
+/// * `avg_deg` — target average nonzeros per row;
+/// * `alpha` — Zipf exponent of the row-length distribution (typical
+///   graphs: 1.8–2.5; smaller = heavier tail = more imbalance);
+/// * column targets are drawn with probability proportional to
+///   `(rank+1)^-0.8`, concentrating accesses on hub columns.
+///
+/// # Errors
+/// [`SparseError::InvalidGenerator`] for `n == 0`, `avg_deg == 0` or
+/// `alpha <= 1`.
+pub fn powerlaw(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Result<Csr> {
+    if n == 0 {
+        return Err(SparseError::InvalidGenerator("n must be positive".into()));
+    }
+    if avg_deg == 0 {
+        return Err(SparseError::InvalidGenerator("avg_deg must be >= 1".into()));
+    }
+    if alpha <= 1.0 {
+        return Err(SparseError::InvalidGenerator(format!(
+            "alpha {alpha} must exceed 1 for a finite mean"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let max_deg = n.min(avg_deg.saturating_mul(256)).max(1);
+
+    // Draw row degrees from a truncated Zipf via inverse-CDF on a
+    // precomputed table, then rescale to hit the average.
+    let mut weights = Vec::with_capacity(max_deg);
+    let mut acc = 0.0f64;
+    for k in 1..=max_deg {
+        acc += (k as f64).powf(-alpha);
+        weights.push(acc);
+    }
+    let total = acc;
+    let mut degs: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..total);
+            let idx = weights.partition_point(|&w| w < u);
+            idx + 1
+        })
+        .collect();
+    // Rescale sum of degrees toward n * avg_deg (integer-safe).
+    let want = n * avg_deg;
+    let have: usize = degs.iter().sum();
+    if have > 0 && have != want {
+        let ratio = want as f64 / have as f64;
+        for d in &mut degs {
+            *d = ((*d as f64 * ratio).round() as usize).clamp(1, n);
+        }
+    }
+
+    let mut coo = Coo::with_capacity(n, n, degs.iter().sum::<usize>())?;
+    let mut buf = Vec::new();
+    for (i, &deg) in degs.iter().enumerate() {
+        // Skewed column sampling: mix hub-biased and uniform draws.
+        buf.clear();
+        while buf.len() < deg {
+            let c = if rng.gen_bool(0.5) {
+                // Hub bias: quadratic transform concentrates near 0.
+                let u: f64 = rng.gen();
+                ((u * u) * n as f64) as usize % n
+            } else {
+                rng.gen_range(0..n)
+            };
+            buf.push(c as u32);
+            if buf.len() == deg {
+                buf.sort_unstable();
+                buf.dedup();
+            }
+        }
+        buf.sort_unstable();
+        buf.dedup();
+        for &c in buf.iter() {
+            coo.push(i, c as usize, super::random_value(&mut rng))?;
+        }
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(powerlaw(0, 4, 2.0, 1).is_err());
+        assert!(powerlaw(10, 0, 2.0, 1).is_err());
+        assert!(powerlaw(10, 4, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let a = powerlaw(5000, 8, 2.0, 11).unwrap();
+        let avg = a.nnz() as f64 / a.nrows() as f64;
+        assert!((4.0..=12.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn row_lengths_are_skewed() {
+        let a = powerlaw(5000, 8, 1.8, 13).unwrap();
+        let st = RowStats::compute(&a, 8);
+        let s = st.nnz_summary();
+        // heavy tail: max far above average, sd comparable to mean
+        assert!(s.max > 4.0 * s.avg, "max {} avg {}", s.max, s.avg);
+        assert!(s.sd > 0.5 * s.avg);
+    }
+
+    #[test]
+    fn hub_columns_receive_more_entries() {
+        let a = powerlaw(4000, 8, 2.0, 17).unwrap();
+        let t = a.transpose();
+        let low: usize = (0..400).map(|i| t.row_nnz(i)).sum();
+        let high: usize = (3600..4000).map(|i| t.row_nnz(i)).sum();
+        assert!(low > 2 * high, "hubs {low} vs tail {high}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(powerlaw(300, 5, 2.0, 3).unwrap(), powerlaw(300, 5, 2.0, 3).unwrap());
+    }
+}

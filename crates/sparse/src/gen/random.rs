@@ -1,0 +1,107 @@
+//! Uniform random sparse matrix generator.
+//!
+//! Columns are drawn uniformly over the full matrix width, so accesses
+//! to `x` have no locality whatsoever: the archetype of a
+//! memory-latency-bound (`ML`) matrix that defeats hardware
+//! prefetchers.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Generates an `n x n` matrix with exactly `nnz_per_row` uniformly
+/// scattered nonzeros in every row (clamped to `n`), plus a dominant
+/// diagonal.
+///
+/// # Errors
+/// [`SparseError::InvalidGenerator`] for `n == 0` or
+/// `nnz_per_row == 0`.
+pub fn random_uniform(n: usize, nnz_per_row: usize, seed: u64) -> Result<Csr> {
+    if n == 0 {
+        return Err(SparseError::InvalidGenerator("n must be positive".into()));
+    }
+    if nnz_per_row == 0 {
+        return Err(SparseError::InvalidGenerator("nnz_per_row must be >= 1".into()));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let k = nnz_per_row.min(n);
+    let mut coo = Coo::with_capacity(n, n, n * (k + 1))?;
+    let mut buf = Vec::with_capacity(k);
+    for i in 0..n {
+        super::sample_distinct(&mut rng, n, k, &mut buf);
+        let mut row_abs = 0.0;
+        let mut has_diag = false;
+        for &c in &buf {
+            if c as usize == i {
+                has_diag = true;
+                continue;
+            }
+            let v = super::random_value(&mut rng);
+            row_abs += v.abs();
+            coo.push(i, c as usize, v)?;
+        }
+        let _ = has_diag;
+        coo.push(i, i, row_abs + 1.0)?;
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(random_uniform(0, 4, 1).is_err());
+        assert!(random_uniform(4, 0, 1).is_err());
+    }
+
+    #[test]
+    fn row_lengths_near_target() {
+        let a = random_uniform(500, 10, 3).unwrap();
+        for i in 0..a.nrows() {
+            let k = a.row_nnz(i);
+            assert!((10..=11).contains(&k), "row {i} has {k}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_uniform(100, 8, 5).unwrap(), random_uniform(100, 8, 5).unwrap());
+    }
+
+    #[test]
+    fn columns_span_full_width() {
+        let a = random_uniform(2000, 16, 7).unwrap();
+        let max_col = a.colind().iter().copied().max().unwrap() as usize;
+        let min_col = a.colind().iter().copied().min().unwrap() as usize;
+        assert!(max_col > 1500);
+        assert!(min_col < 500);
+    }
+
+    #[test]
+    fn diagonal_dominance_holds() {
+        let a = random_uniform(200, 6, 9).unwrap();
+        let d = a.diagonal();
+        for (i, &di) in d.iter().enumerate() {
+            let (cols, vals) = a.row(i);
+            let off: f64 = cols
+                .iter()
+                .zip(vals)
+                .filter(|(&c, _)| c as usize != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(di > off);
+        }
+    }
+
+    #[test]
+    fn nnz_per_row_clamped_to_n() {
+        let a = random_uniform(4, 100, 2).unwrap();
+        assert!(a.nnz() <= 16);
+    }
+}

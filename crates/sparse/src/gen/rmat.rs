@@ -1,0 +1,151 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! The standard Kronecker-style generator behind Graph500: edges are
+//! placed by recursively descending into one of four quadrants with
+//! probabilities `(a, b, c, d)`. With skewed parameters it produces
+//! the community structure and degree skew of real web/social graphs
+//! — a complementary archetype to [`super::powerlaw()`], which controls
+//! the degree distribution directly but has no block structure.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters `(0.57, 0.19, 0.19)`.
+    pub fn graph500() -> RmatParams {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Implied bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    fn validate(&self) -> Result<()> {
+        let d = self.d();
+        if self.a < 0.0 || self.b < 0.0 || self.c < 0.0 || d < 0.0 {
+            return Err(SparseError::InvalidGenerator(format!(
+                "rmat probabilities must be non-negative and sum <= 1 \
+                 (a={}, b={}, c={}, d={d})",
+                self.a, self.b, self.c
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Generates a `2^scale x 2^scale` R-MAT adjacency matrix with
+/// `edge_factor * 2^scale` edges (duplicates merged, values set to
+/// edge multiplicities).
+///
+/// # Errors
+/// [`SparseError::InvalidGenerator`] for `scale == 0`,
+/// `edge_factor == 0`, invalid probabilities, or `scale > 28` (index
+/// overflow guard).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Result<Csr> {
+    if scale == 0 || scale > 28 {
+        return Err(SparseError::InvalidGenerator(format!("scale {scale} outside 1..=28")));
+    }
+    if edge_factor == 0 {
+        return Err(SparseError::InvalidGenerator("edge_factor must be >= 1".into()));
+    }
+    params.validate()?;
+    let n = 1usize << scale;
+    let nedges = edge_factor * n;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, nedges)?;
+    let ab = params.a + params.b;
+    let a_frac = if ab > 0.0 { params.a / ab } else { 0.5 };
+    let cd = 1.0 - ab;
+    let c_frac = if cd > 0.0 { params.c / cd } else { 0.5 };
+    for _ in 0..nedges {
+        let mut row = 0usize;
+        let mut col = 0usize;
+        for level in (0..scale).rev() {
+            let bit = 1usize << level;
+            // Pick a quadrant, with slight noise to avoid exact
+            // self-similarity (standard smoothing).
+            let top = rng.gen_bool(ab.clamp(0.0, 1.0));
+            let left = if top {
+                rng.gen_bool(a_frac.clamp(0.0, 1.0))
+            } else {
+                rng.gen_bool(c_frac.clamp(0.0, 1.0))
+            };
+            if !top {
+                row |= bit;
+            }
+            if !left {
+                col |= bit;
+            }
+        }
+        coo.push(row, col, 1.0)?;
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(rmat(0, 8, RmatParams::graph500(), 1).is_err());
+        assert!(rmat(4, 0, RmatParams::graph500(), 1).is_err());
+        assert!(rmat(30, 8, RmatParams::graph500(), 1).is_err());
+        assert!(rmat(4, 8, RmatParams { a: 0.9, b: 0.2, c: 0.2 }, 1).is_err());
+    }
+
+    #[test]
+    fn shape_and_edge_budget() {
+        let a = rmat(10, 8, RmatParams::graph500(), 42).unwrap();
+        assert_eq!(a.nrows(), 1024);
+        // Duplicates merge, so nnz <= edges.
+        assert!(a.nnz() <= 8 * 1024);
+        assert!(a.nnz() > 4 * 1024, "{} edges left after dedup", a.nnz());
+    }
+
+    #[test]
+    fn skewed_parameters_produce_degree_skew() {
+        let skewed = rmat(12, 8, RmatParams::graph500(), 7).unwrap();
+        let uniform = rmat(12, 8, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, 7).unwrap();
+        let s_skew = RowStats::compute(&skewed, 8).nnz_summary();
+        let s_uni = RowStats::compute(&uniform, 8).nnz_summary();
+        assert!(
+            s_skew.max > 2.0 * s_uni.max,
+            "skewed max {} vs uniform max {}",
+            s_skew.max,
+            s_uni.max
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(8, 4, RmatParams::graph500(), 3).unwrap();
+        let b = rmat(8, 4, RmatParams::graph500(), 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate_multiplicity() {
+        let a = rmat(6, 32, RmatParams::graph500(), 9).unwrap();
+        // With heavy duplication some entry must exceed 1.0.
+        assert!(a.values().iter().any(|&v| v > 1.5));
+    }
+}

@@ -1,0 +1,143 @@
+//! Finite-difference stencil generators (2-D 5-point, 3-D 7-point).
+//!
+//! Models PDE discretisation matrices such as `parabolic_fem` or
+//! `thermal2`: very short rows (5–7 nonzeros) at large distances
+//! (`± nx`, `± nx*ny`), which stream well but expose loop overhead and
+//! mild irregularity on many-core platforms.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// 5-point Laplacian on an `nx x ny` grid (`n = nx*ny` unknowns).
+///
+/// # Errors
+/// [`SparseError::InvalidGenerator`] when either dimension is zero.
+pub fn stencil_2d(nx: usize, ny: usize) -> Result<Csr> {
+    if nx == 0 || ny == 0 {
+        return Err(SparseError::InvalidGenerator("grid dimensions must be positive".into()));
+    }
+    let n = nx * ny;
+    let mut coo = Coo::with_capacity(n, n, 5 * n)?;
+    for j in 0..ny {
+        for i in 0..nx {
+            let row = j * nx + i;
+            coo.push(row, row, 4.0)?;
+            if i > 0 {
+                coo.push(row, row - 1, -1.0)?;
+            }
+            if i + 1 < nx {
+                coo.push(row, row + 1, -1.0)?;
+            }
+            if j > 0 {
+                coo.push(row, row - nx, -1.0)?;
+            }
+            if j + 1 < ny {
+                coo.push(row, row + nx, -1.0)?;
+            }
+        }
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+/// 7-point Laplacian on an `nx x ny x nz` grid.
+///
+/// # Errors
+/// [`SparseError::InvalidGenerator`] when any dimension is zero.
+pub fn stencil_3d(nx: usize, ny: usize, nz: usize) -> Result<Csr> {
+    if nx == 0 || ny == 0 || nz == 0 {
+        return Err(SparseError::InvalidGenerator("grid dimensions must be positive".into()));
+    }
+    let n = nx * ny * nz;
+    let plane = nx * ny;
+    let mut coo = Coo::with_capacity(n, n, 7 * n)?;
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let row = k * plane + j * nx + i;
+                coo.push(row, row, 6.0)?;
+                if i > 0 {
+                    coo.push(row, row - 1, -1.0)?;
+                }
+                if i + 1 < nx {
+                    coo.push(row, row + 1, -1.0)?;
+                }
+                if j > 0 {
+                    coo.push(row, row - nx, -1.0)?;
+                }
+                if j + 1 < ny {
+                    coo.push(row, row + nx, -1.0)?;
+                }
+                if k > 0 {
+                    coo.push(row, row - plane, -1.0)?;
+                }
+                if k + 1 < nz {
+                    coo.push(row, row + plane, -1.0)?;
+                }
+            }
+        }
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert!(stencil_2d(0, 4).is_err());
+        assert!(stencil_3d(2, 0, 2).is_err());
+    }
+
+    #[test]
+    fn stencil_2d_counts() {
+        let a = stencil_2d(10, 10).unwrap();
+        assert_eq!(a.nrows(), 100);
+        // 5*100 - 2*10 (x edges) - 2*10 (y edges) = 460
+        assert_eq!(a.nnz(), 460);
+        // interior row has 5 nonzeros
+        assert_eq!(a.row_nnz(5 * 10 + 5), 5);
+        // corner has 3
+        assert_eq!(a.row_nnz(0), 3);
+    }
+
+    #[test]
+    fn stencil_2d_is_symmetric() {
+        let a = stencil_2d(8, 6).unwrap();
+        assert!(a.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn stencil_3d_counts() {
+        let a = stencil_3d(4, 4, 4).unwrap();
+        assert_eq!(a.nrows(), 64);
+        // 7*64 - 2*16*3 = 448 - 96 = 352
+        assert_eq!(a.nnz(), 352);
+        assert!(a.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn laplacian_rows_sum_nonnegative() {
+        // boundary rows sum > 0, interior rows sum to 0: weak diagonal dominance
+        let a = stencil_2d(5, 5).unwrap();
+        for (_, cols, vals) in a.rows() {
+            let _ = cols;
+            let s: f64 = vals.iter().sum();
+            assert!(s >= -1e-14);
+        }
+    }
+
+    #[test]
+    fn spmv_constant_vector_vanishes_in_interior() {
+        let a = stencil_2d(6, 6).unwrap();
+        let x = vec![1.0; 36];
+        let mut y = vec![0.0; 36];
+        a.spmv(&x, &mut y);
+        // interior node (3,3): 4 - 4 = 0
+        assert_eq!(y[3 * 6 + 3], 0.0);
+        // corner: 4 - 2 = 2
+        assert_eq!(y[0], 2.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! The representative matrix suite and training corpus.
+//!
+//! [`SUITE`] names one synthetic stand-in for every matrix of the
+//! paper's representative set (Figs. 1, 3, 6 and Table 4), matched in
+//! archetype and — at `scale = 1.0` — in row-length statistics at
+//! roughly 1/4 of the original dimensions (so a laptop-class machine
+//! can regenerate every experiment; pass `scale > 1` to approach the
+//! original sizes).
+//!
+//! [`corpus`] samples the archetype space to produce the 210-matrix
+//! training set used to fit the feature-guided classifier
+//! (paper §III-D).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Csr;
+use crate::Result;
+
+use super::{banded, block_dense, circuit, powerlaw, random_uniform, stencil_2d, stencil_3d};
+
+/// Structural archetype with generation parameters at `scale = 1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Archetype {
+    /// Dense-band FEM matrix: `banded(n, half_bandwidth, fill)`.
+    Banded {
+        /// Rows at scale 1.
+        n: usize,
+        /// Band half-width.
+        half_bandwidth: usize,
+        /// In-band fill fraction.
+        fill: f64,
+    },
+    /// 5-point 2-D stencil on an `nx x ny` grid, with node numbering
+    /// scrambled inside a window of `jitter` (0 = ideal grid order;
+    /// real FEM meshes are only locally coherent).
+    Stencil2d {
+        /// Grid width at scale 1.
+        nx: usize,
+        /// Grid height at scale 1.
+        ny: usize,
+        /// Numbering jitter window at scale 1.
+        jitter: usize,
+    },
+    /// 7-point 3-D stencil on an `nx x ny x nz` grid with jittered
+    /// numbering (see [`Archetype::Stencil2d`]).
+    Stencil3d {
+        /// Grid dimensions at scale 1.
+        nx: usize,
+        /// See `nx`.
+        ny: usize,
+        /// See `nx`.
+        nz: usize,
+        /// Numbering jitter window at scale 1.
+        jitter: usize,
+    },
+    /// Fully random columns: `random_uniform(n, nnz_per_row)`.
+    RandomUniform {
+        /// Rows at scale 1.
+        n: usize,
+        /// Nonzeros per row.
+        nnz_per_row: usize,
+    },
+    /// Scale-free graph: `powerlaw(n, avg_deg, alpha)`.
+    Powerlaw {
+        /// Rows at scale 1.
+        n: usize,
+        /// Average degree.
+        avg_deg: usize,
+        /// Zipf exponent.
+        alpha: f64,
+    },
+    /// Circuit with dense power nets:
+    /// `circuit(n, n_dense_rows, dense_fill, sparse_nnz_per_row)`.
+    Circuit {
+        /// Rows at scale 1.
+        n: usize,
+        /// Number of dense rows.
+        n_dense_rows: usize,
+        /// Fraction of columns in each dense row.
+        dense_fill: f64,
+        /// Nonzeros in ordinary rows.
+        sparse_nnz_per_row: usize,
+    },
+    /// Dense tiles: `block_dense(n, block, extra_blocks)`.
+    BlockDense {
+        /// Rows at scale 1.
+        n: usize,
+        /// Tile edge length.
+        block: usize,
+        /// Off-diagonal tiles per block row.
+        extra_blocks: usize,
+    },
+}
+
+/// A named member of the representative suite.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteMatrix {
+    /// Name of the UF matrix this preset stands in for.
+    pub name: &'static str,
+    /// Rows of the original UF matrix (for documentation).
+    pub paper_n: usize,
+    /// Nonzeros of the original UF matrix (for documentation).
+    pub paper_nnz: usize,
+    /// Generator archetype and scale-1 parameters.
+    pub archetype: Archetype,
+}
+
+impl SuiteMatrix {
+    /// Generates the matrix at the given size scale (`1.0` = default
+    /// reduced size, see module docs). Deterministic: the seed is
+    /// derived from the preset name.
+    ///
+    /// # Errors
+    /// Propagates generator parameter errors (only reachable with
+    /// extreme scales that collapse a dimension to zero).
+    pub fn generate(&self, scale: f64) -> Result<Csr> {
+        let seed = name_seed(self.name);
+        let s = |v: usize| ((v as f64 * scale).round() as usize).max(4);
+        let sq = |v: usize| ((v as f64 * scale.sqrt()).round() as usize).max(2);
+        let cb = |v: usize| ((v as f64 * scale.cbrt()).round() as usize).max(2);
+        match self.archetype {
+            Archetype::Banded { n, half_bandwidth, fill } => {
+                banded(s(n), half_bandwidth.max(1), fill, seed)
+            }
+            Archetype::Stencil2d { nx, ny, jitter } => {
+                jittered(stencil_2d(sq(nx), sq(ny))?, (jitter as f64 * scale) as usize, seed)
+            }
+            Archetype::Stencil3d { nx, ny, nz, jitter } => {
+                jittered(stencil_3d(cb(nx), cb(ny), cb(nz))?, (jitter as f64 * scale) as usize, seed)
+            }
+            Archetype::RandomUniform { n, nnz_per_row } => {
+                random_uniform(s(n), nnz_per_row, seed)
+            }
+            Archetype::Powerlaw { n, avg_deg, alpha } => powerlaw(s(n), avg_deg, alpha, seed),
+            Archetype::Circuit { n, n_dense_rows, dense_fill, sparse_nnz_per_row } => {
+                circuit(s(n), n_dense_rows, dense_fill, sparse_nnz_per_row, seed)
+            }
+            Archetype::BlockDense { n, block, extra_blocks } => {
+                block_dense(s(n), block.min(s(n)), extra_blocks, seed)
+            }
+        }
+    }
+}
+
+/// Applies a locality-jittered symmetric permutation (no-op for
+/// `window == 0`).
+fn jittered(a: Csr, window: usize, seed: u64) -> Result<Csr> {
+    if window == 0 {
+        return Ok(a);
+    }
+    let perm = super::permute::jittered_permutation(a.nrows(), window, seed ^ 0x9e37);
+    super::permute::permute_symmetric(&a, &perm)
+}
+
+/// Deterministic seed from a preset name.
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a, good enough for seeding and dependency-free.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The representative suite: one stand-in per paper matrix.
+///
+/// Scale-1 sizes are chosen so each stand-in falls on the same side of
+/// the paper platforms' last-level caches (30-55 MiB) as the original
+/// UF matrix — the `size` feature and the MB-vs-CMP distinction depend
+/// on it — while staying generatable in seconds.
+pub const SUITE: &[SuiteMatrix] = &[
+    SuiteMatrix {
+        name: "consph",
+        paper_n: 83_334,
+        paper_nnz: 6_010_480,
+        archetype: Archetype::Banded { n: 42_000, half_bandwidth: 40, fill: 0.9 },
+    },
+    SuiteMatrix {
+        name: "boneS10",
+        paper_n: 914_898,
+        paper_nnz: 40_878_708,
+        archetype: Archetype::Banded { n: 100_000, half_bandwidth: 24, fill: 0.95 },
+    },
+    SuiteMatrix {
+        name: "nd24k",
+        paper_n: 72_000,
+        paper_nnz: 28_715_634,
+        archetype: Archetype::BlockDense { n: 24_000, block: 150, extra_blocks: 1 },
+    },
+    SuiteMatrix {
+        name: "human_gene1",
+        paper_n: 22_283,
+        paper_nnz: 24_669_643,
+        archetype: Archetype::BlockDense { n: 8_000, block: 350, extra_blocks: 1 },
+    },
+    SuiteMatrix {
+        name: "poisson3Db",
+        paper_n: 85_623,
+        paper_nnz: 2_374_949,
+        archetype: Archetype::Banded { n: 86_000, half_bandwidth: 2_500, fill: 0.0056 },
+    },
+    SuiteMatrix {
+        name: "offshore",
+        paper_n: 259_789,
+        paper_nnz: 4_242_673,
+        archetype: Archetype::Banded { n: 260_000, half_bandwidth: 3_000, fill: 0.0027 },
+    },
+    SuiteMatrix {
+        name: "parabolic_fem",
+        paper_n: 525_825,
+        paper_nnz: 3_674_625,
+        archetype: Archetype::Stencil2d { nx: 725, ny: 725, jitter: 12_000 },
+    },
+    SuiteMatrix {
+        name: "thermal2",
+        paper_n: 1_228_045,
+        paper_nnz: 8_580_313,
+        archetype: Archetype::Stencil3d { nx: 90, ny: 90, nz: 90, jitter: 16_000 },
+    },
+    SuiteMatrix {
+        name: "web_google",
+        paper_n: 916_428,
+        paper_nnz: 5_105_039,
+        archetype: Archetype::Powerlaw { n: 460_000, avg_deg: 6, alpha: 2.1 },
+    },
+    SuiteMatrix {
+        name: "citationCiteseer",
+        paper_n: 268_495,
+        paper_nnz: 2_313_294,
+        archetype: Archetype::Powerlaw { n: 268_000, avg_deg: 9, alpha: 2.0 },
+    },
+    SuiteMatrix {
+        name: "flickr",
+        paper_n: 820_878,
+        paper_nnz: 9_837_214,
+        archetype: Archetype::Powerlaw { n: 410_000, avg_deg: 12, alpha: 1.7 },
+    },
+    SuiteMatrix {
+        name: "webbase_1M",
+        paper_n: 1_000_005,
+        paper_nnz: 3_105_536,
+        archetype: Archetype::Powerlaw { n: 1_000_000, avg_deg: 3, alpha: 2.3 },
+    },
+    SuiteMatrix {
+        name: "rajat30",
+        paper_n: 643_994,
+        paper_nnz: 6_175_244,
+        archetype: Archetype::Circuit {
+            n: 320_000,
+            n_dense_rows: 6,
+            dense_fill: 0.35,
+            sparse_nnz_per_row: 9,
+        },
+    },
+    SuiteMatrix {
+        name: "ASIC_680k",
+        paper_n: 682_862,
+        paper_nnz: 3_871_773,
+        archetype: Archetype::Circuit {
+            n: 400_000,
+            n_dense_rows: 4,
+            dense_fill: 0.3,
+            sparse_nnz_per_row: 5,
+        },
+    },
+    SuiteMatrix {
+        name: "FullChip",
+        paper_n: 2_987_012,
+        paper_nnz: 26_621_990,
+        archetype: Archetype::Circuit {
+            n: 600_000,
+            n_dense_rows: 8,
+            dense_fill: 0.2,
+            sparse_nnz_per_row: 8,
+        },
+    },
+    SuiteMatrix {
+        name: "circuit5M",
+        paper_n: 5_558_326,
+        paper_nnz: 59_524_291,
+        archetype: Archetype::Circuit {
+            n: 800_000,
+            n_dense_rows: 10,
+            dense_fill: 0.25,
+            sparse_nnz_per_row: 8,
+        },
+    },
+    SuiteMatrix {
+        name: "degme",
+        paper_n: 185_501,
+        paper_nnz: 8_127_528,
+        archetype: Archetype::Circuit {
+            n: 185_000,
+            n_dense_rows: 12,
+            dense_fill: 0.5,
+            sparse_nnz_per_row: 7,
+        },
+    },
+];
+
+/// Looks up a suite preset by name.
+pub fn suite_by_name(name: &str) -> Option<&'static SuiteMatrix> {
+    SUITE.iter().find(|m| m.name == name)
+}
+
+/// One entry of the training corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Generated name, e.g. `powerlaw_017`.
+    pub name: String,
+    /// The matrix.
+    pub matrix: Csr,
+}
+
+/// Generates a training corpus of `count` matrices spanning all
+/// archetypes with randomised parameters (the stand-in for the
+/// paper's 210 UF matrices). Deterministic per seed.
+///
+/// `size_factor` scales every matrix dimension (1.0 gives N in
+/// roughly 2k–40k, adequate for classifier training; tests can pass
+/// 0.1 for speed).
+pub fn corpus(count: usize, size_factor: f64, seed: u64) -> Vec<CorpusEntry> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut idx = 0usize;
+    while out.len() < count {
+        let kind = idx % 6;
+        let mseed = rng.gen::<u64>();
+        let dim = |lo: usize, hi: usize, rng: &mut SmallRng| -> usize {
+            let v = rng.gen_range(lo..hi);
+            ((v as f64 * size_factor) as usize).max(16)
+        };
+        let (name, m) = match kind {
+            0 => {
+                let n = dim(4_000, 40_000, &mut rng);
+                let hb = rng.gen_range(4..64usize);
+                let fill = rng.gen_range(0.3..1.0f64);
+                ("banded", banded(n, hb, fill, mseed))
+            }
+            1 => {
+                let nx = dim(40, 220, &mut rng).max(4);
+                let ny = dim(40, 220, &mut rng).max(4);
+                ("stencil2d", stencil_2d(nx, ny))
+            }
+            2 => {
+                let n = dim(3_000, 30_000, &mut rng);
+                let k = rng.gen_range(4..48usize);
+                ("random", random_uniform(n, k, mseed))
+            }
+            3 => {
+                let n = dim(5_000, 40_000, &mut rng);
+                let deg = rng.gen_range(3..16usize);
+                let alpha = rng.gen_range(1.6..2.6f64);
+                ("powerlaw", powerlaw(n, deg, alpha, mseed))
+            }
+            4 => {
+                let n = dim(5_000, 40_000, &mut rng);
+                let dense = rng.gen_range(1..10usize);
+                let fill = rng.gen_range(0.1..0.6f64);
+                let sp = rng.gen_range(3..12usize);
+                ("circuit", circuit(n, dense, fill, sp, mseed))
+            }
+            _ => {
+                let n = dim(1_000, 8_000, &mut rng);
+                let block = rng.gen_range(16..128usize).min(n);
+                let extra = rng.gen_range(0..3usize);
+                ("blockdense", block_dense(n, block, extra, mseed))
+            }
+        };
+        idx += 1;
+        let m = match m {
+            Ok(m) => m,
+            Err(_) => continue, // degenerate sampled parameters: resample
+        };
+        out.push(CorpusEntry { name: format!("{name}_{:03}", out.len()), matrix: m });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn suite_has_all_paper_matrices() {
+        assert_eq!(SUITE.len(), 17);
+        for name in ["consph", "rajat30", "flickr", "human_gene1", "webbase_1M"] {
+            assert!(suite_by_name(name).is_some(), "{name} missing");
+        }
+        assert!(suite_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn tiny_scale_generates_quickly_and_validly() {
+        for m in SUITE {
+            let a = m.generate(0.01).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            assert!(a.nrows() >= 4, "{}", m.name);
+            assert!(a.nnz() > 0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = suite_by_name("rajat30").unwrap();
+        assert_eq!(m.generate(0.02).unwrap(), m.generate(0.02).unwrap());
+    }
+
+    #[test]
+    fn circuit_presets_have_skewed_rows() {
+        let a = suite_by_name("rajat30").unwrap().generate(0.05).unwrap();
+        let s = RowStats::compute(&a, 8).nnz_summary();
+        assert!(s.max > 20.0 * s.avg, "max {} avg {}", s.max, s.avg);
+    }
+
+    #[test]
+    fn banded_presets_are_regular() {
+        let a = suite_by_name("consph").unwrap().generate(0.05).unwrap();
+        let s = RowStats::compute(&a, 8).nnz_summary();
+        assert!(s.sd < 0.2 * s.avg, "sd {} avg {}", s.sd, s.avg);
+    }
+
+    #[test]
+    fn corpus_spans_archetypes() {
+        let c = corpus(12, 0.1, 42);
+        assert_eq!(c.len(), 12);
+        let names: Vec<&str> =
+            c.iter().map(|e| e.name.split('_').next().unwrap()).collect();
+        for kind in ["banded", "stencil2d", "random", "powerlaw", "circuit", "blockdense"] {
+            assert!(names.contains(&kind), "{kind} missing from corpus");
+        }
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        let a = corpus(6, 0.1, 7);
+        let b = corpus(6, 0.1, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.matrix, y.matrix);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! Supports the subset of the format used by the University of
+//! Florida Sparse Matrix Collection (the paper's matrix source):
+//! `matrix coordinate {real|integer|pattern} {general|symmetric}`.
+//! Symmetric files are expanded to their full (general) pattern on
+//! read, matching how SpMV benchmarks consume them.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Value field type declared in the MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmField {
+    /// Floating point entries.
+    Real,
+    /// Integer entries (read as `f64`).
+    Integer,
+    /// Pattern-only entries (values read as `1.0`).
+    Pattern,
+}
+
+/// Symmetry declared in the MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; expanded on read.
+    Symmetric,
+}
+
+/// Parsed MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmHeader {
+    /// Value field type.
+    pub field: MmField,
+    /// Symmetry kind.
+    pub symmetry: MmSymmetry,
+}
+
+fn parse_header(line: &str) -> Result<MmHeader> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(SparseError::Parse {
+            line: 1,
+            detail: format!("not a MatrixMarket header: {line:?}"),
+        });
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return Err(SparseError::Parse {
+            line: 1,
+            detail: format!("only 'matrix coordinate' is supported, got {:?} {:?}", toks[1], toks[2]),
+        });
+    }
+    let field = match toks[3].to_ascii_lowercase().as_str() {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: 1,
+                detail: format!("unsupported field type {other:?}"),
+            })
+        }
+    };
+    let symmetry = match toks[4].to_ascii_lowercase().as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: 1,
+                detail: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+    Ok(MmHeader { field, symmetry })
+}
+
+/// Reads a MatrixMarket coordinate stream into COO form (symmetric
+/// inputs are expanded to general).
+///
+/// # Errors
+/// [`SparseError::Parse`] with the offending 1-based line number, or
+/// [`SparseError::Io`] for stream failures.
+pub fn read_coo<R: Read>(reader: R) -> Result<Coo> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header_line = match lines.next() {
+        Some(l) => l?,
+        None => {
+            return Err(SparseError::Parse { line: 1, detail: "empty stream".into() });
+        }
+    };
+    let header = parse_header(&header_line)?;
+
+    let mut lineno = 1usize;
+    // Skip comments, find the size line.
+    let size_line = loop {
+        lineno += 1;
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(SparseError::Parse { line: lineno, detail: "missing size line".into() })
+            }
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: format!("size line needs 3 fields, got {}", dims.len()),
+        });
+    }
+    let parse_usize = |s: &str, what: &str, lineno: usize| -> Result<usize> {
+        s.parse().map_err(|_| SparseError::Parse {
+            line: lineno,
+            detail: format!("invalid {what}: {s:?}"),
+        })
+    };
+    let nrows = parse_usize(dims[0], "row count", lineno)?;
+    let ncols = parse_usize(dims[1], "column count", lineno)?;
+    let nnz = parse_usize(dims[2], "nnz count", lineno)?;
+
+    let mut coo = Coo::with_capacity(nrows, ncols, nnz)?;
+    let mut seen = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = match it.next() {
+            Some(s) => parse_usize(s, "row index", lineno)?,
+            None => continue,
+        };
+        let c: usize = parse_usize(
+            it.next().ok_or(SparseError::Parse {
+                line: lineno,
+                detail: "missing column index".into(),
+            })?,
+            "column index",
+            lineno,
+        )?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: lineno,
+                detail: "MatrixMarket indices are 1-based".into(),
+            });
+        }
+        let v = match header.field {
+            MmField::Pattern => 1.0,
+            _ => {
+                let s = it.next().ok_or(SparseError::Parse {
+                    line: lineno,
+                    detail: "missing value field".into(),
+                })?;
+                s.parse::<f64>().map_err(|_| SparseError::Parse {
+                    line: lineno,
+                    detail: format!("invalid value: {s:?}"),
+                })?
+            }
+        };
+        coo.push(r - 1, c - 1, v)?;
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: lineno,
+            detail: format!("header declared {nnz} entries, found {seen}"),
+        });
+    }
+    if header.symmetry == MmSymmetry::Symmetric {
+        coo.symmetrize();
+    }
+    Ok(coo)
+}
+
+/// Reads a MatrixMarket stream directly into CSR.
+///
+/// # Errors
+/// See [`read_coo`].
+pub fn read_csr<R: Read>(reader: R) -> Result<Csr> {
+    Ok(Csr::from_coo(&read_coo(reader)?))
+}
+
+/// Reads a MatrixMarket file from disk into CSR.
+///
+/// # Errors
+/// See [`read_coo`]; file-open failures surface as
+/// [`SparseError::Io`].
+pub fn read_csr_file<P: AsRef<Path>>(path: P) -> Result<Csr> {
+    read_csr(std::fs::File::open(path)?)
+}
+
+/// Writes a matrix in `matrix coordinate real general` form.
+///
+/// # Errors
+/// [`SparseError::Io`] on write failure.
+pub fn write_csr<W: Write>(writer: W, a: &Csr) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by spmv-sparse")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (i, cols, vals) in a.rows() {
+        for (k, &c) in cols.iter().enumerate() {
+            writeln!(w, "{} {} {:e}", i + 1, c + 1, vals[k])?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a matrix to a MatrixMarket file on disk.
+///
+/// # Errors
+/// [`SparseError::Io`] on create/write failure.
+pub fn write_csr_file<P: AsRef<Path>>(path: P, a: &Csr) -> Result<()> {
+    write_csr(std::fs::File::create(path)?, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GENERAL: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 2.0\n\
+        1 3 -1.5\n\
+        2 2 4\n\
+        3 1 1e2\n";
+
+    #[test]
+    fn reads_general_real() {
+        let a = read_csr(GENERAL.as_bytes()).unwrap();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 2), -1.5);
+        assert_eq!(a.get(2, 0), 100.0);
+    }
+
+    #[test]
+    fn reads_symmetric_and_expands() {
+        let s = "%%MatrixMarket matrix coordinate real symmetric\n\
+                 2 2 2\n\
+                 1 1 3.0\n\
+                 2 1 5.0\n";
+        let a = read_csr(s.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 3);
+        assert_eq!(a.get(0, 1), 5.0);
+        assert_eq!(a.get(1, 0), 5.0);
+        assert!(a.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let s = "%%MatrixMarket matrix coordinate pattern general\n\
+                 2 3 2\n\
+                 1 2\n\
+                 2 3\n";
+        let a = read_csr(s.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 2), 1.0);
+    }
+
+    #[test]
+    fn reads_integer() {
+        let s = "%%MatrixMarket matrix coordinate integer general\n\
+                 1 1 1\n\
+                 1 1 7\n";
+        let a = read_csr(s.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_csr("%%NotMM\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_csr("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        assert!(read_csr("%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes())
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let s = "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 5.0\n";
+        match read_csr(s.as_bytes()) {
+            Err(SparseError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_csr(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = read_csr(GENERAL.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &a).unwrap();
+        let b = read_csr(buf.as_slice()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_stream_is_error() {
+        assert!(read_csr("".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! SELL-C-σ — the SIMD-friendly sliced-ELL format of Kreutzer et al.
+//! (cited by the paper as `kreutzer2014unified`).
+//!
+//! Rows are sorted by length inside windows of `sigma` rows (limiting
+//! how far a row can move from its original position), grouped into
+//! chunks of `C` consecutive sorted rows, and each chunk is padded to
+//! its own maximal length and stored **column-major** so a SIMD unit
+//! processes `C` rows in lockstep. A second extension-format
+//! demonstration (besides BCSR) for the plug-and-play optimization
+//! pool.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Column sentinel marking a padding slot.
+pub const SELL_PAD: u32 = u32::MAX;
+
+/// A sparse matrix in SELL-C-σ format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellCs {
+    nrows: usize,
+    ncols: usize,
+    chunk: usize,
+    sigma: usize,
+    /// Row permutation: `perm[i]` = original row stored at sorted
+    /// position `i`.
+    perm: Vec<u32>,
+    /// Start of each chunk in `colind` / `values`.
+    chunkptr: Vec<usize>,
+    /// Width (max row length) of each chunk.
+    chunk_width: Vec<u32>,
+    /// Column indices, column-major within each chunk.
+    colind: Vec<u32>,
+    /// Values, column-major within each chunk.
+    values: Vec<f64>,
+    /// True (unpadded) nonzero count.
+    nnz: usize,
+}
+
+impl SellCs {
+    /// Converts from CSR with chunk size `chunk` (the SIMD width,
+    /// typically 4–32) and sorting window `sigma >= chunk`.
+    ///
+    /// # Errors
+    /// [`SparseError::InvalidGenerator`] when `chunk == 0` or
+    /// `sigma < chunk`.
+    pub fn from_csr(a: &Csr, chunk: usize, sigma: usize) -> Result<SellCs> {
+        if chunk == 0 {
+            return Err(SparseError::InvalidGenerator("chunk must be positive".into()));
+        }
+        if sigma < chunk {
+            return Err(SparseError::InvalidGenerator(format!(
+                "sigma {sigma} must be >= chunk {chunk}"
+            )));
+        }
+        let nrows = a.nrows();
+        // Sort rows by descending length within sigma windows.
+        let mut perm: Vec<u32> = (0..nrows as u32).collect();
+        for window in perm.chunks_mut(sigma) {
+            window.sort_by_key(|&i| std::cmp::Reverse(a.row_nnz(i as usize)));
+        }
+        let nchunks = nrows.div_ceil(chunk);
+        let mut chunkptr = Vec::with_capacity(nchunks + 1);
+        let mut chunk_width = Vec::with_capacity(nchunks);
+        chunkptr.push(0usize);
+        let mut colind = Vec::new();
+        let mut values = Vec::new();
+        for ci in 0..nchunks {
+            let rows = &perm[ci * chunk..((ci + 1) * chunk).min(nrows)];
+            let width = rows.iter().map(|&r| a.row_nnz(r as usize)).max().unwrap_or(0);
+            chunk_width.push(width as u32);
+            let base = colind.len();
+            colind.resize(base + width * chunk, SELL_PAD);
+            values.resize(base + width * chunk, 0.0);
+            for (lane, &r) in rows.iter().enumerate() {
+                let (cols, vals) = a.row(r as usize);
+                for (k, &c) in cols.iter().enumerate() {
+                    // Column-major: slot = base + k * chunk + lane.
+                    colind[base + k * chunk + lane] = c;
+                    values[base + k * chunk + lane] = vals[k];
+                }
+            }
+            chunkptr.push(colind.len());
+        }
+        Ok(SellCs {
+            nrows,
+            ncols: a.ncols(),
+            chunk,
+            sigma,
+            perm,
+            chunkptr,
+            chunk_width,
+            colind,
+            values,
+            nnz: a.nnz(),
+        })
+    }
+
+    /// Number of rows (original ordering).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// True nonzero count (excludes padding).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Chunk height `C`.
+    #[inline]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Sorting window `σ`.
+    #[inline]
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Number of chunks.
+    #[inline]
+    pub fn nchunks(&self) -> usize {
+        self.chunk_width.len()
+    }
+
+    /// Fraction of stored slots that are padding.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / self.values.len() as f64
+    }
+
+    /// Memory footprint in bytes (slabs incl. padding + permutation +
+    /// chunk metadata).
+    pub fn footprint_bytes(&self) -> usize {
+        self.colind.len() * 4
+            + self.values.len() * 8
+            + self.perm.len() * 4
+            + self.chunkptr.len() * 8
+            + self.chunk_width.len() * 4
+    }
+
+    /// Serial SpMV: `y = A x` (output in the original row ordering).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length");
+        assert_eq!(y.len(), self.nrows, "y length");
+        self.spmv_chunks(0..self.nchunks(), x, y);
+    }
+
+    /// SpMV over a contiguous chunk range, scattering into `y` at the
+    /// original row positions (disjoint across chunks, so parallel
+    /// callers may partition by chunks).
+    pub fn spmv_chunks(&self, chunks: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        self.spmv_chunks_scatter(chunks, x, &mut |row, value| y[row] = value);
+    }
+
+    /// SpMV over a contiguous chunk range, delivering each result as
+    /// `scatter(original_row, value)`. Rows delivered by distinct
+    /// chunks are disjoint (the permutation is a bijection), which
+    /// lets parallel callers write through a shared raw pointer
+    /// without materialising aliasing `&mut` slices.
+    pub fn spmv_chunks_scatter(
+        &self,
+        chunks: std::ops::Range<usize>,
+        x: &[f64],
+        scatter: &mut dyn FnMut(usize, f64),
+    ) {
+        let c = self.chunk;
+        let mut acc = vec![0.0f64; c];
+        for ci in chunks {
+            let base = self.chunkptr[ci];
+            let width = self.chunk_width[ci] as usize;
+            let lanes = c.min(self.nrows - ci * c);
+            acc[..lanes].fill(0.0);
+            for k in 0..width {
+                let col_base = base + k * c;
+                for (lane, a) in acc.iter_mut().enumerate().take(lanes) {
+                    let col = self.colind[col_base + lane];
+                    if col != SELL_PAD {
+                        *a += self.values[col_base + lane] * x[col as usize];
+                    }
+                }
+            }
+            for (lane, &a) in acc.iter().enumerate().take(lanes) {
+                scatter(self.perm[ci * c + lane] as usize, a);
+            }
+        }
+    }
+
+    /// Chunk pointer in *chunk* units for nnz-balanced partitioning:
+    /// entry `i` is the number of stored slots before chunk `i`.
+    pub fn chunk_slots_ptr(&self) -> &[usize] {
+        &self.chunkptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn check_product(a: &Csr, chunk: usize, sigma: usize) -> SellCs {
+        let s = SellCs::from_csr(a, chunk, sigma).unwrap();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let mut y1 = vec![0.0; a.nrows()];
+        let mut y2 = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y1);
+        s.spmv(&x, &mut y2);
+        for (i, (u, v)) in y1.iter().zip(&y2).enumerate() {
+            assert!((u - v).abs() < 1e-10, "C={chunk} σ={sigma} row {i}: {u} vs {v}");
+        }
+        s
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let a = Csr::identity(8);
+        assert!(SellCs::from_csr(&a, 0, 8).is_err());
+        assert!(SellCs::from_csr(&a, 8, 4).is_err());
+    }
+
+    #[test]
+    fn matches_csr_across_shapes() {
+        let a = gen::powerlaw(500, 7, 1.9, 3).unwrap();
+        for (c, s) in [(1, 1), (4, 4), (4, 64), (8, 128), (16, 500), (7, 21)] {
+            check_product(&a, c, s);
+        }
+    }
+
+    #[test]
+    fn sigma_sorting_reduces_padding() {
+        // Skewed row lengths: sorting within large windows groups
+        // similar lengths together, shrinking chunk padding.
+        let a = gen::powerlaw(4_000, 8, 1.7, 5).unwrap();
+        let unsorted = SellCs::from_csr(&a, 8, 8).unwrap();
+        let sorted = SellCs::from_csr(&a, 8, 1024).unwrap();
+        assert!(
+            sorted.padding_ratio() < unsorted.padding_ratio(),
+            "{} vs {}",
+            sorted.padding_ratio(),
+            unsorted.padding_ratio()
+        );
+    }
+
+    #[test]
+    fn uniform_rows_have_no_padding() {
+        let a = gen::random_uniform(256, 8, 1).unwrap();
+        // every row has 8 or 9 nonzeros (incl. diagonal)
+        let s = SellCs::from_csr(&a, 8, 64).unwrap();
+        assert!(s.padding_ratio() < 0.15, "{}", s.padding_ratio());
+    }
+
+    #[test]
+    fn ragged_tail_chunk() {
+        let a = gen::banded(103, 3, 1.0, 7).unwrap(); // 103 % 8 != 0
+        let s = check_product(&a, 8, 32);
+        assert_eq!(s.nchunks(), 13);
+        assert_eq!(s.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn chunk_range_partial_execution() {
+        let a = gen::banded(64, 2, 1.0, 9).unwrap();
+        let s = SellCs::from_csr(&a, 4, 16).unwrap();
+        let x = vec![1.0; 64];
+        let mut full = vec![0.0; 64];
+        a.spmv(&x, &mut full);
+        let mut y = vec![f64::NAN; 64];
+        s.spmv_chunks(4..8, &x, &mut y); // sorted rows 16..32
+        let mut written = 0;
+        for i in 0..64 {
+            if !y[i].is_nan() {
+                assert!((y[i] - full[i]).abs() < 1e-12);
+                written += 1;
+            }
+        }
+        assert_eq!(written, 16);
+    }
+
+    #[test]
+    fn footprint_accounts_padding_and_metadata() {
+        let a = gen::powerlaw(300, 6, 2.0, 2).unwrap();
+        let s = SellCs::from_csr(&a, 8, 64).unwrap();
+        assert!(s.footprint_bytes() > a.values_bytes());
+    }
+}

@@ -1,0 +1,99 @@
+//! ASCII "spy plot" rendering of sparsity patterns.
+//!
+//! A quick terminal visualisation of a matrix's structure — the
+//! first thing one looks at when wondering *why* a matrix lands in a
+//! particular bottleneck class.
+
+use crate::csr::Csr;
+
+/// Density shading ramp from empty to full.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders the sparsity pattern of `a` into a `width x height`
+/// character grid. Each cell shows the fill density of the
+/// corresponding sub-block via a 10-step shade ramp.
+///
+/// # Panics
+/// Panics if `width` or `height` is zero.
+pub fn spy(a: &Csr, width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "spy grid must be non-empty");
+    let mut counts = vec![0u64; width * height];
+    let rows = a.nrows().max(1) as f64;
+    let cols = a.ncols().max(1) as f64;
+    for (i, cs, _) in a.rows() {
+        let gy = ((i as f64 / rows) * height as f64) as usize;
+        let gy = gy.min(height - 1);
+        for &c in cs {
+            let gx = ((f64::from(c) / cols) * width as f64) as usize;
+            let gx = gx.min(width - 1);
+            counts[gy * width + gx] += 1;
+        }
+    }
+    // Cell capacity for normalisation.
+    let cell_rows = (a.nrows() as f64 / height as f64).max(1.0);
+    let cell_cols = (a.ncols() as f64 / width as f64).max(1.0);
+    let capacity = cell_rows * cell_cols;
+    let mut out = String::with_capacity((width + 3) * (height + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    for gy in 0..height {
+        out.push('|');
+        for gx in 0..width {
+            let density = counts[gy * width + gx] as f64 / capacity;
+            let level = ((density * (RAMP.len() - 1) as f64).ceil() as usize)
+                .min(RAMP.len() - 1);
+            out.push(RAMP[level] as char);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn diagonal_matrix_shows_a_diagonal() {
+        let a = Csr::identity(64);
+        let s = spy(&a, 8, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 10); // 8 rows + 2 borders
+        // Diagonal cells are non-blank; off-diagonal corners blank.
+        for k in 0..8 {
+            let row = lines[k + 1].as_bytes();
+            assert_ne!(row[k + 1], b' ', "diagonal cell ({k},{k}) empty");
+        }
+        assert_eq!(lines[1].as_bytes()[8], b' ', "top-right should be empty");
+    }
+
+    #[test]
+    fn dense_row_lights_up_a_full_stripe() {
+        let a = gen::circuit(1_000, 1, 1.0, 3, 1).unwrap();
+        let s = spy(&a, 20, 10);
+        // The dense row (placed mid-matrix) produces a row of
+        // non-space glyphs.
+        let stripe = s.lines().find(|l| {
+            l.starts_with('|') && l.chars().filter(|&c| c != ' ' && c != '|').count() >= 19
+        });
+        assert!(stripe.is_some(), "{s}");
+    }
+
+    #[test]
+    fn empty_matrix_renders_blank() {
+        let a = Csr::from_raw(10, 10, vec![0; 11], vec![], vec![]).unwrap();
+        let s = spy(&a, 5, 5);
+        assert!(s.lines().skip(1).take(5).all(|l| l == "|     |"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_grid_panics() {
+        spy(&Csr::identity(4), 0, 5);
+    }
+}

@@ -1,0 +1,304 @@
+//! Bound collection front-ends (paper §III-B).
+//!
+//! The profile-guided classifier consumes a [`Bounds`] record. Two
+//! sources can produce it:
+//!
+//! * [`SimulatedSource`] — via the `spmv-sim` cost model, for target
+//!   platforms we do not have (KNC / KNL / Broadwell);
+//! * [`HostSource`] — by actually running the §III-B micro-benchmark
+//!   kernels on the machine executing this code: the baseline CSR
+//!   kernel, the regularised-`x` kernel (`colind[j] = i`) for `P_ML`,
+//!   and the no-indirection kernel for `P_CMP`, with `P_IMB` derived
+//!   from the baseline's per-thread times and `P_MB` / `P_peak`
+//!   computed analytically from the machine's bandwidth.
+
+use std::time::Instant;
+
+use spmv_kernels::baseline::CsrKernel;
+use spmv_kernels::schedule::{execute, Schedule};
+use spmv_kernels::variant::SpmvKernel;
+use spmv_machine::MachineModel;
+use spmv_sim::bounds::{collect_bounds, Bounds};
+use spmv_sim::cost::{CostModel, SimResult};
+use spmv_sim::profile::MatrixProfile;
+use spmv_sparse::features::working_set_bytes;
+use spmv_sparse::Csr;
+
+/// Produces a bound profile for a matrix.
+pub trait BoundsSource {
+    /// Collects the §III-B bounds for `a`.
+    fn collect(&self, a: &Csr) -> Bounds;
+
+    /// The machine the bounds refer to.
+    fn machine(&self) -> &MachineModel;
+}
+
+/// Bounds from the deterministic cost model.
+#[derive(Debug, Clone)]
+pub struct SimulatedSource {
+    model: CostModel,
+}
+
+impl SimulatedSource {
+    /// Creates a simulated source for `machine`.
+    pub fn new(machine: MachineModel) -> SimulatedSource {
+        SimulatedSource { model: CostModel::new(machine) }
+    }
+
+    /// Collects bounds from an existing profile (avoids re-analyzing
+    /// when the caller already has one).
+    pub fn collect_from_profile(&self, profile: &MatrixProfile) -> Bounds {
+        collect_bounds(&self.model, profile)
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+impl BoundsSource for SimulatedSource {
+    fn collect(&self, a: &Csr) -> Bounds {
+        let profile = MatrixProfile::analyze(a, self.model.machine());
+        collect_bounds(&self.model, &profile)
+    }
+
+    fn machine(&self) -> &MachineModel {
+        self.model.machine()
+    }
+}
+
+/// Bounds measured by real micro-benchmark runs on the host.
+#[derive(Debug, Clone)]
+pub struct HostSource {
+    machine: MachineModel,
+    nthreads: usize,
+    reps: usize,
+}
+
+impl HostSource {
+    /// Creates a host prober running each micro-benchmark `reps`
+    /// times on `nthreads` threads; `machine` supplies `B_max` for
+    /// the analytic bounds (calibrate it with
+    /// `spmv_machine::stream::measure_triad` for accuracy).
+    pub fn new(machine: MachineModel, nthreads: usize, reps: usize) -> HostSource {
+        HostSource { machine, nthreads, reps: reps.max(1) }
+    }
+
+    /// Runs `kernel` `reps` times; returns (best seconds, per-thread
+    /// seconds of the best run).
+    fn time_kernel(&self, kernel: &dyn SpmvKernel, x: &[f64], y: &mut [f64]) -> (f64, Vec<f64>) {
+        let mut best = f64::INFINITY;
+        let mut best_threads = Vec::new();
+        for _ in 0..self.reps {
+            let t0 = Instant::now();
+            let times = kernel.run_timed(x, y);
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < best {
+                best = dt;
+                best_threads = times.seconds;
+            }
+        }
+        (best, best_threads)
+    }
+}
+
+impl BoundsSource for HostSource {
+    fn collect(&self, a: &Csr) -> Bounds {
+        let flops = 2.0 * a.nnz() as f64;
+        let x = vec![1.0f64; a.ncols()];
+        let mut y = vec![0.0f64; a.nrows()];
+
+        // Baseline CSR.
+        let base_kernel = CsrKernel::baseline(a, self.nthreads);
+        // Warm-up (paper: warm cache measurements).
+        base_kernel.run(&x, &mut y);
+        let (t_csr, thread_secs) = self.time_kernel(&base_kernel, &x, &mut y);
+        let p_csr = flops / t_csr / 1e9;
+
+        // P_IMB: median thread time of the baseline.
+        let mut med = thread_secs.clone();
+        med.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+        let t_median = if med.is_empty() {
+            t_csr
+        } else if med.len() % 2 == 1 {
+            med[med.len() / 2]
+        } else {
+            0.5 * (med[med.len() / 2 - 1] + med[med.len() / 2])
+        };
+        let p_imb = flops / t_median.max(1e-12) / 1e9;
+
+        // P_ML: regularised x accesses (colind[j] = i).
+        let ml_matrix = regularized_x_matrix(a);
+        let ml_kernel = CsrKernel::baseline(&ml_matrix, self.nthreads);
+        ml_kernel.run(&x, &mut y);
+        let (t_ml, _) = self.time_kernel(&ml_kernel, &x, &mut y);
+        let p_ml = flops / t_ml / 1e9;
+
+        // P_CMP: no indirect references at all.
+        let (t_cmp, _) = time_no_index_kernel(a, &x, &mut y, self.nthreads, self.reps);
+        let p_cmp = flops / t_cmp / 1e9;
+
+        // Analytic bounds.
+        let ws = working_set_bytes(a);
+        let bw = self.machine.bandwidth_for_working_set(ws) * 1e9;
+        let xy = ((a.ncols() + a.nrows()) * 8) as f64;
+        let p_mb = flops / ((a.footprint_bytes() as f64 + xy) / bw) / 1e9;
+        let p_peak = flops / ((a.values_bytes() as f64 + xy) / bw) / 1e9;
+
+        let baseline = SimResult {
+            seconds: t_csr,
+            gflops: p_csr,
+            thread_seconds: thread_secs,
+            traffic_bytes: a.footprint_bytes() as f64 + xy,
+        };
+        Bounds { p_csr, p_mb, p_ml, p_imb, p_cmp, p_peak, baseline }
+    }
+
+    fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+}
+
+/// Builds the `P_ML` micro-benchmark input: same structure, but every
+/// column index of row `i` replaced by `i` (regular accesses).
+pub fn regularized_x_matrix(a: &Csr) -> Csr {
+    let mut colind = Vec::with_capacity(a.nnz());
+    let ncols = a.ncols();
+    for i in 0..a.nrows() {
+        let c = (i.min(ncols.saturating_sub(1))) as u32;
+        colind.extend(std::iter::repeat_n(c, a.row_nnz(i)));
+    }
+    Csr::from_raw_unchecked(a.nrows(), ncols, a.rowptr().to_vec(), colind, a.values().to_vec())
+}
+
+/// Times the `P_CMP` kernel: `y[i] = sum_j vals[j] * x[i]` — unit
+/// stride, no `colind` loads.
+fn time_no_index_kernel(
+    a: &Csr,
+    x: &[f64],
+    y: &mut [f64],
+    nthreads: usize,
+    reps: usize,
+) -> (f64, Vec<f64>) {
+    struct NoIndexKernel<'a> {
+        a: &'a Csr,
+        nthreads: usize,
+    }
+    impl SpmvKernel for NoIndexKernel<'_> {
+        fn run_timed(&self, x: &[f64], y: &mut [f64]) -> spmv_kernels::schedule::ThreadTimes {
+            assert_eq!(y.len(), self.a.nrows());
+            let yp = YPtr(y.as_mut_ptr());
+            let rowptr = self.a.rowptr();
+            let values = self.a.values();
+            execute(Schedule::NnzBalanced, rowptr, self.nthreads, |range| {
+                for i in range {
+                    let xi = x[i.min(x.len() - 1)];
+                    let mut sum = 0.0;
+                    for v in &values[rowptr[i]..rowptr[i + 1]] {
+                        sum += v * xi;
+                    }
+                    // SAFETY: disjoint ranges from `execute`.
+                    unsafe { yp.write(i, sum) };
+                }
+            })
+        }
+        fn name(&self) -> String {
+            "no-index".into()
+        }
+        fn nrows(&self) -> usize {
+            self.a.nrows()
+        }
+        fn ncols(&self) -> usize {
+            self.a.ncols()
+        }
+        fn format_bytes(&self) -> usize {
+            self.a.values_bytes()
+        }
+    }
+    #[derive(Clone, Copy)]
+    struct YPtr(*mut f64);
+    // SAFETY: workers receive disjoint row ranges.
+    unsafe impl Send for YPtr {}
+    unsafe impl Sync for YPtr {}
+    impl YPtr {
+        /// # Safety
+        /// `i` must be in bounds and exclusively owned by the caller.
+        #[inline]
+        unsafe fn write(self, i: usize, v: f64) {
+            // SAFETY: forwarded contract from the caller.
+            unsafe { *self.0.add(i) = v };
+        }
+    }
+
+    let k = NoIndexKernel { a, nthreads };
+    k.run(x, y); // warm-up
+    let mut best = f64::INFINITY;
+    let mut best_threads = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let times = k.run_timed(x, y);
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+            best_threads = times.seconds;
+        }
+    }
+    (best, best_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    #[test]
+    fn regularized_matrix_has_row_index_columns() {
+        let a = gen::powerlaw(200, 5, 2.0, 1).unwrap();
+        let m = regularized_x_matrix(&a);
+        assert_eq!(m.nnz(), a.nnz());
+        for (i, cols, _) in m.rows() {
+            for &c in cols {
+                assert_eq!(c as usize, i.min(m.ncols() - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn host_source_produces_positive_bounds() {
+        let a = gen::banded(3_000, 6, 1.0, 3).unwrap();
+        let src = HostSource::new(MachineModel::host(), 2, 2);
+        let b = src.collect(&a);
+        for v in [b.p_csr, b.p_mb, b.p_ml, b.p_imb, b.p_cmp, b.p_peak] {
+            assert!(v > 0.0 && v.is_finite());
+        }
+        assert!(b.p_peak >= b.p_mb);
+    }
+
+    #[test]
+    fn simulated_source_matches_direct_sim_call() {
+        let a = gen::banded(5_000, 8, 0.9, 2).unwrap();
+        let src = SimulatedSource::new(MachineModel::knc());
+        let b1 = src.collect(&a);
+        let p = MatrixProfile::analyze(&a, src.machine());
+        let b2 = src.collect_from_profile(&p);
+        assert_eq!(b1.p_csr, b2.p_csr);
+        assert_eq!(b1.p_cmp, b2.p_cmp);
+    }
+
+    #[test]
+    fn no_index_kernel_computes_unit_stride_product() {
+        // Verified indirectly through bound positivity; check the
+        // arithmetic with a tiny matrix where x is constant.
+        let a = gen::banded(100, 3, 1.0, 7).unwrap();
+        let x = vec![1.0; 100];
+        let mut y = vec![0.0; 100];
+        let (t, threads) = time_no_index_kernel(&a, &x, &mut y, 2, 1);
+        assert!(t > 0.0);
+        assert_eq!(threads.len(), 2);
+        // y[i] = sum of row values * x[i] = row sum
+        let (_, vals) = a.row(10);
+        let expect: f64 = vals.iter().sum();
+        assert!((y[10] - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,363 @@
+//! CART decision tree (from scratch).
+//!
+//! The paper trains its feature-guided classifier with scikit-learn's
+//! optimized CART; this is a dependency-free reimplementation: binary
+//! splits on real-valued features chosen by Gini impurity decrease,
+//! with depth / leaf-size stopping rules. Multi-label classification
+//! uses the label-powerset trick: a `ClassSet`'s bit pattern is one
+//! atomic label (16 possible values for 4 classes), so a single tree
+//! predicts complete class sets.
+//!
+//! Training cost is `O(N_features · N_samples · log N_samples)` per
+//! level (sort-based split search) and prediction is `O(depth)`,
+//! matching the complexities quoted in §III-D.
+
+/// Number of distinct label-powerset values (4 class bits).
+const N_LABELS: usize = 16;
+
+/// Tree growth hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum weighted Gini decrease to accept a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_leaf: 2, min_gain: 1e-7 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        label: u8,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART classifier over `u8` labels.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `x[i]` (feature vectors of equal length) with
+    /// labels `y[i]`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty, lengths differ, or feature vectors are
+    /// ragged.
+    pub fn fit(x: &[Vec<f64>], y: &[u8], params: TreeParams) -> DecisionTree {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let n_features = x[0].len();
+        assert!(x.iter().all(|row| row.len() == n_features), "ragged feature matrix");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features,
+            importances: vec![0.0; n_features],
+        };
+        let idx: Vec<u32> = (0..x.len() as u32).collect();
+        tree.grow(x, y, idx, 0, params);
+        // Normalise importances.
+        let total: f64 = tree.importances.iter().sum();
+        if total > 0.0 {
+            for v in &mut tree.importances {
+                *v /= total;
+            }
+        }
+        tree
+    }
+
+    /// Predicts the label for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if `features.len()` differs from the training width.
+    pub fn predict(&self, features: &[f64]) -> u8 {
+        assert_eq!(features.len(), self.n_features, "feature width");
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { label } => return *label,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Normalised impurity-decrease importance per feature.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (root = 0; single leaf = 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Grows the subtree for `idx`, returns its node id.
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[u8],
+        idx: Vec<u32>,
+        depth: usize,
+        params: TreeParams,
+    ) -> usize {
+        let counts = count_labels(y, &idx);
+        let majority = argmax(&counts);
+        let node_gini = gini(&counts, idx.len());
+        let stop = depth >= params.max_depth
+            || idx.len() < 2 * params.min_samples_leaf
+            || node_gini == 0.0;
+        let split = if stop { None } else { best_split(x, y, &idx, node_gini, params) };
+        match split {
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { label: majority });
+                id
+            }
+            Some(s) => {
+                let (mut li, mut ri) = (Vec::new(), Vec::new());
+                for &i in &idx {
+                    if x[i as usize][s.feature] <= s.threshold {
+                        li.push(i);
+                    } else {
+                        ri.push(i);
+                    }
+                }
+                self.importances[s.feature] += s.gain * idx.len() as f64;
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { label: majority }); // placeholder
+                let left = self.grow(x, y, li, depth + 1, params);
+                let right = self.grow(x, y, ri, depth + 1, params);
+                self.nodes[id] =
+                    Node::Split { feature: s.feature, threshold: s.threshold, left, right };
+                id
+            }
+        }
+    }
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+fn count_labels(y: &[u8], idx: &[u32]) -> [usize; N_LABELS] {
+    let mut c = [0usize; N_LABELS];
+    for &i in idx {
+        c[(y[i as usize] & 0x0f) as usize] += 1;
+    }
+    c
+}
+
+fn gini(counts: &[usize; N_LABELS], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn argmax(counts: &[usize; N_LABELS]) -> u8 {
+    let mut best = 0usize;
+    for (k, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = k;
+        }
+    }
+    best as u8
+}
+
+/// Finds the best Gini split over all features, or `None` if no split
+/// clears the gain / leaf-size thresholds.
+fn best_split(
+    x: &[Vec<f64>],
+    y: &[u8],
+    idx: &[u32],
+    node_gini: f64,
+    params: TreeParams,
+) -> Option<SplitChoice> {
+    let n = idx.len();
+    let total_counts = count_labels(y, idx);
+    let mut best: Option<SplitChoice> = None;
+    let mut order: Vec<u32> = idx.to_vec();
+    for f in 0..x[0].len() {
+        order.sort_by(|&a, &b| {
+            x[a as usize][f]
+                .partial_cmp(&x[b as usize][f])
+                .expect("features must not be NaN")
+        });
+        let mut left = [0usize; N_LABELS];
+        let mut right = total_counts;
+        for k in 0..n - 1 {
+            let i = order[k] as usize;
+            let label = (y[i] & 0x0f) as usize;
+            left[label] += 1;
+            right[label] -= 1;
+            let v = x[i][f];
+            let v_next = x[order[k + 1] as usize][f];
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let nl = k + 1;
+            let nr = n - nl;
+            if nl < params.min_samples_leaf || nr < params.min_samples_leaf {
+                continue;
+            }
+            let g = node_gini
+                - (nl as f64 / n as f64) * gini(&left, nl)
+                - (nr as f64 / n as f64) * gini(&right, nr);
+            if g > params.min_gain && best.as_ref().is_none_or(|b| g > b.gain) {
+                best = Some(SplitChoice { feature: f, threshold: 0.5 * (v + v_next), gain: g });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(x: &[Vec<f64>], y: &[u8]) -> DecisionTree {
+        DecisionTree::fit(x, y, TreeParams::default())
+    }
+
+    #[test]
+    fn learns_a_single_threshold() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<u8> = (0..20).map(|i| u8::from(i >= 10)).collect();
+        let t = fit(&x, &y);
+        assert_eq!(t.predict(&[3.0]), 0);
+        assert_eq!(t.predict(&[15.0]), 1);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn learns_quadrants_with_two_features() {
+        // Four quadrants, four labels: greedy Gini splits succeed
+        // (unlike XOR, where the first split has zero gain — a known
+        // CART limitation).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..5 {
+                    x.push(vec![a as f64, b as f64]);
+                    y.push((2 * a + b) as u8);
+                }
+            }
+        }
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_depth: 4, min_samples_leaf: 1, min_gain: 1e-9 },
+        );
+        assert_eq!(t.predict(&[0.0, 0.0]), 0);
+        assert_eq!(t.predict(&[0.0, 1.0]), 1);
+        assert_eq!(t.predict(&[1.0, 0.0]), 2);
+        assert_eq!(t.predict(&[1.0, 1.0]), 3);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![5, 5, 5];
+        let t = fit(&x, &y);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict(&[100.0]), 5);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<u8> = (0..64).map(|i| (i % 16) as u8).collect();
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_depth: 2, min_samples_leaf: 1, min_gain: 1e-9 },
+        );
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_no_importance() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            // feature 0 decides; feature 1 is constant noise
+            x.push(vec![i as f64, 7.0]);
+            y.push(u8::from(i >= 20));
+        }
+        let t = fit(&x, &y);
+        let imp = t.feature_importances();
+        assert!(imp[0] > 0.99);
+        assert!(imp[1] < 0.01);
+    }
+
+    #[test]
+    fn multilabel_powerset_labels_roundtrip() {
+        // Labels are ClassSet bit patterns; the tree treats them
+        // atomically.
+        let x: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![(i / 10) as f64]).collect();
+        let y: Vec<u8> = (0..30).map(|i| [0b0001u8, 0b0110, 0b1010][i / 10]).collect();
+        let t = fit(&x, &y);
+        assert_eq!(t.predict(&[0.0]), 0b0001);
+        assert_eq!(t.predict(&[1.0]), 0b0110);
+        assert_eq!(t.predict(&[2.0]), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_set_panics() {
+        DecisionTree::fit(&[], &[], TreeParams::default());
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_splits() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let mut y = vec![0u8; 10];
+        y[9] = 1; // one outlier
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_depth: 8, min_samples_leaf: 3, min_gain: 1e-9 },
+        );
+        // The outlier cannot be isolated: tree predicts 0 everywhere.
+        assert_eq!(t.predict(&[9.0]), 0);
+    }
+}

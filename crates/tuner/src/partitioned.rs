@@ -1,0 +1,152 @@
+//! Partitioned irregularity detection — the paper's future-work
+//! extension, implemented.
+//!
+//! §IV-C of the paper observes that for `rajat30` "the benchmark that
+//! exposes irregularity … can actually detect the irregularity in
+//! this matrix by looking at it in partitions, instead of looking at
+//! it as a whole. We intend to extend our classification approach to
+//! incorporate this idea in future work."
+//!
+//! The global `P_ML / P_CSR` ratio dilutes latency-bound *regions*:
+//! a few partitions may spend most of their time in latency stalls
+//! while the whole-matrix average looks healthy. This detector splits
+//! the rows into equal-nonzero partitions, estimates each partition's
+//! latency-stall share from the matrix profile, and flags the `ML`
+//! class when any partition crosses a threshold.
+
+use spmv_machine::MachineModel;
+use spmv_sim::profile::MatrixProfile;
+
+use crate::class::{Bottleneck, ClassSet};
+
+/// Region-level latency-bottleneck detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionedMlDetector {
+    /// Number of equal-nnz row partitions to examine.
+    pub nparts: usize,
+    /// A partition is latency-bound when stalls exceed this fraction
+    /// of its modelled execution time.
+    pub stall_share_threshold: f64,
+}
+
+impl Default for PartitionedMlDetector {
+    fn default() -> Self {
+        PartitionedMlDetector { nparts: 16, stall_share_threshold: 0.4 }
+    }
+}
+
+impl PartitionedMlDetector {
+    /// Maximum latency-stall share over all partitions.
+    pub fn max_stall_share(&self, profile: &MatrixProfile, machine: &MachineModel) -> f64 {
+        let rate = machine.freq_ghz * 1e9 / machine.threads_per_core as f64;
+        let bw_thread = machine.bw_main_gbps * 1e9 / machine.total_threads() as f64;
+        let parts =
+            spmv_sparse::csr::partition_rows_by_nnz(&profile.rowptr, self.nparts.max(1));
+        let mut best = 0.0f64;
+        for part in parts {
+            let mut cyc = 0.0;
+            let mut bytes = 0.0;
+            let mut stall_ns = 0.0;
+            for i in part {
+                let k = f64::from(profile.row_nnz[i]);
+                cyc += 4.0 * k + machine.loop_overhead_cycles;
+                let mm = &profile.row_misses[i];
+                bytes += k * 12.0 + 16.0 + f64::from(mm.mem()) * machine.line_bytes as f64;
+                stall_ns += (f64::from(mm.rand_llc) * machine.llc_latency_ns
+                    + f64::from(mm.rand_mem) * machine.mem_latency_ns)
+                    / machine.mlp;
+            }
+            let base = (cyc / rate).max(bytes / bw_thread);
+            let total = base + stall_ns * 1e-9;
+            if total > 0.0 {
+                best = best.max(stall_ns * 1e-9 / total);
+            }
+        }
+        best
+    }
+
+    /// Whether any partition is latency-bound.
+    pub fn detect(&self, profile: &MatrixProfile, machine: &MachineModel) -> bool {
+        self.max_stall_share(profile, machine) > self.stall_share_threshold
+    }
+
+    /// Adds the `ML` class to `classes` when region-level detection
+    /// fires (and the global classifier missed it).
+    pub fn augment(
+        &self,
+        classes: ClassSet,
+        profile: &MatrixProfile,
+        machine: &MachineModel,
+    ) -> ClassSet {
+        if !classes.contains(Bottleneck::ML) && self.detect(profile, machine) {
+            classes.with(Bottleneck::ML)
+        } else {
+            classes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    fn profile(a: &spmv_sparse::Csr, m: &MachineModel) -> MatrixProfile {
+        MatrixProfile::analyze(a, m)
+    }
+
+    #[test]
+    fn regular_matrix_has_low_stall_share_everywhere() {
+        let m = MachineModel::knc();
+        let a = gen::banded(40_000, 20, 0.9, 1).unwrap();
+        let d = PartitionedMlDetector::default();
+        let share = d.max_stall_share(&profile(&a, &m), &m);
+        assert!(share < 0.1, "share {share}");
+        assert!(!d.detect(&profile(&a, &m), &m));
+    }
+
+    #[test]
+    fn irregular_matrix_detected() {
+        let m = MachineModel::knc();
+        let a = gen::random_uniform(120_000, 10, 3).unwrap();
+        let d = PartitionedMlDetector::default();
+        assert!(d.detect(&profile(&a, &m), &m));
+    }
+
+    #[test]
+    fn augment_adds_ml_only_when_missing() {
+        let m = MachineModel::knc();
+        let a = gen::random_uniform(120_000, 10, 3).unwrap();
+        let p = profile(&a, &m);
+        let d = PartitionedMlDetector::default();
+        let augmented = d.augment(ClassSet::EMPTY, &p, &m);
+        assert!(augmented.contains(Bottleneck::ML));
+        let already = ClassSet::of(&[Bottleneck::ML, Bottleneck::IMB]);
+        assert_eq!(d.augment(already, &p, &m), already);
+    }
+
+    #[test]
+    fn rajat30_style_region_detection() {
+        // A circuit matrix whose irregularity is concentrated in the
+        // dense-row regions: the global ML signal is weak, but some
+        // partition should show elevated stalls relative to a banded
+        // matrix.
+        let m = MachineModel::knc();
+        let circuit = gen::circuit(200_000, 5, 0.3, 8, 3).unwrap();
+        let banded = gen::banded(200_000, 10, 0.9, 3).unwrap();
+        let d = PartitionedMlDetector { nparts: 32, ..Default::default() };
+        let share_c = d.max_stall_share(&profile(&circuit, &m), &m);
+        let share_b = d.max_stall_share(&profile(&banded, &m), &m);
+        assert!(share_c > 2.0 * share_b.max(1e-6), "{share_c} vs {share_b}");
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let m = MachineModel::knc();
+        let a = gen::random_uniform(120_000, 10, 3).unwrap();
+        let p = profile(&a, &m);
+        let strict =
+            PartitionedMlDetector { stall_share_threshold: 1.1, ..Default::default() };
+        assert!(!strict.detect(&p, &m));
+    }
+}

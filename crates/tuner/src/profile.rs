@@ -1,0 +1,233 @@
+//! Profile-guided classifier (paper §III-C, Fig. 4).
+//!
+//! A rule-based multi-label classifier over the §III-B bound profile:
+//!
+//! ```text
+//! class ← ∅
+//! if P_IMB / P_CSR > T_IMB            : class ← class ∪ {IMB}
+//! if P_ML  / P_CSR > T_ML             : class ← class ∪ {ML}
+//! if P_CSR ≈ P_MB and P_MB < P_CMP < P_peak : class ← class ∪ {MB}
+//! if P_MB > P_CMP or P_CMP > P_peak   : class ← class ∪ {CMP}
+//! ```
+//!
+//! `T_ML` and `T_IMB` are hyper-parameters tuned by exhaustive grid
+//! search maximising the average performance gain of the mapped
+//! optimizations over a matrix corpus (the paper lands on
+//! `T_ML = 1.25`, `T_IMB = 1.24`). The `≈` comparison uses a relative
+//! tolerance.
+
+use spmv_sim::bounds::Bounds;
+
+use crate::class::{Bottleneck, ClassSet};
+
+/// Classifier hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Speedup of the regularised-`x` bound over the baseline above
+    /// which the matrix is latency-bound.
+    pub t_ml: f64,
+    /// Speedup of the median-thread bound over the baseline above
+    /// which the matrix is imbalance-bound.
+    pub t_imb: f64,
+    /// `P_CSR ≈ P_MB` holds when `P_CSR >= mb_approx * P_MB`.
+    pub mb_approx: f64,
+}
+
+impl Default for Thresholds {
+    /// The paper's grid-searched values (`T_ML = 1.25`,
+    /// `T_IMB = 1.24`) with a 0.7 bandwidth-saturation tolerance.
+    fn default() -> Self {
+        Thresholds { t_ml: 1.25, t_imb: 1.24, mb_approx: 0.7 }
+    }
+}
+
+/// The rule-based profile-guided classifier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileClassifier {
+    /// Hyper-parameters.
+    pub thresholds: Thresholds,
+}
+
+impl ProfileClassifier {
+    /// Creates a classifier with explicit thresholds.
+    pub fn new(thresholds: Thresholds) -> ProfileClassifier {
+        ProfileClassifier { thresholds }
+    }
+
+    /// Applies the Fig. 4 rules to a bound profile.
+    pub fn classify(&self, b: &Bounds) -> ClassSet {
+        let t = &self.thresholds;
+        let mut set = ClassSet::EMPTY;
+        let p_csr = b.p_csr.max(1e-12);
+        if b.p_imb / p_csr > t.t_imb {
+            set = set.with(Bottleneck::IMB);
+        }
+        if b.p_ml / p_csr > t.t_ml {
+            set = set.with(Bottleneck::ML);
+        }
+        if b.p_csr >= t.mb_approx * b.p_mb && b.p_mb < b.p_cmp && b.p_cmp < b.p_peak {
+            set = set.with(Bottleneck::MB);
+        }
+        if b.p_mb > b.p_cmp || b.p_cmp > b.p_peak {
+            set = set.with(Bottleneck::CMP);
+        }
+        set
+    }
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSearchResult {
+    /// Best thresholds found.
+    pub thresholds: Thresholds,
+    /// Mean gain achieved at those thresholds.
+    pub mean_gain: f64,
+}
+
+/// Exhaustive grid search over `(T_ML, T_IMB)` (paper §III-C):
+/// for every grid point, classify each sample's bounds and score it
+/// with `gain(sample_index, class_set)` — typically the speedup of
+/// the mapped optimization set over the baseline. Returns the
+/// thresholds maximising the mean gain.
+///
+/// `gain` is called at most `samples × distinct class sets` times per
+/// sample thanks to per-sample memoisation.
+pub fn grid_search<F>(bounds: &[Bounds], grid: &[f64], mut gain: F) -> GridSearchResult
+where
+    F: FnMut(usize, ClassSet) -> f64,
+{
+    assert!(!grid.is_empty(), "empty grid");
+    let mut memo: Vec<std::collections::HashMap<u8, f64>> =
+        vec![std::collections::HashMap::new(); bounds.len()];
+    let mut best = GridSearchResult {
+        thresholds: Thresholds::default(),
+        mean_gain: f64::NEG_INFINITY,
+    };
+    for &t_ml in grid {
+        for &t_imb in grid {
+            let thresholds = Thresholds { t_ml, t_imb, ..Thresholds::default() };
+            let clf = ProfileClassifier::new(thresholds);
+            let mut total = 0.0;
+            for (i, b) in bounds.iter().enumerate() {
+                let set = clf.classify(b);
+                let g = *memo[i].entry(set.bits()).or_insert_with(|| gain(i, set));
+                total += g;
+            }
+            let mean = total / bounds.len().max(1) as f64;
+            if mean > best.mean_gain {
+                best = GridSearchResult { thresholds, mean_gain: mean };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sim::cost::SimResult;
+
+    fn bounds(p_csr: f64, p_mb: f64, p_ml: f64, p_imb: f64, p_cmp: f64, p_peak: f64) -> Bounds {
+        Bounds {
+            p_csr,
+            p_mb,
+            p_ml,
+            p_imb,
+            p_cmp,
+            p_peak,
+            baseline: SimResult {
+                thread_seconds: vec![],
+                seconds: 1.0,
+                gflops: p_csr,
+                traffic_bytes: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn mb_matrix_detected() {
+        // Saturated bandwidth, CMP bound comfortably above MB.
+        let b = bounds(20.0, 21.0, 21.0, 22.0, 30.0, 40.0);
+        let set = ProfileClassifier::default().classify(&b);
+        assert!(set.contains(Bottleneck::MB), "{set}");
+        assert!(!set.contains(Bottleneck::ML));
+        assert!(!set.contains(Bottleneck::IMB));
+        assert!(!set.contains(Bottleneck::CMP));
+    }
+
+    #[test]
+    fn ml_matrix_detected() {
+        let b = bounds(5.0, 25.0, 15.0, 5.5, 30.0, 40.0);
+        let set = ProfileClassifier::default().classify(&b);
+        assert!(set.contains(Bottleneck::ML), "{set}");
+        assert!(!set.contains(Bottleneck::IMB));
+    }
+
+    #[test]
+    fn imb_matrix_detected() {
+        let b = bounds(4.0, 25.0, 4.4, 26.0, 30.0, 40.0);
+        let set = ProfileClassifier::default().classify(&b);
+        assert!(set.contains(Bottleneck::IMB), "{set}");
+    }
+
+    #[test]
+    fn cmp_matrix_detected_when_cmp_below_mb() {
+        // P_MB > P_CMP: the paper's Eq. (1) condition.
+        let b = bounds(4.0, 25.0, 4.4, 26.0, 18.0, 40.0);
+        let set = ProfileClassifier::default().classify(&b);
+        assert!(set.contains(Bottleneck::CMP), "{set}");
+        assert!(set.contains(Bottleneck::IMB), "{set}");
+        assert!(!set.contains(Bottleneck::MB));
+    }
+
+    #[test]
+    fn cmp_detected_when_cmp_exceeds_peak() {
+        // Cache-resident case: P_CMP >> P_peak.
+        let b = bounds(30.0, 35.0, 33.0, 33.0, 80.0, 60.0);
+        let set = ProfileClassifier::default().classify(&b);
+        assert!(set.contains(Bottleneck::CMP), "{set}");
+    }
+
+    #[test]
+    fn unclassified_matrix_gets_empty_set() {
+        // Nothing to gain anywhere: near every bound, CMP between MB
+        // and peak but bandwidth not saturated enough... pick values
+        // that trip no rule.
+        let b = bounds(10.0, 20.0, 11.0, 11.0, 25.0, 40.0);
+        let set = ProfileClassifier::default().classify(&b);
+        // MB rule fails (10 < 0.7*20); ML (1.1 < 1.25); IMB (1.1 <
+        // 1.24); CMP (25 in (20,40)).
+        assert!(set.is_empty(), "{set}");
+    }
+
+    #[test]
+    fn thresholds_change_the_decision() {
+        let b = bounds(10.0, 30.0, 13.0, 10.5, 40.0, 50.0);
+        let strict = ProfileClassifier::new(Thresholds { t_ml: 1.4, ..Default::default() });
+        let loose = ProfileClassifier::new(Thresholds { t_ml: 1.2, ..Default::default() });
+        assert!(!strict.classify(&b).contains(Bottleneck::ML));
+        assert!(loose.classify(&b).contains(Bottleneck::ML));
+    }
+
+    #[test]
+    fn grid_search_finds_the_rewarding_threshold() {
+        // One ML-ish sample with P_ML/P_CSR = 1.3. Reward classifying
+        // it as ML; punish everything else.
+        let samples = vec![bounds(10.0, 30.0, 13.0, 10.0, 40.0, 50.0)];
+        let result = grid_search(&samples, &[1.2, 1.35], |_, set| {
+            if set.contains(Bottleneck::ML) {
+                2.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(result.thresholds.t_ml, 1.2);
+        assert_eq!(result.mean_gain, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        grid_search(&[], &[], |_, _| 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! `spmvtune` — command-line front-end to the adaptive SpMV optimizer.
+//!
+//! ```text
+//! spmvtune suite                         list built-in matrix presets
+//! spmvtune analyze <INPUT> [--machine M] spy plot + features + bounds + classes
+//! spmvtune bench   <INPUT>               time every kernel variant on this host
+//! spmvtune solve   <INPUT> [--solver S]  tuned iterative solve (cg|bicgstab|gmres)
+//!
+//! INPUT:  path to a MatrixMarket .mtx file,
+//!         preset:NAME[:SCALE]  (a paper-suite preset, e.g. preset:rajat30:0.1)
+//! M:      knc | knl | broadwell | host   (default host)
+//! ```
+
+use std::process::ExitCode;
+
+use spmv_tune::machine::MachineModel;
+use spmv_tune::prelude::*;
+use spmv_tune::sim::bounds::collect_bounds;
+use spmv_tune::sim::cost::CostModel;
+use spmv_tune::sim::profile::MatrixProfile;
+use spmv_tune::sparse::gen::suite::{suite_by_name, SUITE};
+use spmv_tune::sparse::spy::spy;
+use spmv_tune::tuner::profile::ProfileClassifier;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "suite" => cmd_suite(),
+        "analyze" => cmd_analyze(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        "solve" => cmd_solve(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  spmvtune suite
+  spmvtune analyze <INPUT> [--machine knc|knl|broadwell|host]
+  spmvtune bench   <INPUT>
+  spmvtune solve   <INPUT> [--solver cg|bicgstab|gmres]
+
+INPUT is a MatrixMarket file path or preset:NAME[:SCALE]
+(run `spmvtune suite` for preset names)"
+}
+
+/// Parses `--flag value` style options out of an argument list.
+fn option<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+}
+
+fn parse_machine(args: &[String]) -> Result<MachineModel, String> {
+    match option(args, "--machine").unwrap_or("host") {
+        "knc" => Ok(MachineModel::knc()),
+        "knl" => Ok(MachineModel::knl()),
+        "broadwell" | "bdw" => Ok(MachineModel::broadwell()),
+        "host" => Ok(MachineModel::host()),
+        other => Err(format!("unknown machine {other:?}")),
+    }
+}
+
+fn load_input(args: &[String]) -> Result<(String, Csr), String> {
+    let Some(input) = args.first() else {
+        return Err("missing INPUT argument".into());
+    };
+    if let Some(rest) = input.strip_prefix("preset:") {
+        let mut parts = rest.split(':');
+        let name = parts.next().unwrap_or_default();
+        let scale: f64 = match parts.next() {
+            Some(s) => s.parse().map_err(|_| format!("bad preset scale {s:?}"))?,
+            None => 0.25,
+        };
+        let preset = suite_by_name(name)
+            .ok_or_else(|| format!("unknown preset {name:?} (see `spmvtune suite`)"))?;
+        let m = preset.generate(scale).map_err(|e| e.to_string())?;
+        Ok((format!("{name} (scale {scale})"), m))
+    } else {
+        let m = spmv_tune::sparse::mm::read_csr_file(input).map_err(|e| e.to_string())?;
+        Ok((input.clone(), m))
+    }
+}
+
+fn cmd_suite() -> Result<(), String> {
+    println!("{:<18} {:>10} {:>12}  archetype", "preset", "paper N", "paper NNZ");
+    for m in SUITE {
+        println!(
+            "{:<18} {:>10} {:>12}  {:?}",
+            m.name, m.paper_n, m.paper_nnz, m.archetype
+        );
+    }
+    println!("\nuse as: spmvtune analyze preset:NAME[:SCALE]");
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (name, a) = load_input(args)?;
+    let machine = parse_machine(args)?;
+    println!("matrix {name}: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
+    println!("{}", spy(&a, 60, 24));
+
+    let fv = FeatureVector::extract(&a, machine.llc_bytes(), machine.line_elems());
+    println!("structural features (paper Table 2):");
+    println!("  nnz/row: min {} max {} avg {:.1} sd {:.1}", fv.nnz_min, fv.nnz_max, fv.nnz_avg, fv.nnz_sd);
+    println!("  bandwidth: avg {:.1} sd {:.1}", fv.bw_avg, fv.bw_sd);
+    println!("  scatter avg {:.3}, clustering avg {:.3}, misses avg {:.2}", fv.scatter_avg, fv.clustering_avg, fv.misses_avg);
+    println!("  working set {} LLC of {}", if fv.size_fits_llc > 0.5 { "fits" } else { "exceeds" }, machine.name);
+
+    let model = CostModel::new(machine.clone());
+    let profile = MatrixProfile::analyze(&a, &machine);
+    let bounds = collect_bounds(&model, &profile);
+    println!("\nsimulated bounds on {} (GFLOP/s): {}", machine.name, bounds.summary());
+
+    let classes = ProfileClassifier::default().classify(&bounds);
+    let variant = classes.to_variant(&fv);
+    println!("bottleneck classes: {classes}");
+    println!("selected optimizations: {variant}");
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use spmv_tune::kernels::variant::{build_kernel, KernelVariant};
+    use std::time::Instant;
+    let (name, a) = load_input(args)?;
+    let nthreads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!("benchmarking {name} on this host ({nthreads} threads), 10 reps each:");
+    let x = vec![1.0f64; a.ncols()];
+    let mut y = vec![0.0f64; a.nrows()];
+    let mut variants = vec![KernelVariant::BASELINE];
+    variants.extend(KernelVariant::singles_and_pairs());
+    let flops = 2.0 * a.nnz() as f64;
+    let mut best = (KernelVariant::BASELINE, 0.0f64);
+    for v in variants {
+        let built = build_kernel(&a, v, nthreads);
+        built.kernel.run(&x, &mut y); // warm-up
+        let mut t = f64::INFINITY;
+        for _ in 0..10 {
+            let t0 = Instant::now();
+            built.kernel.run(&x, &mut y);
+            t = t.min(t0.elapsed().as_secs_f64());
+        }
+        let gf = flops / t / 1e9;
+        if gf > best.1 {
+            best = (v, gf);
+        }
+        println!("  {:<24} {:>8.2} GFLOP/s  (prep {:>7.2} ms)", v.to_string(), gf, built.prep_seconds * 1e3);
+    }
+    println!("best: {} at {:.2} GFLOP/s", best.0, best.1);
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    use spmv_tune::solvers::{bicgstab, cg, gmres, Jacobi};
+    let (name, a) = load_input(args)?;
+    if a.nrows() != a.ncols() {
+        return Err("solve requires a square matrix".into());
+    }
+    let machine = MachineModel::host();
+    let tuned = Optimizer::feature_guided(&machine).optimize(&a);
+    println!(
+        "{name}: classes {}, optimizations {}, setup {:.1} ms",
+        tuned.classes(),
+        tuned.variant(),
+        tuned.prep_seconds * 1e3
+    );
+    let n = a.nrows();
+    let b = vec![1.0f64; n];
+    let mut x = vec![0.0f64; n];
+    let m = Jacobi::new(&a);
+    let kernel = tuned.kernel();
+    let solver = option(args, "--solver").unwrap_or("bicgstab");
+    let stats = match solver {
+        "cg" => cg(&kernel, &b, &mut x, Some(&m), 1e-8, 10_000),
+        "bicgstab" => bicgstab(&kernel, &b, &mut x, Some(&m), 1e-8, 10_000),
+        "gmres" => gmres(&kernel, &b, &mut x, Some(&m), 30, 1e-8, 10_000),
+        other => return Err(format!("unknown solver {other:?}")),
+    };
+    println!(
+        "{solver}: {} iterations, relative residual {:.2e}, converged: {}",
+        stats.iterations, stats.residual, stats.converged
+    );
+    Ok(())
+}
