@@ -106,11 +106,8 @@ pub struct Analysis {
 pub fn analyze(platform: &Platform, a: &Csr) -> Analysis {
     let profile = MatrixProfile::analyze(a, &platform.machine);
     let bounds = collect_bounds(&platform.model, &profile);
-    let features = FeatureVector::extract(
-        a,
-        platform.machine.llc_bytes(),
-        platform.machine.line_elems(),
-    );
+    let features =
+        FeatureVector::extract(a, platform.machine.llc_bytes(), platform.machine.line_elems());
     let classes = ProfileClassifier::default().classify(&bounds);
     Analysis { profile, bounds, features, classes }
 }

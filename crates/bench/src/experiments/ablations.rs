@@ -40,11 +40,7 @@ pub fn thresholds(corpus_size: usize, size_factor: f64) -> String {
     for &t_ml in &grid {
         let mut row = vec![format!("{t_ml:.2}")];
         for &t_imb in &grid {
-            let clf = ProfileClassifier::new(Thresholds {
-                t_ml,
-                t_imb,
-                ..Thresholds::default()
-            });
+            let clf = ProfileClassifier::new(Thresholds { t_ml, t_imb, ..Thresholds::default() });
             let mut total = 0.0;
             for a in &analyses {
                 let set = clf.classify(&a.bounds);
@@ -90,14 +86,7 @@ pub fn scheduling(scale: f64) -> String {
         let dec = platform.gflops(&profile, KernelVariant::single(Optimization::Decompose));
         let best = ["equal-rows", "nnz-balanced", "guided", "decomposed"]
             [argmax(&[equal, nnz, auto, dec])];
-        table.row(vec![
-            nm.name.to_string(),
-            f(equal),
-            f(nnz),
-            f(auto),
-            f(dec),
-            best.to_string(),
-        ]);
+        table.row(vec![nm.name.to_string(), f(equal), f(nnz), f(auto), f(dec), best.to_string()]);
     }
     let mut out = table.render();
     out.push_str(
@@ -128,10 +117,14 @@ pub fn partitioned_ml(scale: f64, nparts: usize) -> String {
     let suite = load_suite(scale);
     let clf = ProfileClassifier::default();
     let mut table = Table::new(
-        &format!(
-            "Ablation — partitioned ML detection on KNC ({nparts} partitions, scale {scale})"
-        ),
-        &["matrix", "global ML?", "global P_ML/P_CSR", "max partition stall share", "partitioned ML?"],
+        &format!("Ablation — partitioned ML detection on KNC ({nparts} partitions, scale {scale})"),
+        &[
+            "matrix",
+            "global ML?",
+            "global P_ML/P_CSR",
+            "max partition stall share",
+            "partitioned ML?",
+        ],
     );
     let mut rescued = Vec::new();
     for nm in &suite {
@@ -175,10 +168,8 @@ pub fn sensitivity(scale: f64) -> String {
     let suite = load_suite(scale);
     // Profiles depend only on cache geometry, which the sweep keeps
     // fixed — compute them once.
-    let profiles: Vec<_> = suite
-        .iter()
-        .map(|nm| MatrixProfile::analyze(&nm.matrix, &base_machine))
-        .collect();
+    let profiles: Vec<_> =
+        suite.iter().map(|nm| MatrixProfile::analyze(&nm.matrix, &base_machine)).collect();
     let clf = ProfileClassifier::default();
 
     let mut table = Table::new(
@@ -270,7 +261,12 @@ mod tests {
         // low-latency variant to have strictly fewer ML matrices.
         let ml_counts: Vec<u32> = report
             .lines()
-            .filter(|l| l.contains("KNC") || l.contains("latency") || l.contains("bandwidth") || l.contains("cores"))
+            .filter(|l| {
+                l.contains("KNC")
+                    || l.contains("latency")
+                    || l.contains("bandwidth")
+                    || l.contains("cores")
+            })
             .filter_map(|l| {
                 let cols: Vec<&str> = l.split_whitespace().collect();
                 // last 5 columns are MB ML IMB CMP unclassified

@@ -47,7 +47,12 @@ pub fn run(scale: f64) -> String {
     out.push('\n');
     out.push_str("per-optimization summary (matrices helped >1.05x / hurt <0.97x):\n");
     for (k, &opt) in Optimization::ALL.iter().enumerate() {
-        out.push_str(&format!("  {:>7}: helped {:2}, hurt {:2}\n", opt.label(), helps[k], hurts[k]));
+        out.push_str(&format!(
+            "  {:>7}: helped {:2}, hurt {:2}\n",
+            opt.label(),
+            helps[k],
+            hurts[k]
+        ));
     }
     out
 }

@@ -27,10 +27,7 @@ fn platform_landscape(
         headers.push("mkl-ie");
     }
     headers.extend(["baseline", "feat", "prof", "oracle", "classes"]);
-    let mut table = Table::new(
-        &format!("SpMV landscape on {name} (GFLOP/s)"),
-        &headers,
-    );
+    let mut table = Table::new(&format!("SpMV landscape on {name} (GFLOP/s)"), &headers);
 
     let mut sum = SpeedupAccumulator::default();
     for nm in suite {

@@ -43,8 +43,7 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        let args: Vec<String> =
-            ["prog", "--scale", "0.25"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--scale", "0.25"].iter().map(|s| s.to_string()).collect();
         assert_eq!(parse_scale(&args, 1.0), 0.25);
         assert_eq!(parse_scale(&[], 1.0), 1.0);
         let bad: Vec<String> = ["--scale", "-3"].iter().map(|s| s.to_string()).collect();

@@ -18,8 +18,19 @@ pub fn run(scale: f64) -> String {
     let mut table = Table::new(
         &format!("Table 2 — structural features of the suite (KNC LLC, scale {scale})"),
         &[
-            "matrix", "size", "density", "nnz_min", "nnz_max", "nnz_avg", "nnz_sd", "bw_avg",
-            "bw_sd", "scat_avg", "scat_sd", "clust_avg", "miss_avg",
+            "matrix",
+            "size",
+            "density",
+            "nnz_min",
+            "nnz_max",
+            "nnz_avg",
+            "nnz_sd",
+            "bw_avg",
+            "bw_sd",
+            "scat_avg",
+            "scat_sd",
+            "clust_avg",
+            "miss_avg",
         ],
     );
     for nm in &suite {

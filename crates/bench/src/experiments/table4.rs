@@ -27,7 +27,13 @@ pub fn run(scale: f64, corpus_size: usize, corpus_factor: f64) -> String {
     let feat_clf = train_feature_classifier(&platform, corpus_size, corpus_factor, 4242);
     let prof_clf = ProfileClassifier::default();
 
-    let names = ["trivial-single", "trivial-combined", "profile-guided", "feature-guided", "mkl-inspector-executor"];
+    let names = [
+        "trivial-single",
+        "trivial-combined",
+        "profile-guided",
+        "feature-guided",
+        "mkl-inspector-executor",
+    ];
     let mut rows: Vec<Vec<Amortization>> = vec![Vec::new(); names.len()];
 
     for nm in &suite {
@@ -37,12 +43,15 @@ pub fn run(scale: f64, corpus_size: usize, corpus_factor: f64) -> String {
 
         // Trivial sweeps: pay for building + timing every candidate,
         // then run the best of the candidate set.
-        for (slot, candidates) in [
-            (0usize, KernelVariant::all_singles()),
-            (1usize, KernelVariant::singles_and_pairs()),
-        ] {
-            let t_pre =
-                platform.prep.trivial_sweep_seconds(&platform.model, profile, &candidates, SWEEP_REPS);
+        for (slot, candidates) in
+            [(0usize, KernelVariant::all_singles()), (1usize, KernelVariant::singles_and_pairs())]
+        {
+            let t_pre = platform.prep.trivial_sweep_seconds(
+                &platform.model,
+                profile,
+                &candidates,
+                SWEEP_REPS,
+            );
             let t_best = candidates
                 .iter()
                 .map(|&v| platform.model.simulate(profile, SimSpec::variant(v)).seconds)

@@ -30,7 +30,10 @@ fn cases(scale: f64) -> Vec<Case> {
     let s = |v: usize| ((v as f64 * scale) as usize).max(64);
     vec![
         Case { name: "banded", matrix: gen::banded(s(60_000), 24, 0.9, 1).expect("valid") },
-        Case { name: "stencil", matrix: gen::stencil_2d(s(300), 300.max((300.0 * scale) as usize)).expect("valid") },
+        Case {
+            name: "stencil",
+            matrix: gen::stencil_2d(s(300), 300.max((300.0 * scale) as usize)).expect("valid"),
+        },
         Case { name: "powerlaw", matrix: gen::powerlaw(s(60_000), 8, 1.9, 2).expect("valid") },
         Case { name: "circuit", matrix: gen::circuit(s(80_000), 4, 0.3, 6, 3).expect("valid") },
     ]

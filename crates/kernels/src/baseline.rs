@@ -9,11 +9,12 @@ use std::ops::Range;
 
 use spmv_sparse::Csr;
 
+use crate::engine::Plan;
 use crate::prefetch::PREFETCH_DIST;
-use crate::schedule::{execute, Schedule, ThreadTimes, YPtr};
+use crate::prefetch::{row_sum_prefetch, row_sum_unrolled_prefetch};
+use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
 use crate::vectorized::row_sum_unrolled;
-use crate::prefetch::{row_sum_prefetch, row_sum_unrolled_prefetch};
 
 /// Inner-loop flavor of a CSR-like kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,9 +47,7 @@ impl InnerLoop {
             InnerLoop::Scalar => row_sum_scalar(cols, vals, x),
             InnerLoop::Unrolled => row_sum_unrolled(cols, vals, x),
             InnerLoop::Prefetch => row_sum_prefetch(cols, vals, x, PREFETCH_DIST),
-            InnerLoop::UnrolledPrefetch => {
-                row_sum_unrolled_prefetch(cols, vals, x, PREFETCH_DIST)
-            }
+            InnerLoop::UnrolledPrefetch => row_sum_unrolled_prefetch(cols, vals, x, PREFETCH_DIST),
         }
     }
 }
@@ -64,22 +63,22 @@ pub fn row_sum_scalar(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
 }
 
 /// Parallel CSR SpMV kernel.
+///
+/// Holds a precomputed [`Plan`] (partition + persistent worker pool),
+/// so repeated [`run`](SpmvKernel::run) calls pay neither thread
+/// spawning nor partition recomputation.
 #[derive(Debug)]
 pub struct CsrKernel<'a> {
     a: &'a Csr,
-    /// Scheduling policy.
-    pub schedule: Schedule,
-    /// Worker thread count.
-    pub nthreads: usize,
-    /// Inner-loop flavor.
-    pub flavor: InnerLoop,
+    plan: Plan,
+    flavor: InnerLoop,
 }
 
 impl<'a> CsrKernel<'a> {
     /// Creates the paper's baseline: scalar inner loop, nnz-balanced
     /// static partitioning.
     pub fn baseline(a: &'a Csr, nthreads: usize) -> CsrKernel<'a> {
-        CsrKernel { a, schedule: Schedule::NnzBalanced, nthreads, flavor: InnerLoop::Scalar }
+        CsrKernel::with_options(a, nthreads, Schedule::NnzBalanced, InnerLoop::Scalar)
     }
 
     /// Creates a kernel with explicit schedule and flavor.
@@ -89,7 +88,23 @@ impl<'a> CsrKernel<'a> {
         schedule: Schedule,
         flavor: InnerLoop,
     ) -> CsrKernel<'a> {
-        CsrKernel { a, schedule, nthreads, flavor }
+        let plan = Plan::new(schedule, a.rowptr(), nthreads);
+        CsrKernel { a, plan, flavor }
+    }
+
+    /// Scheduling policy.
+    pub fn schedule(&self) -> Schedule {
+        self.plan.schedule()
+    }
+
+    /// Worker thread count.
+    pub fn nthreads(&self) -> usize {
+        self.plan.nthreads()
+    }
+
+    /// Inner-loop flavor.
+    pub fn flavor(&self) -> InnerLoop {
+        self.flavor
     }
 
     fn worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
@@ -108,13 +123,13 @@ impl SpmvKernel for CsrKernel<'_> {
         assert_eq!(x.len(), self.a.ncols(), "x length");
         assert_eq!(y.len(), self.a.nrows(), "y length");
         let yp = YPtr(y.as_mut_ptr());
-        execute(self.schedule, self.a.rowptr(), self.nthreads, |range| {
+        self.plan.execute(|range| {
             self.worker(range, x, yp);
         })
     }
 
     fn name(&self) -> String {
-        format!("csr[{:?},{:?}]", self.flavor, self.schedule)
+        format!("csr[{:?},{:?}]", self.flavor, self.plan.schedule())
     }
 
     fn nrows(&self) -> usize {

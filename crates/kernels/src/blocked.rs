@@ -5,18 +5,16 @@ use std::ops::Range;
 
 use spmv_sparse::bcsr::Bcsr;
 
-use crate::schedule::{execute, Schedule, ThreadTimes, YPtr};
+use crate::engine::Plan;
+use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
 
 /// Parallel BCSR kernel. Owns the blocked matrix (conversion
-/// product).
+/// product) and a precomputed [`Plan`] over block rows.
 #[derive(Debug)]
 pub struct BcsrKernel {
     b: Bcsr,
-    /// Scheduling policy over block rows.
-    pub schedule: Schedule,
-    /// Worker thread count.
-    pub nthreads: usize,
+    plan: Plan,
     /// Nonzeros of the original matrix (blocks carry padding, so
     /// GFLOP/s accounting needs the true count).
     pub original_nnz: usize,
@@ -25,12 +23,25 @@ pub struct BcsrKernel {
 impl BcsrKernel {
     /// Wraps a blocked matrix.
     pub fn new(b: Bcsr, nthreads: usize, schedule: Schedule, original_nnz: usize) -> BcsrKernel {
-        BcsrKernel { b, nthreads, schedule, original_nnz }
+        // A pseudo row pointer in units of stored blocks balances the
+        // per-thread work.
+        let plan = Plan::new(schedule, b.browptr(), nthreads);
+        BcsrKernel { b, plan, original_nnz }
     }
 
     /// The blocked matrix.
     pub fn matrix(&self) -> &Bcsr {
         &self.b
+    }
+
+    /// Scheduling policy over block rows.
+    pub fn schedule(&self) -> Schedule {
+        self.plan.schedule()
+    }
+
+    /// Worker thread count.
+    pub fn nthreads(&self) -> usize {
+        self.plan.nthreads()
     }
 
     fn worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
@@ -40,10 +51,10 @@ impl BcsrKernel {
         let (r, _) = self.b.block_shape();
         let row0 = range.start * r;
         let row1 = (range.end * r).min(self.b.nrows());
-        // SAFETY: block-row ranges from `execute` are disjoint, hence
+        // SAFETY: block-row ranges from the plan are disjoint, hence
         // the scalar row ranges [row0, row1) are disjoint too; the
         // buffer is the caller's live `&mut [f64]`.
-        let out = unsafe { std::slice::from_raw_parts_mut(y.0.add(row0), row1 - row0) };
+        let out = unsafe { y.subslice(row0, row1 - row0) };
         self.b.spmv_block_rows_into(range, x, out);
     }
 }
@@ -53,17 +64,14 @@ impl SpmvKernel for BcsrKernel {
         assert_eq!(x.len(), self.b.ncols(), "x length");
         assert_eq!(y.len(), self.b.nrows(), "y length");
         let yp = YPtr(y.as_mut_ptr());
-        // Schedule over block rows: a pseudo row pointer in units of
-        // stored blocks balances the work.
-        let browptr = self.b.browptr();
-        execute(self.schedule, browptr, self.nthreads, |range| {
+        self.plan.execute(|range| {
             self.worker(range, x, yp);
         })
     }
 
     fn name(&self) -> String {
         let (r, c) = self.b.block_shape();
-        format!("bcsr[{r}x{c},{:?}]", self.schedule)
+        format!("bcsr[{r}x{c},{:?}]", self.plan.schedule())
     }
 
     fn nrows(&self) -> usize {

@@ -9,24 +9,23 @@ use std::ops::Range;
 
 use spmv_sparse::DeltaCsr;
 
-use crate::schedule::{execute, Schedule, ThreadTimes, YPtr};
+use crate::engine::Plan;
+use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
 
 /// Parallel delta-compressed SpMV kernel. Owns its compressed matrix
-/// (the conversion product).
+/// (the conversion product) and a precomputed [`Plan`].
 #[derive(Debug)]
 pub struct DeltaKernel {
     d: DeltaCsr,
-    /// Scheduling policy.
-    pub schedule: Schedule,
-    /// Worker thread count.
-    pub nthreads: usize,
+    plan: Plan,
 }
 
 impl DeltaKernel {
     /// Wraps a compressed matrix.
     pub fn new(d: DeltaCsr, nthreads: usize, schedule: Schedule) -> DeltaKernel {
-        DeltaKernel { d, nthreads, schedule }
+        let plan = Plan::new(schedule, d.rowptr(), nthreads);
+        DeltaKernel { d, plan }
     }
 
     /// Access to the compressed matrix (for footprint reporting).
@@ -34,16 +33,24 @@ impl DeltaKernel {
         &self.d
     }
 
+    /// Scheduling policy.
+    pub fn schedule(&self) -> Schedule {
+        self.plan.schedule()
+    }
+
+    /// Worker thread count.
+    pub fn nthreads(&self) -> usize {
+        self.plan.nthreads()
+    }
+
     fn worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
         if range.is_empty() {
             return;
         }
-        // SAFETY: ranges from `execute` are disjoint, so this sub-slice
+        // SAFETY: ranges from the plan are disjoint, so this sub-slice
         // is exclusively owned by this worker; the buffer outlives the
-        // scope (it is the caller's `&mut [f64]`).
-        let out = unsafe {
-            std::slice::from_raw_parts_mut(y.0.add(range.start), range.len())
-        };
+        // dispatch (it is the caller's `&mut [f64]`).
+        let out = unsafe { y.subslice(range.start, range.len()) };
         self.d.spmv_rows_into(range, x, out);
     }
 }
@@ -53,13 +60,13 @@ impl SpmvKernel for DeltaKernel {
         assert_eq!(x.len(), self.d.ncols(), "x length");
         assert_eq!(y.len(), self.d.nrows(), "y length");
         let yp = YPtr(y.as_mut_ptr());
-        execute(self.schedule, self.d.rowptr(), self.nthreads, |range| {
+        self.plan.execute(|range| {
             self.worker(range, x, yp);
         })
     }
 
     fn name(&self) -> String {
-        format!("delta[{:?},{:?}]", self.d.width(), self.schedule)
+        format!("delta[{:?},{:?}]", self.d.width(), self.plan.schedule())
     }
 
     fn nrows(&self) -> usize {

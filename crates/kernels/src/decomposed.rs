@@ -8,24 +8,25 @@
 //! row, and the partial sums are reduced afterwards.
 
 use std::ops::Range;
+use std::sync::Mutex;
 
 use spmv_sparse::DecomposedCsr;
 
 use crate::baseline::InnerLoop;
-use crate::schedule::{execute, Schedule, ThreadTimes, YPtr};
+use crate::engine::Plan;
+use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
 use crate::vectorized::row_sum_unrolled8;
 
-/// Parallel decomposed SpMV kernel. Owns the decomposition product.
+/// Parallel decomposed SpMV kernel. Owns the decomposition product
+/// and a precomputed [`Plan`] for the short-part phase; the long
+/// phase dispatches raw per-worker tasks on the same engine, so both
+/// phases share one warm thread team.
 #[derive(Debug)]
 pub struct DecomposedKernel {
     d: DecomposedCsr,
-    /// Scheduling policy for the short-part phase.
-    pub schedule: Schedule,
-    /// Worker thread count.
-    pub nthreads: usize,
-    /// Inner-loop flavor for the short-part phase.
-    pub flavor: InnerLoop,
+    plan: Plan,
+    flavor: InnerLoop,
 }
 
 impl DecomposedKernel {
@@ -36,12 +37,23 @@ impl DecomposedKernel {
         schedule: Schedule,
         flavor: InnerLoop,
     ) -> DecomposedKernel {
-        DecomposedKernel { d, nthreads, schedule, flavor }
+        let plan = Plan::new(schedule, d.short().rowptr(), nthreads);
+        DecomposedKernel { d, plan, flavor }
     }
 
     /// Access to the decomposition (for footprint/threshold queries).
     pub fn matrix(&self) -> &DecomposedCsr {
         &self.d
+    }
+
+    /// Scheduling policy for the short-part phase.
+    pub fn schedule(&self) -> Schedule {
+        self.plan.schedule()
+    }
+
+    /// Worker thread count.
+    pub fn nthreads(&self) -> usize {
+        self.plan.nthreads()
     }
 
     fn short_worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
@@ -54,49 +66,45 @@ impl DecomposedKernel {
     }
 
     /// Phase 2: computes all long rows with an all-threads split and
-    /// returns per-thread busy seconds.
+    /// returns per-thread busy seconds. Dispatches on the same
+    /// persistent engine as the short phase (no scoped spawning).
     fn long_phase(&self, x: &[f64], y: &mut [f64]) -> Vec<f64> {
         let long_rows = self.d.long_rows();
+        let nthreads = self.plan.nthreads();
         if long_rows.is_empty() {
-            return vec![0.0; self.nthreads];
+            return vec![0.0; nthreads];
         }
-        let nthreads = self.nthreads.max(1);
         let nlong = long_rows.len();
-        let mut partials = vec![0.0f64; nthreads * nlong];
-        let mut seconds = vec![0.0f64; nthreads];
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nthreads);
-            for (t, pslot) in partials.chunks_mut(nlong).enumerate() {
-                let d = &self.d;
-                handles.push(scope.spawn(move || {
-                    let t0 = std::time::Instant::now();
-                    for (k, lr) in d.long_rows().iter().enumerate() {
-                        let len = lr.end - lr.start;
-                        let per = len.div_ceil(nthreads);
-                        let s = (t * per).min(len);
-                        let e = ((t + 1) * per).min(len);
-                        if s < e {
-                            let cols = &d.long_colind()[lr.start + s..lr.start + e];
-                            let vals = &d.long_values()[lr.start + s..lr.start + e];
-                            pslot[k] = row_sum_unrolled8(cols, vals, x);
-                        }
-                    }
-                    t0.elapsed().as_secs_f64()
-                }));
+        // Each worker fills its own partial-sum vector; slot `t` keeps
+        // the reduction order deterministic (t = 0..nthreads), so the
+        // result is bitwise-stable across runs.
+        let partials: Mutex<Vec<Option<Vec<f64>>>> = Mutex::new(vec![None; nthreads]);
+        let d = &self.d;
+        let times = self.plan.engine().run(&|t| {
+            let mut local = vec![0.0f64; nlong];
+            for (k, lr) in d.long_rows().iter().enumerate() {
+                let len = lr.end - lr.start;
+                let per = len.div_ceil(nthreads);
+                let s = (t * per).min(len);
+                let e = ((t + 1) * per).min(len);
+                if s < e {
+                    let cols = &d.long_colind()[lr.start + s..lr.start + e];
+                    let vals = &d.long_values()[lr.start + s..lr.start + e];
+                    local[k] = row_sum_unrolled8(cols, vals, x);
+                }
             }
-            for (t, h) in handles.into_iter().enumerate() {
-                seconds[t] = h.join().expect("long-phase worker panicked");
-            }
+            partials.lock().expect("partials lock")[t] = Some(local);
         });
         // Reduction of partial sums (cheap: nthreads * nlong adds).
+        let partials = partials.into_inner().expect("partials lock");
         for (k, lr) in long_rows.iter().enumerate() {
             let mut sum = 0.0;
-            for t in 0..nthreads {
-                sum += partials[t * nlong + k];
+            for slot in &partials {
+                sum += slot.as_ref().expect("every worker deposited")[k];
             }
             y[lr.row as usize] = sum;
         }
-        seconds
+        times.seconds
     }
 }
 
@@ -105,10 +113,9 @@ impl SpmvKernel for DecomposedKernel {
         assert_eq!(x.len(), self.d.ncols(), "x length");
         assert_eq!(y.len(), self.d.nrows(), "y length");
         let yp = YPtr(y.as_mut_ptr());
-        let mut times =
-            execute(self.schedule, self.d.short().rowptr(), self.nthreads, |range| {
-                self.short_worker(range, x, yp);
-            });
+        let mut times = self.plan.execute(|range| {
+            self.short_worker(range, x, yp);
+        });
         let long_secs = self.long_phase(x, y);
         for (a, b) in times.seconds.iter_mut().zip(long_secs) {
             *a += b;
@@ -117,7 +124,7 @@ impl SpmvKernel for DecomposedKernel {
     }
 
     fn name(&self) -> String {
-        format!("decomposed[{} long rows,{:?}]", self.d.long_rows().len(), self.schedule)
+        format!("decomposed[{} long rows,{:?}]", self.d.long_rows().len(), self.plan.schedule())
     }
 
     fn nrows(&self) -> usize {

@@ -1,0 +1,537 @@
+//! Persistent worker-pool execution engine and precomputed schedule
+//! plans.
+//!
+//! Every parallel kernel in this crate used to spawn fresh OS threads
+//! (`std::thread::scope`) and recompute its row partition on *every*
+//! SpMV call. For iterative solvers and the profiler — which invoke
+//! the kernel thousands of times on the same matrix — that per-call
+//! overhead dominates small and medium problems. This module
+//! amortizes both costs:
+//!
+//! * [`ExecEngine`] owns a team of worker threads created **once**
+//!   and parked on a condvar between calls, mirroring the warm
+//!   OpenMP thread team of the paper's baseline;
+//! * [`Plan`] caches the partition for a (schedule, row pointer,
+//!   thread count) triple, so [`Schedule::NnzBalanced`] stops calling
+//!   `partition_rows_by_nnz` per invocation.
+//!
+//! Per-thread busy times are measured by each worker **around its
+//! task only** — wake-up and park latency never enter the reported
+//! [`ThreadTimes`], keeping the `P_IMB = 2·NNZ / t_median` bound
+//! faithful to pure compute time.
+//!
+//! # Dispatch protocol
+//!
+//! A call to [`ExecEngine::run`] publishes one type-erased job (a
+//! `Fn(usize)` receiving the worker index) under the engine's mutex,
+//! bumps an epoch counter and wakes the team. The calling thread
+//! participates as worker `0`, then blocks until every pool worker
+//! has decremented the pending counter. Because the caller never
+//! returns before `pending == 0`, the job closure and the per-thread
+//! time buffer — both borrowed from the caller's stack — stay valid
+//! for exactly as long as any worker can touch them; that is the
+//! entire safety argument for the lifetime transmute in `run`.
+//! Worker panics are caught so the pool survives; the caller re-raises
+//! a panic after the barrier.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use spmv_sparse::csr::partition_rows_by_nnz;
+
+use crate::schedule::{claim_guided, Schedule, ThreadTimes};
+
+/// One dispatched job: a borrowed task and the buffer receiving each
+/// worker's busy seconds. Lifetimes are erased; see the module-level
+/// dispatch-protocol notes for why the borrow stays valid.
+#[derive(Clone, Copy)]
+struct Job {
+    task: &'static (dyn Fn(usize) + Sync),
+    times: *mut f64,
+}
+
+// SAFETY: the job travels to pool workers while the dispatching
+// caller blocks; the pointee buffers outlive every access (the caller
+// waits for `pending == 0` before returning) and `times` slots are
+// written by exactly one worker each.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Incremented per dispatch; workers run each epoch exactly once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Pool workers that have not yet finished the current epoch.
+    pending: usize,
+    /// Set when a pool worker's task panicked this epoch.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between dispatches.
+    work: Condvar,
+    /// The dispatching caller parks here until `pending == 0`.
+    done: Condvar,
+}
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned
+/// it (the engine's state stays consistent across caught panics).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A persistent team of worker threads dispatching closures without
+/// per-call spawning.
+///
+/// An engine for `nthreads` holds `nthreads - 1` parked OS threads;
+/// the thread calling [`run`](ExecEngine::run) acts as worker `0`.
+/// With `nthreads == 1` no threads exist at all and `run` executes
+/// inline. Dropping the engine shuts the team down and joins it.
+pub struct ExecEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes dispatches: one job owns the team at a time.
+    dispatch: Mutex<()>,
+    nthreads: usize,
+}
+
+impl std::fmt::Debug for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecEngine").field("nthreads", &self.nthreads).finish()
+    }
+}
+
+impl ExecEngine {
+    /// Creates an engine with a team of `nthreads` workers
+    /// (`nthreads - 1` threads plus the caller). Counts above the
+    /// machine's parallelism are allowed; the extra workers simply
+    /// time-share.
+    pub fn new(nthreads: usize) -> ExecEngine {
+        let nthreads = nthreads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..nthreads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spmv-exec-{tid}"))
+                    .spawn(move || worker_loop(&shared, tid))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ExecEngine { shared, workers, dispatch: Mutex::new(()), nthreads }
+    }
+
+    /// The team size this engine dispatches to.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Runs `task(t)` for every worker index `t in 0..nthreads` and
+    /// returns each worker's busy seconds, measured around the task
+    /// call only (no wake-up or park latency).
+    ///
+    /// The calling thread executes `task(0)` itself. Concurrent `run`
+    /// calls on one engine are serialized. If any worker's task
+    /// panics, the panic is re-raised here after the whole team has
+    /// finished — the pool itself survives.
+    pub fn run(&self, task: &(dyn Fn(usize) + Sync)) -> ThreadTimes {
+        let n = self.nthreads;
+        let mut seconds = vec![0.0f64; n];
+        if n == 1 {
+            let t0 = Instant::now();
+            task(0);
+            seconds[0] = t0.elapsed().as_secs_f64();
+            return ThreadTimes { seconds };
+        }
+
+        let _dispatch = lock(&self.dispatch);
+        // SAFETY: `run` blocks until every pool worker finished the
+        // epoch (`pending == 0`), so the erased borrows in `Job`
+        // cannot outlive `task` or `seconds`. The caller's own panic
+        // is caught and re-raised only after that barrier.
+        let task_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        {
+            let mut st = lock(&self.shared.state);
+            st.job = Some(Job { task: task_erased, times: seconds.as_mut_ptr() });
+            st.pending = n - 1;
+            st.panicked = false;
+            st.epoch += 1;
+            self.shared.work.notify_all();
+        }
+
+        let t0 = Instant::now();
+        let caller = catch_unwind(AssertUnwindSafe(|| task(0)));
+        let caller_seconds = t0.elapsed().as_secs_f64();
+
+        let pool_panicked = {
+            let mut st = lock(&self.shared.state);
+            while st.pending > 0 {
+                st = self.shared.done.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+            st.job = None;
+            st.panicked
+        };
+        seconds[0] = caller_seconds;
+
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!pool_panicked, "worker panicked");
+        ThreadTimes { seconds }
+    }
+
+    /// The process-wide shared engine for `nthreads`, created on
+    /// first use and kept alive for the process lifetime. Kernels
+    /// resolve their engine here, so every kernel with the same
+    /// thread count shares one warm team.
+    pub fn global(nthreads: usize) -> Arc<ExecEngine> {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<ExecEngine>>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(Mutex::default);
+        Arc::clone(
+            lock(registry)
+                .entry(nthreads.max(1))
+                .or_insert_with(|| Arc::new(ExecEngine::new(nthreads))),
+        )
+    }
+}
+
+impl Drop for ExecEngine {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    Some(job) if st.epoch != seen_epoch => {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                    _ => st = shared.work.wait(st).unwrap_or_else(|p| p.into_inner()),
+                }
+            }
+        };
+        // Busy time starts after the wake-up completes: parked and
+        // scheduling latency stay out of the reported ThreadTimes.
+        let t0 = Instant::now();
+        let ok = catch_unwind(AssertUnwindSafe(|| (job.task)(tid))).is_ok();
+        let busy = t0.elapsed().as_secs_f64();
+        // SAFETY: slot `tid` is written by this worker alone and the
+        // buffer is kept alive by the blocked dispatcher.
+        unsafe { *job.times.add(tid) = busy };
+        let mut st = lock(&shared.state);
+        if !ok {
+            st.panicked = true;
+        }
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A precomputed execution plan: the row partition (or claiming
+/// configuration) for one (schedule, row pointer, thread count)
+/// triple, bound to a persistent [`ExecEngine`].
+///
+/// Kernels build their `Plan` once at construction; every subsequent
+/// [`execute`](Plan::execute) reuses the cached partition, so the
+/// per-call cost of [`Schedule::NnzBalanced`] drops from a
+/// binary-search partition pass to a pointer dispatch.
+#[derive(Debug)]
+pub struct Plan {
+    schedule: Schedule,
+    nrows: usize,
+    /// Cached per-thread ranges for the static schedules; `None` for
+    /// the claiming schedules, which need a fresh shared counter per
+    /// run.
+    parts: Option<Vec<Range<usize>>>,
+    engine: Arc<ExecEngine>,
+}
+
+impl Plan {
+    /// Builds a plan for scheduling `rowptr.len() - 1` rows over the
+    /// process-wide engine for `nthreads`.
+    pub fn new(schedule: Schedule, rowptr: &[usize], nthreads: usize) -> Plan {
+        Plan::with_engine(schedule, rowptr, ExecEngine::global(nthreads))
+    }
+
+    /// Builds a plan bound to a caller-owned engine (tests use this
+    /// to exercise engine shutdown; production code shares the global
+    /// registry via [`Plan::new`]).
+    pub fn with_engine(schedule: Schedule, rowptr: &[usize], engine: Arc<ExecEngine>) -> Plan {
+        assert!(!rowptr.is_empty(), "row pointer must have at least one entry");
+        let nrows = rowptr.len() - 1;
+        let nthreads = engine.nthreads();
+        let parts = match schedule {
+            Schedule::StaticRows => {
+                let per = nrows.div_ceil(nthreads);
+                Some(
+                    (0..nthreads)
+                        .map(|t| (t * per).min(nrows)..((t + 1) * per).min(nrows))
+                        .collect(),
+                )
+            }
+            Schedule::NnzBalanced => Some(partition_rows_by_nnz(rowptr, nthreads)),
+            Schedule::Dynamic { .. } | Schedule::Guided => None,
+        };
+        Plan { schedule, nrows, parts, engine }
+    }
+
+    /// The schedule this plan was built for.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The team size this plan dispatches to.
+    pub fn nthreads(&self) -> usize {
+        self.engine.nthreads()
+    }
+
+    /// Rows covered by the plan.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// The engine the plan dispatches to (for callers that need raw
+    /// per-worker tasks, like the decomposed kernel's long phase).
+    pub fn engine(&self) -> &ExecEngine {
+        &self.engine
+    }
+
+    /// Runs `worker(range)` over `0..nrows` split according to the
+    /// plan's schedule and returns per-thread busy times.
+    ///
+    /// `worker` must tolerate being called with any sub-range of
+    /// `0..nrows` and must only touch state it owns for that range.
+    pub fn execute<F>(&self, worker: F) -> ThreadTimes
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let nthreads = self.engine.nthreads();
+        match (&self.parts, self.schedule) {
+            (Some(parts), _) => self.engine.run(&|t| {
+                if let Some(part) = parts.get(t) {
+                    if !part.is_empty() {
+                        worker(part.clone());
+                    }
+                }
+            }),
+            (None, Schedule::Dynamic { chunk }) => {
+                let chunk = chunk.max(1);
+                let nrows = self.nrows;
+                let next = AtomicUsize::new(0);
+                self.engine.run(&|_t| loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= nrows {
+                        break;
+                    }
+                    worker(start..(start + chunk).min(nrows));
+                })
+            }
+            (None, _) => {
+                let nrows = self.nrows;
+                let next = AtomicUsize::new(0);
+                self.engine.run(&|_t| {
+                    while let Some(range) = claim_guided(&next, nrows, nthreads) {
+                        worker(range);
+                    }
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_worker_exactly_once() {
+        let engine = ExecEngine::new(4);
+        let hits: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        let times = engine.run(&|t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(times.seconds.len(), 4);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_engine_runs_inline() {
+        let engine = ExecEngine::new(1);
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(None);
+        engine.run(&|t| {
+            *seen.lock().unwrap() = Some((t, std::thread::current().id()));
+        });
+        assert_eq!(*seen.lock().unwrap(), Some((0, caller)));
+    }
+
+    #[test]
+    fn reuse_across_many_dispatches() {
+        let engine = ExecEngine::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            engine.run(&|_t| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 600);
+    }
+
+    #[test]
+    fn drop_joins_the_team() {
+        let engine = ExecEngine::new(8);
+        let count = AtomicU64::new(0);
+        engine.run(&|_t| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+        drop(engine); // must not hang or leak threads
+    }
+
+    #[test]
+    fn survives_worker_panic() {
+        let engine = ExecEngine::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            engine.run(&|t| {
+                if t == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The team is still alive and dispatches again.
+        let count = AtomicU64::new(0);
+        engine.run(&|_t| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn global_registry_shares_engines() {
+        let a = ExecEngine::global(3);
+        let b = ExecEngine::global(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.nthreads(), 3);
+        let c = ExecEngine::global(2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn oversubscribed_engine_works() {
+        let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let n = 2 * hw + 3;
+        let engine = ExecEngine::new(n);
+        let count = AtomicU64::new(0);
+        let times = engine.run(&|_t| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed) as usize, n);
+        assert_eq!(times.seconds.len(), n);
+    }
+
+    #[test]
+    fn static_plan_caches_partition() {
+        let rowptr: Vec<usize> = (0..=100).map(|i| i * 2).collect();
+        let plan = Plan::new(Schedule::NnzBalanced, &rowptr, 4);
+        assert_eq!(plan.nrows(), 100);
+        assert_eq!(plan.nthreads(), 4);
+        assert!(plan.parts.is_some());
+        let covered = Mutex::new(vec![0u32; 100]);
+        for _ in 0..3 {
+            plan.execute(|range| {
+                let mut v = covered.lock().unwrap();
+                for i in range {
+                    v[i] += 1;
+                }
+            });
+        }
+        assert!(covered.lock().unwrap().iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn claiming_plan_covers_rows_repeatedly() {
+        let rowptr: Vec<usize> = (0..=57).collect();
+        for schedule in [Schedule::Dynamic { chunk: 4 }, Schedule::Guided] {
+            let plan = Plan::new(schedule, &rowptr, 3);
+            for _ in 0..2 {
+                let covered = Mutex::new(vec![0u32; 57]);
+                plan.execute(|range| {
+                    let mut v = covered.lock().unwrap();
+                    for i in range {
+                        v[i] += 1;
+                    }
+                });
+                assert!(covered.lock().unwrap().iter().all(|&c| c == 1), "{schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_workers_report_near_zero_busy_time() {
+        // Worker 0 sleeps; the rest get no work. Their reported times
+        // must reflect only the (empty) task call — park/wake latency
+        // excluded — so they come out orders of magnitude below the
+        // sleeper.
+        let engine = ExecEngine::new(4);
+        let times = engine.run(&|t| {
+            if t == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        });
+        assert!(times.seconds[0] >= 0.050);
+        for &idle in &times.seconds[1..] {
+            assert!(idle < 0.010, "idle worker reported {idle}s of busy time");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let rowptr: Vec<usize> = (0..=3).collect();
+        let plan = Plan::new(Schedule::NnzBalanced, &rowptr, 8);
+        let covered = Mutex::new(vec![0u32; 3]);
+        let times = plan.execute(|range| {
+            let mut v = covered.lock().unwrap();
+            for i in range {
+                v[i] += 1;
+            }
+        });
+        assert_eq!(times.seconds.len(), 8);
+        assert!(covered.lock().unwrap().iter().all(|&c| c == 1));
+    }
+}

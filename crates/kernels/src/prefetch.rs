@@ -89,9 +89,7 @@ mod tests {
             let x: Vec<f64> = (0..512).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let s = scalar(&cols, &vals, &x);
             assert!((row_sum_prefetch(&cols, &vals, &x, PREFETCH_DIST) - s).abs() < 1e-12);
-            assert!(
-                (row_sum_unrolled_prefetch(&cols, &vals, &x, PREFETCH_DIST) - s).abs() < 1e-10
-            );
+            assert!((row_sum_unrolled_prefetch(&cols, &vals, &x, PREFETCH_DIST) - s).abs() < 1e-10);
         }
     }
 

@@ -1,18 +1,25 @@
-//! Row scheduling policies and the threaded execution engine.
+//! Row scheduling policies and per-thread timing types.
 //!
 //! The paper's baseline uses *static one-dimensional row partitioning
 //! with approximately equal nonzeros per thread*; the `IMB`-class
 //! `auto` scheduling optimization delegates the mapping to the
 //! runtime, which we model with dynamic (chunked work-stealing-style)
-//! and guided policies. Every policy here reports per-thread busy
-//! times, the raw data behind the paper's `P_IMB = 2·NNZ / t_median`
-//! bound.
+//! and guided policies. Every policy reports per-thread busy times,
+//! the raw data behind the paper's `P_IMB = 2·NNZ / t_median` bound.
+//!
+//! Execution itself lives in [`crate::engine`]: a [`Plan`] binds a
+//! schedule to a precomputed partition and a persistent worker pool.
+//! The free function [`execute`] is the convenience front-end that
+//! builds a throwaway plan per call; [`execute_spawn`] preserves the
+//! old spawn-per-call behaviour for overhead comparisons.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use spmv_sparse::csr::partition_rows_by_nnz;
+
+use crate::engine::Plan;
 
 /// Row-to-thread scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,9 +37,17 @@ pub enum Schedule {
     },
     /// Threads claim chunks whose size decays with the remaining work
     /// (OpenMP `schedule(guided)` analogue; our stand-in for the
-    /// paper's `auto`).
+    /// paper's `auto`). Each claim takes
+    /// `remaining / (GUIDED_DECAY × nthreads)` rows (at least one) —
+    /// see [`GUIDED_DECAY`].
     Guided,
 }
+
+/// Decay denominator of the guided schedule: a claim takes
+/// `remaining / (GUIDED_DECAY × nthreads)` rows, clamped to at least
+/// one. `2` halves the per-claim share relative to an even split of
+/// the remaining rows, the classic guided-self-scheduling choice.
+pub const GUIDED_DECAY: usize = 2;
 
 impl Schedule {
     /// Reasonable default chunk for dynamic scheduling of `nrows`.
@@ -40,6 +55,23 @@ impl Schedule {
         let chunk = (nrows / (nthreads.max(1) * 32)).clamp(1, 4096);
         Schedule::Dynamic { chunk }
     }
+}
+
+/// Atomically claims the next guided chunk from `next`, or `None`
+/// once `nrows` is exhausted. Chunk sizes follow the [`GUIDED_DECAY`]
+/// rule; the single `fetch_update` replaces the manual
+/// load/compare-exchange spin this crate used to carry.
+pub(crate) fn claim_guided(
+    next: &AtomicUsize,
+    nrows: usize,
+    nthreads: usize,
+) -> Option<Range<usize>> {
+    let take = |start: usize| ((nrows - start) / (GUIDED_DECAY * nthreads)).max(1);
+    next.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |start| {
+        (start < nrows).then(|| start + take(start))
+    })
+    .ok()
+    .map(|start| start..(start + take(start)).min(nrows))
 }
 
 /// Per-thread busy times of one parallel SpMV execution.
@@ -86,15 +118,17 @@ impl ThreadTimes {
 /// Shared mutable output vector handed to worker threads.
 ///
 /// # Safety contract
-/// Workers obtained from [`execute`] receive disjoint row ranges, so
-/// every `y[i]` is written by exactly one worker. The pointer is only
-/// dereferenced inside the scoped-thread region, while the exclusive
-/// borrow of `y` is alive.
+/// Workers obtained from a [`Plan`] (or [`execute`]) receive disjoint
+/// row ranges, so every `y[i]` is written by exactly one worker. The
+/// pointer is only dereferenced while the engine's dispatching caller
+/// is blocked inside the run — which is exactly the window during
+/// which the exclusive borrow of `y` is alive. Pool workers never
+/// retain the pointer across dispatches.
 #[derive(Clone, Copy)]
-pub(crate) struct YPtr(pub *mut f64);
+pub struct YPtr(pub *mut f64);
 
 // SAFETY: see the struct-level contract — ranges are disjoint and the
-// pointee outlives the scope.
+// pointee outlives the dispatch.
 unsafe impl Send for YPtr {}
 unsafe impl Sync for YPtr {}
 
@@ -103,21 +137,51 @@ impl YPtr {
     ///
     /// # Safety
     /// `i` must be in bounds and owned (exclusively) by the calling
-    /// worker for the duration of the scope.
+    /// worker for the duration of the dispatch.
     #[inline(always)]
     pub unsafe fn write(self, i: usize, value: f64) {
         // SAFETY: forwarded contract from the caller.
         unsafe { *self.0.add(i) = value };
     }
+
+    /// Reconstructs the exclusive sub-slice `[start, start + len)`.
+    ///
+    /// # Safety
+    /// The range must be in bounds, disjoint from every other
+    /// worker's range, and the buffer must outlive the dispatch.
+    #[inline(always)]
+    pub unsafe fn subslice<'s>(self, start: usize, len: usize) -> &'s mut [f64] {
+        // SAFETY: forwarded contract from the caller.
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
+    }
 }
 
 /// Executes `worker(range)` over `0..nrows` split according to
-/// `schedule`, on `nthreads` OS threads, and returns per-thread busy
-/// times.
+/// `schedule`, on the persistent worker pool for `nthreads`, and
+/// returns per-thread busy times.
+///
+/// This builds a throwaway [`Plan`] per call (recomputing any static
+/// partition). Kernels that run repeatedly hold their own `Plan`
+/// instead, which is the whole point of the engine; use this
+/// front-end for one-shot executions.
 ///
 /// `worker` must tolerate being called with any sub-range of
 /// `0..nrows` and must only touch state it owns for that range.
-pub fn execute<F>(
+pub fn execute<F>(schedule: Schedule, rowptr: &[usize], nthreads: usize, worker: F) -> ThreadTimes
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    Plan::new(schedule, rowptr, nthreads).execute(worker)
+}
+
+/// Legacy spawn-per-call execution: scoped OS threads created on
+/// every invocation, the strategy all kernels used before the
+/// persistent [`engine`](crate::engine) existed.
+///
+/// Kept (a) as an independent reference implementation for
+/// correctness tests and (b) so the dispatch bench can measure the
+/// pool's per-call saving against it. Not used by any kernel.
+pub fn execute_spawn<F>(
     schedule: Schedule,
     rowptr: &[usize],
     nthreads: usize,
@@ -171,23 +235,7 @@ where
         }
         Schedule::Guided => {
             let next = AtomicUsize::new(0);
-            run_claiming(nthreads, &mut seconds, &worker, || {
-                // Claim ~(remaining / 2*nthreads), decaying to 1.
-                loop {
-                    let s = next.load(Ordering::Relaxed);
-                    if s >= nrows {
-                        return None;
-                    }
-                    let remaining = nrows - s;
-                    let take = (remaining / (2 * nthreads)).max(1);
-                    if next
-                        .compare_exchange(s, s + take, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                    {
-                        return Some(s..(s + take).min(nrows));
-                    }
-                }
-            });
+            run_claiming(nthreads, &mut seconds, &worker, || claim_guided(&next, nrows, nthreads));
         }
     }
     ThreadTimes { seconds }
@@ -227,19 +275,30 @@ mod tests {
         (0..=nrows).map(|i| i * per_row).collect()
     }
 
-    /// Runs a schedule and checks every row is visited exactly once.
+    /// Runs a schedule and checks every row is visited exactly once,
+    /// through both the pooled and the legacy spawn path.
     fn check_coverage(schedule: Schedule, nrows: usize, nthreads: usize) {
         let rowptr = uniform_rowptr(nrows, 3);
-        let visits = Mutex::new(vec![0u32; nrows]);
-        let times = execute(schedule, &rowptr, nthreads, |range| {
-            let mut v = visits.lock().unwrap();
-            for i in range {
-                v[i] += 1;
-            }
-        });
-        let v = visits.into_inner().unwrap();
-        assert!(v.iter().all(|&c| c == 1), "{schedule:?}: rows missed or repeated");
-        assert_eq!(times.seconds.len(), nthreads);
+        for pooled in [true, false] {
+            let visits = Mutex::new(vec![0u32; nrows]);
+            let worker = |range: Range<usize>| {
+                let mut v = visits.lock().unwrap();
+                for i in range {
+                    v[i] += 1;
+                }
+            };
+            let times = if pooled {
+                execute(schedule, &rowptr, nthreads, worker)
+            } else {
+                execute_spawn(schedule, &rowptr, nthreads, worker)
+            };
+            let v = visits.into_inner().unwrap();
+            assert!(
+                v.iter().all(|&c| c == 1),
+                "{schedule:?} (pooled={pooled}): rows missed or repeated"
+            );
+            assert_eq!(times.seconds.len(), nthreads);
+        }
     }
 
     #[test]
@@ -314,5 +373,25 @@ mod tests {
         let last = *s.last().unwrap();
         assert!(first_max > last, "guided should start big and end small");
         assert_eq!(s.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn guided_claim_sizes_follow_the_decay_rule() {
+        // Claimed serially (one "thread" draining the counter), the
+        // sizes are exactly remaining / (GUIDED_DECAY * nthreads),
+        // floored at 1, until exhaustion.
+        let next = AtomicUsize::new(0);
+        let nrows = 1000;
+        let nthreads = 4;
+        let mut expected_start = 0;
+        while let Some(r) = claim_guided(&next, nrows, nthreads) {
+            assert_eq!(r.start, expected_start);
+            let want = ((nrows - r.start) / (GUIDED_DECAY * nthreads)).max(1);
+            assert_eq!(r.len(), want.min(nrows - r.start));
+            expected_start = r.end;
+        }
+        assert_eq!(expected_start, nrows);
+        // Counter stays exhausted: further claims return None.
+        assert!(claim_guided(&next, nrows, nthreads).is_none());
     }
 }

@@ -5,23 +5,33 @@ use std::ops::Range;
 
 use spmv_sparse::sellcs::SellCs;
 
-use crate::schedule::{execute, Schedule, ThreadTimes, YPtr};
+use crate::engine::Plan;
+use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
 
-/// Parallel SELL-C-σ kernel. Owns the converted matrix.
+/// Parallel SELL-C-σ kernel. Owns the converted matrix and a
+/// precomputed [`Plan`] over chunks (balanced by stored slots).
 #[derive(Debug)]
 pub struct SellKernel {
     s: SellCs,
-    /// Scheduling policy over chunks.
-    pub schedule: Schedule,
-    /// Worker thread count.
-    pub nthreads: usize,
+    plan: Plan,
 }
 
 impl SellKernel {
     /// Wraps a converted matrix.
     pub fn new(s: SellCs, nthreads: usize, schedule: Schedule) -> SellKernel {
-        SellKernel { s, nthreads, schedule }
+        let plan = Plan::new(schedule, s.chunk_slots_ptr(), nthreads);
+        SellKernel { s, plan }
+    }
+
+    /// Scheduling policy over chunks.
+    pub fn schedule(&self) -> Schedule {
+        self.plan.schedule()
+    }
+
+    /// Worker thread count.
+    pub fn nthreads(&self) -> usize {
+        self.plan.nthreads()
     }
 
     /// The converted matrix.
@@ -49,14 +59,13 @@ impl SpmvKernel for SellKernel {
         assert_eq!(x.len(), self.s.ncols(), "x length");
         assert_eq!(y.len(), self.s.nrows(), "y length");
         let yp = YPtr(y.as_mut_ptr());
-        // Balance by stored slots per chunk.
-        execute(self.schedule, self.s.chunk_slots_ptr(), self.nthreads, |chunks| {
+        self.plan.execute(|chunks| {
             self.worker(chunks, x, yp);
         })
     }
 
     fn name(&self) -> String {
-        format!("sell-{}-{}[{:?}]", self.s.chunk_size(), self.s.sigma(), self.schedule)
+        format!("sell-{}-{}[{:?}]", self.s.chunk_size(), self.s.sigma(), self.plan.schedule())
     }
 
     fn nrows(&self) -> usize {

@@ -269,7 +269,9 @@ mod tests {
     #[test]
     fn phi_latency_order_of_magnitude_above_broadwell() {
         // The paper's architectural claim that drives ML-class diversity.
-        assert!(MachineModel::knc().mem_latency_ns >= 3.0 * MachineModel::broadwell().mem_latency_ns);
+        assert!(
+            MachineModel::knc().mem_latency_ns >= 3.0 * MachineModel::broadwell().mem_latency_ns
+        );
     }
 
     #[test]

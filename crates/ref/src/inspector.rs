@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use spmv_kernels::baseline::{CsrKernel, InnerLoop};
-use spmv_kernels::schedule::{execute, Schedule, ThreadTimes};
+use spmv_kernels::schedule::{execute, Schedule, ThreadTimes, YPtr};
 use spmv_kernels::variant::SpmvKernel;
 use spmv_sparse::stats::RowStats;
 use spmv_sparse::{Csr, EllHybrid};
@@ -77,21 +77,17 @@ impl SpmvKernel for InspectorExecutor<'_> {
                 // Equal-row partitioning is fine here: ELL rows are
                 // uniform by construction.
                 let uniform_rowptr: Vec<usize> = (0..=h.nrows()).collect();
-                let yptr = YPtrLocal(y.as_mut_ptr());
-                let times = execute(
-                    Schedule::StaticRows,
-                    &uniform_rowptr,
-                    self.nthreads,
-                    |range| {
+                let yptr = YPtr(y.as_mut_ptr());
+                let times =
+                    execute(Schedule::StaticRows, &uniform_rowptr, self.nthreads, |range| {
                         if range.is_empty() {
                             return;
                         }
                         // SAFETY: `execute` yields disjoint ranges and
-                        // the buffer outlives the scope.
+                        // the buffer outlives the dispatch.
                         let out = unsafe { yptr.subslice(range.start, range.len()) };
                         h.spmv_ell_rows_into(range, x, out);
-                    },
-                );
+                    });
                 // Serial tail (few overflow entries by construction).
                 for (r, c, v) in h.tail().iter() {
                     y[r] += v * x[c];
@@ -127,26 +123,6 @@ impl SpmvKernel for InspectorExecutor<'_> {
             Plan::Ell(h) => h.footprint_bytes(),
             Plan::Csr(k) => k.format_bytes(),
         }
-    }
-}
-
-/// Local Send+Sync raw-pointer wrapper (same contract as the kernels
-/// crate's internal `YPtr`: disjoint ranges, live buffer).
-#[derive(Clone, Copy)]
-struct YPtrLocal(*mut f64);
-// SAFETY: see contract above.
-unsafe impl Send for YPtrLocal {}
-unsafe impl Sync for YPtrLocal {}
-
-impl YPtrLocal {
-    /// Reconstructs the exclusive sub-slice `[start, start + len)`.
-    ///
-    /// # Safety
-    /// The range must be in bounds, disjoint from every other
-    /// worker's range, and the buffer must outlive the thread scope.
-    unsafe fn subslice<'s>(self, start: usize, len: usize) -> &'s mut [f64] {
-        // SAFETY: forwarded contract from the caller.
-        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
     }
 }
 

@@ -53,10 +53,7 @@ impl Bounds {
 /// Collects the full bound profile for `profile` under `model`.
 pub fn collect_bounds(model: &CostModel, profile: &MatrixProfile) -> Bounds {
     let flops = 2.0 * profile.nnz as f64;
-    let bw = model
-        .machine()
-        .bandwidth_for_working_set(profile.working_set_bytes)
-        * 1e9;
+    let bw = model.machine().bandwidth_for_working_set(profile.working_set_bytes) * 1e9;
 
     let baseline = model.simulate(profile, SimSpec::baseline());
     let p_csr = baseline.gflops;
@@ -95,10 +92,9 @@ mod tests {
     fn peak_dominates_mb() {
         // P_peak assumes the indexing structures vanish, so it is
         // always at least P_MB.
-        for a in [
-            gen::banded(20_000, 20, 0.9, 1).unwrap(),
-            gen::powerlaw(50_000, 8, 2.0, 2).unwrap(),
-        ] {
+        for a in
+            [gen::banded(20_000, 20, 0.9, 1).unwrap(), gen::powerlaw(50_000, 8, 2.0, 2).unwrap()]
+        {
             let b = bounds_for(&a, MachineModel::knc());
             assert!(b.p_peak >= b.p_mb, "{}", b.summary());
         }

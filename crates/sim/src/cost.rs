@@ -151,8 +151,7 @@ impl CostModel {
         let prefetch = v.contains(Optimization::Prefetch);
         let sliced = v.contains(Optimization::SlicedEll) && !spec.no_index;
         let blocked = v.contains(Optimization::RegisterBlock) && !spec.no_index && !sliced;
-        let compress =
-            v.contains(Optimization::Compress) && !spec.no_index && !blocked && !sliced;
+        let compress = v.contains(Optimization::Compress) && !spec.no_index && !blocked && !sliced;
         let guided = v.contains(Optimization::AutoSchedule);
         let decompose_threshold = if v.contains(Optimization::Decompose) {
             auto_threshold(&profile.row_nnz, profile.nnz, nthreads)
@@ -160,8 +159,7 @@ impl CostModel {
             None
         };
 
-        let costs =
-            self.row_costs(profile, vectorize, prefetch, compress, blocked, sliced, &spec);
+        let costs = self.row_costs(profile, vectorize, prefetch, compress, blocked, sliced, &spec);
 
         // Split rows into the per-thread assignment.
         let mut cycles = vec![0.0f64; nthreads];
@@ -175,8 +173,8 @@ impl CostModel {
 
         // Long rows: every thread takes an equal element share.
         let mut any_long = false;
-        for i in 0..profile.nrows {
-            if is_long[i] {
+        for (i, &long) in is_long.iter().enumerate() {
+            if long {
                 any_long = true;
                 let share = 1.0 / nthreads as f64;
                 for t in 0..nthreads {
@@ -201,14 +199,13 @@ impl CostModel {
             let mut short_rowptr = Vec::with_capacity(profile.nrows + 1);
             short_rowptr.push(0usize);
             let mut acc = 0usize;
-            for i in 0..profile.nrows {
-                if !is_long[i] {
+            for (i, &long) in is_long.iter().enumerate() {
+                if !long {
                     acc += if spec.equal_rows { 1 } else { profile.row_nnz[i] as usize };
                 }
                 short_rowptr.push(acc);
             }
-            for (t, part) in
-                partition_rows_by_nnz(&short_rowptr, nthreads).into_iter().enumerate()
+            for (t, part) in partition_rows_by_nnz(&short_rowptr, nthreads).into_iter().enumerate()
             {
                 for i in part {
                     if !is_long[i] {
@@ -247,6 +244,9 @@ impl CostModel {
             let mut c = 0.0;
             let mut b = 0.0;
             let mut s = 0.0;
+            // Indexed loop: `r` addresses the three cost arrays and
+            // `is_long` together.
+            #[allow(clippy::needless_range_loop)]
             for r in i..end {
                 if !is_long[r] {
                     c += costs.cycles[r];
@@ -541,10 +541,8 @@ mod tests {
         let model = CostModel::new(MachineModel::knc());
         let p = profile(&a, model.machine());
         let base = model.simulate(&p, SimSpec::baseline());
-        let pref = model.simulate(
-            &p,
-            SimSpec::variant(KernelVariant::single(Optimization::Prefetch)),
-        );
+        let pref =
+            model.simulate(&p, SimSpec::variant(KernelVariant::single(Optimization::Prefetch)));
         assert!(pref.gflops > 1.3 * base.gflops, "{} vs {}", pref.gflops, base.gflops);
     }
 
@@ -555,10 +553,8 @@ mod tests {
         let p = profile(&a, model.machine());
         let base = model.simulate(&p, SimSpec::baseline());
         assert!(base.imbalance() > 3.0, "imbalance {}", base.imbalance());
-        let dec = model.simulate(
-            &p,
-            SimSpec::variant(KernelVariant::single(Optimization::Decompose)),
-        );
+        let dec =
+            model.simulate(&p, SimSpec::variant(KernelVariant::single(Optimization::Decompose)));
         assert!(dec.gflops > 2.0 * base.gflops, "{} vs {}", dec.gflops, base.gflops);
         assert!(dec.imbalance() < base.imbalance());
     }
@@ -570,8 +566,8 @@ mod tests {
         let a = gen::banded(60_000, 40, 0.9, 3).unwrap();
         let p = profile(&a, model.machine());
         let base = model.simulate(&p, SimSpec::baseline());
-        let vec = model
-            .simulate(&p, SimSpec::variant(KernelVariant::single(Optimization::Vectorize)));
+        let vec =
+            model.simulate(&p, SimSpec::variant(KernelVariant::single(Optimization::Vectorize)));
         assert!(vec.gflops / base.gflops < 1.3, "{}", vec.gflops / base.gflops);
 
         // Dense-row circuit: the serialised thread is compute-bound,
@@ -579,8 +575,8 @@ mod tests {
         let c = gen::circuit(150_000, 4, 0.3, 6, 9).unwrap();
         let pc = profile(&c, model.machine());
         let cb = model.simulate(&pc, SimSpec::baseline());
-        let cv = model
-            .simulate(&pc, SimSpec::variant(KernelVariant::single(Optimization::Vectorize)));
+        let cv =
+            model.simulate(&pc, SimSpec::variant(KernelVariant::single(Optimization::Vectorize)));
         assert!(cv.gflops > 1.2 * cb.gflops, "{} vs {}", cv.gflops, cb.gflops);
     }
 
@@ -590,8 +586,8 @@ mod tests {
         let model = CostModel::new(MachineModel::knc());
         let p = profile(&a, model.machine());
         let base = model.simulate(&p, SimSpec::baseline());
-        let comp = model
-            .simulate(&p, SimSpec::variant(KernelVariant::single(Optimization::Compress)));
+        let comp =
+            model.simulate(&p, SimSpec::variant(KernelVariant::single(Optimization::Compress)));
         assert!(comp.traffic_bytes < base.traffic_bytes);
         assert!(comp.gflops > base.gflops);
     }
@@ -618,10 +614,8 @@ mod tests {
         let model = CostModel::new(MachineModel::knl());
         let p = profile(&a, model.machine());
         let stat = model.simulate(&p, SimSpec::baseline());
-        let auto = model.simulate(
-            &p,
-            SimSpec::variant(KernelVariant::single(Optimization::AutoSchedule)),
-        );
+        let auto =
+            model.simulate(&p, SimSpec::variant(KernelVariant::single(Optimization::AutoSchedule)));
         // Same total traffic either way (same rows computed).
         assert!((stat.traffic_bytes - auto.traffic_bytes).abs() < 1e-6 * stat.traffic_bytes);
     }

@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn trivial_combined_costs_more_than_single_sweep() {
         let (model, prep, p) = setup();
-        let singles =
-            prep.trivial_sweep_seconds(&model, &p, &KernelVariant::all_singles(), 64);
+        let singles = prep.trivial_sweep_seconds(&model, &p, &KernelVariant::all_singles(), 64);
         let combined =
             prep.trivial_sweep_seconds(&model, &p, &KernelVariant::singles_and_pairs(), 64);
         assert!(combined > 2.0 * singles);

@@ -100,11 +100,8 @@ impl MatrixProfile {
     pub fn analyze(a: &Csr, machine: &MachineModel) -> MatrixProfile {
         let nrows = a.nrows();
         let ws = working_set_bytes(a) + a.nrows() * 8 + a.ncols() * 8; // + x, y
-        let llc_for_x = if ws <= machine.llc_bytes() {
-            machine.llc_bytes()
-        } else {
-            machine.llc_bytes() / 2
-        };
+        let llc_for_x =
+            if ws <= machine.llc_bytes() { machine.llc_bytes() } else { machine.llc_bytes() / 2 };
         let priv_cfg = CacheConfig {
             capacity_bytes: machine.private_cache_bytes(),
             line_bytes: machine.line_bytes,
@@ -360,18 +357,15 @@ mod tests {
         let mut m = MachineModel::knc();
         m.l2_bytes = 256 << 10; // shrink so x (64 KB per tile row) streams
         let p = MatrixProfile::analyze(&a, &m);
-        let seq: u64 =
-            p.row_misses.iter().map(|mm| u64::from(mm.seq_llc + mm.seq_mem)).sum();
+        let seq: u64 = p.row_misses.iter().map(|mm| u64::from(mm.seq_llc + mm.seq_mem)).sum();
         let rand = p.total_rand_misses();
         assert!(seq > 10 * rand.max(1), "seq {seq} rand {rand}");
     }
 
     #[test]
     fn delta_footprint_matches_real_compression() {
-        for a in [
-            gen::banded(2_000, 6, 1.0, 1).unwrap(),
-            gen::random_uniform(800, 10, 2).unwrap(),
-        ] {
+        for a in [gen::banded(2_000, 6, 1.0, 1).unwrap(), gen::random_uniform(800, 10, 2).unwrap()]
+        {
             let (bytes, _) = delta_footprint(&a);
             let d = DeltaCsr::from_csr(&a);
             assert_eq!(bytes, d.footprint_bytes());

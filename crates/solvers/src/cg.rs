@@ -111,12 +111,7 @@ mod tests {
         let mut x1 = vec![0.0; n];
         let pre = cg(&spd, &b, &mut x1, Some(&m), 1e-8, 5_000);
         assert!(plain.converged && pre.converged);
-        assert!(
-            pre.iterations <= plain.iterations,
-            "{} vs {}",
-            pre.iterations,
-            plain.iterations
-        );
+        assert!(pre.iterations <= plain.iterations, "{} vs {}", pre.iterations, plain.iterations);
     }
 
     #[test]

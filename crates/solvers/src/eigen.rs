@@ -78,7 +78,13 @@ pub fn power_method(a: &impl LinOp, tol: f64, max_iter: usize) -> EigenResult {
             };
         }
     }
-    EigenResult { eigenvalue: lambda, eigenvector: v, iterations: max_iter, delta, converged: false }
+    EigenResult {
+        eigenvalue: lambda,
+        eigenvector: v,
+        iterations: max_iter,
+        delta,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -103,8 +109,8 @@ mod tests {
     #[test]
     fn symmetric_2x2_known_spectrum() {
         // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
-        let a = Csr::from_raw(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![2.0, 1.0, 1.0, 2.0])
-            .unwrap();
+        let a =
+            Csr::from_raw(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![2.0, 1.0, 1.0, 2.0]).unwrap();
         let r = power_method(&a, 1e-13, 10_000);
         assert!((r.eigenvalue - 3.0).abs() < 1e-8, "{}", r.eigenvalue);
     }

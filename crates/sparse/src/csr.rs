@@ -68,9 +68,7 @@ impl Csr {
         }
         for i in 0..nrows {
             if rowptr[i] > rowptr[i + 1] {
-                return Err(SparseError::InvalidRowPtr(format!(
-                    "rowptr not monotone at row {i}"
-                )));
+                return Err(SparseError::InvalidRowPtr(format!("rowptr not monotone at row {i}")));
             }
             let row = &colind[rowptr[i]..rowptr[i + 1]];
             for (k, &c) in row.iter().enumerate() {
@@ -252,12 +250,12 @@ impl Csr {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "x length");
         assert_eq!(y.len(), self.nrows, "y length");
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut sum = 0.0;
             for j in self.rowptr[i]..self.rowptr[i + 1] {
                 sum += self.values[j] * x[self.colind[j] as usize];
             }
-            y[i] = sum;
+            *yi = sum;
         }
     }
 

@@ -263,6 +263,9 @@ impl DeltaCsr {
             let mut exc = self.exc_ptr[i] as usize;
             let mut col = self.firstcol[i];
             let mut sum = 0.0;
+            // Indexed loop: `j` addresses `deltas` and `values` in
+            // lockstep while threading the exception cursor.
+            #[allow(clippy::needless_range_loop)]
             for j in s..e {
                 if j > s {
                     let d: u32 = deltas[j].into();
@@ -296,6 +299,9 @@ impl DeltaCsr {
             let mut exc = self.exc_ptr[i] as usize;
             let mut col = self.firstcol[i];
             let mut sum = 0.0;
+            // Indexed loop: `j` addresses `deltas` and `values` in
+            // lockstep while threading the exception cursor.
+            #[allow(clippy::needless_range_loop)]
             for j in s..e {
                 if j > s {
                     let d = widen(&deltas[j]);
@@ -339,6 +345,9 @@ impl DeltaCsr {
             let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
             let mut exc = self.exc_ptr[i] as usize;
             let mut col = self.firstcol[i];
+            // Indexed loop: `j` addresses `deltas` while threading the
+            // exception cursor.
+            #[allow(clippy::needless_range_loop)]
             for j in s..e {
                 if j > s {
                     let d = widen(&deltas[j]);

@@ -102,9 +102,7 @@ impl EllHybrid {
 
     /// Memory footprint in bytes (slab incl. padding + tail).
     pub fn footprint_bytes(&self) -> usize {
-        self.ell_colind.len() * 4
-            + self.ell_values.len() * 8
-            + self.tail.nnz() * (4 + 4 + 8)
+        self.ell_colind.len() * 4 + self.ell_values.len() * 8 + self.tail.nnz() * (4 + 4 + 8)
     }
 
     /// Serial SpMV: `y = A * x`.

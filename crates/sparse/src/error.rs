@@ -46,10 +46,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
-                f,
-                "entry ({row}, {col}) outside {nrows}x{ncols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "entry ({row}, {col}) outside {nrows}x{ncols} matrix")
+            }
             SparseError::InvalidRowPtr(detail) => {
                 write!(f, "invalid CSR row pointer array: {detail}")
             }

@@ -43,7 +43,9 @@ pub fn circuit(
         )));
     }
     if !(dense_fill > 0.0 && dense_fill <= 1.0) {
-        return Err(SparseError::InvalidGenerator(format!("dense_fill {dense_fill} outside (0,1]")));
+        return Err(SparseError::InvalidGenerator(format!(
+            "dense_fill {dense_fill} outside (0,1]"
+        )));
     }
     if sparse_nnz_per_row == 0 {
         return Err(SparseError::InvalidGenerator("sparse_nnz_per_row must be >= 1".into()));
@@ -66,8 +68,8 @@ pub fn circuit(
     }
 
     let mut buf = Vec::new();
-    for i in 0..n {
-        if is_dense[i] {
+    for (i, &dense) in is_dense.iter().enumerate() {
+        if dense {
             // Power net: evenly strided columns across the whole row.
             let stride = (n as f64 / dense_len as f64).max(1.0);
             let mut row_abs = 0.0;
@@ -94,7 +96,11 @@ pub fn circuit(
                 } else {
                     // local coupling within +-8
                     let off = rng.gen_range(1..=8usize);
-                    if rng.gen_bool(0.5) { i.saturating_sub(off) } else { (i + off).min(n - 1) }
+                    if rng.gen_bool(0.5) {
+                        i.saturating_sub(off)
+                    } else {
+                        (i + off).min(n - 1)
+                    }
                 };
                 if c != i && !buf.contains(&(c as u32)) {
                     buf.push(c as u32);

@@ -28,9 +28,9 @@ pub mod stencil;
 pub mod suite;
 
 pub use banded::banded;
-pub use permute::{jittered_permutation, permute_symmetric};
 pub use blockdense::block_dense;
 pub use circuit::circuit;
+pub use permute::{jittered_permutation, permute_symmetric};
 pub use powerlaw::powerlaw;
 pub use random::random_uniform;
 pub use rmat::{rmat, RmatParams};

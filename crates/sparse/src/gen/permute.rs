@@ -105,12 +105,9 @@ mod tests {
         // the generator relies on.
         let w = 10;
         let p = jittered_permutation(1_000, w, 9);
-        let mean_disp: f64 = p
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v as f64 - i as f64).abs())
-            .sum::<f64>()
-            / p.len() as f64;
+        let mean_disp: f64 =
+            p.iter().enumerate().map(|(i, &v)| (v as f64 - i as f64).abs()).sum::<f64>()
+                / p.len() as f64;
         assert!(mean_disp <= 2.0 * w as f64, "mean displacement {mean_disp}");
         assert!(mean_disp >= 1.0, "permutation did nothing");
     }

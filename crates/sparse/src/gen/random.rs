@@ -89,12 +89,8 @@ mod tests {
         let d = a.diagonal();
         for (i, &di) in d.iter().enumerate() {
             let (cols, vals) = a.row(i);
-            let off: f64 = cols
-                .iter()
-                .zip(vals)
-                .filter(|(&c, _)| c as usize != i)
-                .map(|(_, v)| v.abs())
-                .sum();
+            let off: f64 =
+                cols.iter().zip(vals).filter(|(&c, _)| c as usize != i).map(|(_, v)| v.abs()).sum();
             assert!(di > off);
         }
     }

@@ -126,12 +126,12 @@ impl SuiteMatrix {
             Archetype::Stencil2d { nx, ny, jitter } => {
                 jittered(stencil_2d(sq(nx), sq(ny))?, (jitter as f64 * scale) as usize, seed)
             }
-            Archetype::Stencil3d { nx, ny, nz, jitter } => {
-                jittered(stencil_3d(cb(nx), cb(ny), cb(nz))?, (jitter as f64 * scale) as usize, seed)
-            }
-            Archetype::RandomUniform { n, nnz_per_row } => {
-                random_uniform(s(n), nnz_per_row, seed)
-            }
+            Archetype::Stencil3d { nx, ny, nz, jitter } => jittered(
+                stencil_3d(cb(nx), cb(ny), cb(nz))?,
+                (jitter as f64 * scale) as usize,
+                seed,
+            ),
+            Archetype::RandomUniform { n, nnz_per_row } => random_uniform(s(n), nnz_per_row, seed),
             Archetype::Powerlaw { n, avg_deg, alpha } => powerlaw(s(n), avg_deg, alpha, seed),
             Archetype::Circuit { n, n_dense_rows, dense_fill, sparse_nnz_per_row } => {
                 circuit(s(n), n_dense_rows, dense_fill, sparse_nnz_per_row, seed)
@@ -426,8 +426,7 @@ mod tests {
     fn corpus_spans_archetypes() {
         let c = corpus(12, 0.1, 42);
         assert_eq!(c.len(), 12);
-        let names: Vec<&str> =
-            c.iter().map(|e| e.name.split('_').next().unwrap()).collect();
+        let names: Vec<&str> = c.iter().map(|e| e.name.split('_').next().unwrap()).collect();
         for kind in ["banded", "stencil2d", "random", "powerlaw", "circuit", "blockdense"] {
             assert!(names.contains(&kind), "{kind} missing from corpus");
         }

@@ -54,7 +54,10 @@ fn parse_header(line: &str) -> Result<MmHeader> {
     if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
         return Err(SparseError::Parse {
             line: 1,
-            detail: format!("only 'matrix coordinate' is supported, got {:?} {:?}", toks[1], toks[2]),
+            detail: format!(
+                "only 'matrix coordinate' is supported, got {:?} {:?}",
+                toks[1], toks[2]
+            ),
         });
     }
     let field = match toks[3].to_ascii_lowercase().as_str() {

@@ -41,8 +41,7 @@ pub fn spy(a: &Csr, width: usize, height: usize) -> String {
         out.push('|');
         for gx in 0..width {
             let density = counts[gy * width + gx] as f64 / capacity;
-            let level = ((density * (RAMP.len() - 1) as f64).ceil() as usize)
-                .min(RAMP.len() - 1);
+            let level = ((density * (RAMP.len() - 1) as f64).ceil() as usize).min(RAMP.len() - 1);
             out.push(RAMP[level] as char);
         }
         out.push_str("|\n");
@@ -64,7 +63,7 @@ mod tests {
         let s = spy(&a, 8, 8);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 10); // 8 rows + 2 borders
-        // Diagonal cells are non-blank; off-diagonal corners blank.
+                                     // Diagonal cells are non-blank; off-diagonal corners blank.
         for k in 0..8 {
             let row = lines[k + 1].as_bytes();
             assert_ne!(row[k + 1], b' ', "diagonal cell ({k},{k}) empty");

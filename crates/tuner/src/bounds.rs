@@ -12,10 +12,8 @@
 //!   from the baseline's per-thread times and `P_MB` / `P_peak`
 //!   computed analytically from the machine's bandwidth.
 
-use std::time::Instant;
-
 use spmv_kernels::baseline::CsrKernel;
-use spmv_kernels::schedule::{execute, Schedule};
+use spmv_kernels::schedule::{execute, Schedule, YPtr};
 use spmv_kernels::variant::SpmvKernel;
 use spmv_machine::MachineModel;
 use spmv_sim::bounds::{collect_bounds, Bounds};
@@ -85,21 +83,11 @@ impl HostSource {
         HostSource { machine, nthreads, reps: reps.max(1) }
     }
 
-    /// Runs `kernel` `reps` times; returns (best seconds, per-thread
-    /// seconds of the best run).
+    /// Runs `kernel` `reps` times on the persistent pool; returns
+    /// (best seconds, per-thread seconds of the best run).
     fn time_kernel(&self, kernel: &dyn SpmvKernel, x: &[f64], y: &mut [f64]) -> (f64, Vec<f64>) {
-        let mut best = f64::INFINITY;
-        let mut best_threads = Vec::new();
-        for _ in 0..self.reps {
-            let t0 = Instant::now();
-            let times = kernel.run_timed(x, y);
-            let dt = t0.elapsed().as_secs_f64();
-            if dt < best {
-                best = dt;
-                best_threads = times.seconds;
-            }
-        }
-        (best, best_threads)
+        let (best, times) = kernel.run_repeated(x, y, self.reps);
+        (best, times.seconds)
     }
 }
 
@@ -188,6 +176,8 @@ fn time_no_index_kernel(
     impl SpmvKernel for NoIndexKernel<'_> {
         fn run_timed(&self, x: &[f64], y: &mut [f64]) -> spmv_kernels::schedule::ThreadTimes {
             assert_eq!(y.len(), self.a.nrows());
+            // The kernels crate's shared YPtr carries the disjoint-write
+            // contract; this module used to duplicate it locally.
             let yp = YPtr(y.as_mut_ptr());
             let rowptr = self.a.rowptr();
             let values = self.a.values();
@@ -216,35 +206,10 @@ fn time_no_index_kernel(
             self.a.values_bytes()
         }
     }
-    #[derive(Clone, Copy)]
-    struct YPtr(*mut f64);
-    // SAFETY: workers receive disjoint row ranges.
-    unsafe impl Send for YPtr {}
-    unsafe impl Sync for YPtr {}
-    impl YPtr {
-        /// # Safety
-        /// `i` must be in bounds and exclusively owned by the caller.
-        #[inline]
-        unsafe fn write(self, i: usize, v: f64) {
-            // SAFETY: forwarded contract from the caller.
-            unsafe { *self.0.add(i) = v };
-        }
-    }
-
     let k = NoIndexKernel { a, nthreads };
     k.run(x, y); // warm-up
-    let mut best = f64::INFINITY;
-    let mut best_threads = Vec::new();
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let times = k.run_timed(x, y);
-        let dt = t0.elapsed().as_secs_f64();
-        if dt < best {
-            best = dt;
-            best_threads = times.seconds;
-        }
-    }
-    (best, best_threads)
+    let (best, times) = k.run_repeated(x, y, reps);
+    (best, times.seconds)
 }
 
 #[cfg(test)]

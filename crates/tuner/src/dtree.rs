@@ -34,15 +34,8 @@ impl Default for TreeParams {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        label: u8,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: usize,
-        right: usize,
-    },
+    Leaf { label: u8 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
 /// A fitted CART classifier over `u8` labels.
@@ -65,11 +58,8 @@ impl DecisionTree {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         let n_features = x[0].len();
         assert!(x.iter().all(|row| row.len() == n_features), "ragged feature matrix");
-        let mut tree = DecisionTree {
-            nodes: Vec::new(),
-            n_features,
-            importances: vec![0.0; n_features],
-        };
+        let mut tree =
+            DecisionTree { nodes: Vec::new(), n_features, importances: vec![0.0; n_features] };
         let idx: Vec<u32> = (0..x.len() as u32).collect();
         tree.grow(x, y, idx, 0, params);
         // Normalise importances.
@@ -213,11 +203,12 @@ fn best_split(
     let total_counts = count_labels(y, idx);
     let mut best: Option<SplitChoice> = None;
     let mut order: Vec<u32> = idx.to_vec();
+    // `f` is a feature index across every sample row, not an index
+    // into a single iterable.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..x[0].len() {
         order.sort_by(|&a, &b| {
-            x[a as usize][f]
-                .partial_cmp(&x[b as usize][f])
-                .expect("features must not be NaN")
+            x[a as usize][f].partial_cmp(&x[b as usize][f]).expect("features must not be NaN")
         });
         let mut left = [0usize; N_LABELS];
         let mut right = total_counts;
@@ -332,8 +323,7 @@ mod tests {
     fn multilabel_powerset_labels_roundtrip() {
         // Labels are ClassSet bit patterns; the tree treats them
         // atomically.
-        let x: Vec<Vec<f64>> =
-            (0..30).map(|i| vec![(i / 10) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i / 10) as f64]).collect();
         let y: Vec<u8> = (0..30).map(|i| [0b0001u8, 0b0110, 0b1010][i / 10]).collect();
         let t = fit(&x, &y);
         assert_eq!(t.predict(&[0.0]), 0b0001);

@@ -105,13 +105,7 @@ pub fn loocv_predictions(
     let mut train: Vec<(FeatureVector, ClassSet)> = Vec::with_capacity(samples.len() - 1);
     for held in 0..samples.len() {
         train.clear();
-        train.extend(
-            samples
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != held)
-                .map(|(_, s)| *s),
-        );
+        train.extend(samples.iter().enumerate().filter(|(i, _)| *i != held).map(|(_, s)| *s));
         let clf = FeatureGuidedClassifier::train(&train, set, params);
         out.push(clf.predict(&samples[held].0));
     }
@@ -134,10 +128,7 @@ pub struct ClassMetrics {
 /// Computes per-class precision/recall from per-sample `(predicted,
 /// label)` pairs — the binary-relevance view of the multi-label
 /// problem, finer-grained than the paper's match ratios.
-pub fn per_class_metrics(
-    predictions: &[ClassSet],
-    labels: &[ClassSet],
-) -> Vec<ClassMetrics> {
+pub fn per_class_metrics(predictions: &[ClassSet], labels: &[ClassSet]) -> Vec<ClassMetrics> {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     Bottleneck::ALL
         .iter()
@@ -216,8 +207,7 @@ mod tests {
             let random = gen::random_uniform(3_000 + 100 * seed as usize, 12, seed).unwrap();
             samples.push((fv(&random), ClassSet::of(&[Bottleneck::ML])));
             let circuit = gen::circuit(4_000 + 100 * seed as usize, 2, 0.4, 5, seed).unwrap();
-            samples
-                .push((fv(&circuit), ClassSet::of(&[Bottleneck::IMB, Bottleneck::CMP])));
+            samples.push((fv(&circuit), ClassSet::of(&[Bottleneck::IMB, Bottleneck::CMP])));
         }
         samples
     }
@@ -225,15 +215,11 @@ mod tests {
     #[test]
     fn learns_archetype_separation() {
         let samples = corpus();
-        let clf =
-            FeatureGuidedClassifier::train(&samples, FeatureSet::Full, TreeParams::default());
+        let clf = FeatureGuidedClassifier::train(&samples, FeatureSet::Full, TreeParams::default());
         let banded = gen::banded(5_000, 12, 0.9, 99).unwrap();
         assert_eq!(clf.predict(&fv(&banded)), ClassSet::of(&[Bottleneck::MB]));
         let circuit = gen::circuit(5_000, 2, 0.4, 5, 99).unwrap();
-        assert_eq!(
-            clf.predict(&fv(&circuit)),
-            ClassSet::of(&[Bottleneck::IMB, Bottleneck::CMP])
-        );
+        assert_eq!(clf.predict(&fv(&circuit)), ClassSet::of(&[Bottleneck::IMB, Bottleneck::CMP]));
     }
 
     #[test]
@@ -251,10 +237,7 @@ mod tests {
         let clf =
             FeatureGuidedClassifier::train(&samples, FeatureSet::RowOnly, TreeParams::default());
         assert_eq!(clf.feature_set(), FeatureSet::RowOnly);
-        assert_eq!(
-            clf.feature_importances().len(),
-            FeatureSet::RowOnly.names().len()
-        );
+        assert_eq!(clf.feature_importances().len(), FeatureSet::RowOnly.names().len());
     }
 
     #[test]
@@ -290,9 +273,9 @@ mod tests {
             ClassSet::EMPTY,
         ];
         let predictions = vec![
-            ClassSet::of(&[MB]),        // MB: TP
-            ClassSet::of(&[MB]),        // MB: FP, ML: FN
-            ClassSet::of(&[ML, IMB]),   // ML,IMB: TP
+            ClassSet::of(&[MB]),      // MB: TP
+            ClassSet::of(&[MB]),      // MB: FP, ML: FN
+            ClassSet::of(&[ML, IMB]), // ML,IMB: TP
             ClassSet::EMPTY,
         ];
         let m = per_class_metrics(&predictions, &labels);
@@ -315,11 +298,7 @@ mod tests {
         let preds = loocv_predictions(&samples, FeatureSet::Full, TreeParams::default());
         assert_eq!(preds.len(), samples.len());
         let acc = loocv(&samples, FeatureSet::Full, TreeParams::default());
-        let exact = preds
-            .iter()
-            .zip(&samples)
-            .filter(|(p, (_, l))| *p == l)
-            .count() as f64
+        let exact = preds.iter().zip(&samples).filter(|(p, (_, l))| *p == l).count() as f64
             / samples.len() as f64;
         assert!((acc.exact - exact).abs() < 1e-12);
     }

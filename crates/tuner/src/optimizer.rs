@@ -56,8 +56,7 @@ pub struct Optimizer {
 
 impl Optimizer {
     fn base(machine: &MachineModel, strategy: Strategy) -> Optimizer {
-        let host_threads =
-            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let host_threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
         Optimizer {
             machine: machine.clone(),
             strategy,
@@ -294,9 +293,6 @@ mod tests {
         let m = MachineModel::host();
         assert_eq!(Optimizer::oracle(&m).strategy(), Strategy::Oracle);
         assert_eq!(Optimizer::profile_guided(&m).strategy(), Strategy::ProfileGuided);
-        assert_eq!(
-            Optimizer::trivial_combined(&m).strategy(),
-            Strategy::TrivialCombined
-        );
+        assert_eq!(Optimizer::trivial_combined(&m).strategy(), Strategy::TrivialCombined);
     }
 }

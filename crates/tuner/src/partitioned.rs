@@ -40,8 +40,7 @@ impl PartitionedMlDetector {
     pub fn max_stall_share(&self, profile: &MatrixProfile, machine: &MachineModel) -> f64 {
         let rate = machine.freq_ghz * 1e9 / machine.threads_per_core as f64;
         let bw_thread = machine.bw_main_gbps * 1e9 / machine.total_threads() as f64;
-        let parts =
-            spmv_sparse::csr::partition_rows_by_nnz(&profile.rowptr, self.nparts.max(1));
+        let parts = spmv_sparse::csr::partition_rows_by_nnz(&profile.rowptr, self.nparts.max(1));
         let mut best = 0.0f64;
         for part in parts {
             let mut cyc = 0.0;
@@ -145,8 +144,7 @@ mod tests {
         let m = MachineModel::knc();
         let a = gen::random_uniform(120_000, 10, 3).unwrap();
         let p = profile(&a, &m);
-        let strict =
-            PartitionedMlDetector { stall_share_threshold: 1.1, ..Default::default() };
+        let strict = PartitionedMlDetector { stall_share_threshold: 1.1, ..Default::default() };
         assert!(!strict.detect(&p, &m));
     }
 }

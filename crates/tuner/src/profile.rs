@@ -99,10 +99,8 @@ where
     assert!(!grid.is_empty(), "empty grid");
     let mut memo: Vec<std::collections::HashMap<u8, f64>> =
         vec![std::collections::HashMap::new(); bounds.len()];
-    let mut best = GridSearchResult {
-        thresholds: Thresholds::default(),
-        mean_gain: f64::NEG_INFINITY,
-    };
+    let mut best =
+        GridSearchResult { thresholds: Thresholds::default(), mean_gain: f64::NEG_INFINITY };
     for &t_ml in grid {
         for &t_imb in grid {
             let thresholds = Thresholds { t_ml, t_imb, ..Thresholds::default() };

@@ -22,20 +22,14 @@ fn main() {
             "irregular (poisson3Db-like)",
             spmv_tune::sparse::gen::banded(80_000, 2_500, 0.006, 2).unwrap(),
         ),
-        (
-            "circuit (rajat30-like)",
-            spmv_tune::sparse::gen::circuit(150_000, 5, 0.3, 8, 3).unwrap(),
-        ),
-        (
-            "web graph (flickr-like)",
-            spmv_tune::sparse::gen::powerlaw(120_000, 12, 1.7, 4).unwrap(),
-        ),
+        ("circuit (rajat30-like)", spmv_tune::sparse::gen::circuit(150_000, 5, 0.3, 8, 3).unwrap()),
+        ("web graph (flickr-like)", spmv_tune::sparse::gen::powerlaw(120_000, 12, 1.7, 4).unwrap()),
     ];
 
     let classifier = ProfileClassifier::default();
     println!(
-        "{:<28} {:<12} {:>8} {:>8} {:>8} {:>8} {:>8}   {}",
-        "matrix", "platform", "P_CSR", "P_ML", "P_IMB", "P_CMP", "P_MB", "classes -> optimizations"
+        "{:<28} {:<12} {:>8} {:>8} {:>8} {:>8} {:>8}   classes -> optimizations",
+        "matrix", "platform", "P_CSR", "P_ML", "P_IMB", "P_CMP", "P_MB"
     );
     for (name, a) in &matrices {
         for machine in MachineModel::paper_platforms() {
@@ -43,8 +37,7 @@ fn main() {
             let profile = MatrixProfile::analyze(a, &machine);
             let bounds = collect_bounds(&model, &profile);
             let classes = classifier.classify(&bounds);
-            let features =
-                FeatureVector::extract(a, machine.llc_bytes(), machine.line_elems());
+            let features = FeatureVector::extract(a, machine.llc_bytes(), machine.line_elems());
             let variant = classes.to_variant(&features);
             println!(
                 "{:<28} {:<12} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   {} -> {}",

@@ -51,18 +51,13 @@ fn main() {
     );
     assert!(stats.converged, "solver failed to converge");
 
-    let max_err = x
-        .iter()
-        .zip(&x_true)
-        .map(|(u, v)| (u - v).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = x.iter().zip(&x_true).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
     println!("max |x - x_true| = {max_err:.3e}");
 
     // Amortization: time one baseline SpMV vs one tuned SpMV.
     let xv = vec![1.0; n];
     let mut yv = vec![0.0; n];
-    let time_kernel = |k: &dyn spmv_tune::kernels::variant::SpmvKernel,
-                       yv: &mut Vec<f64>| {
+    let time_kernel = |k: &dyn spmv_tune::kernels::variant::SpmvKernel, yv: &mut Vec<f64>| {
         let reps = 10;
         let t0 = Instant::now();
         for _ in 0..reps {

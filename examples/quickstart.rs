@@ -65,11 +65,7 @@ fn main() {
     // Correctness check against the serial reference.
     let mut y_serial = vec![0.0f64; a.nrows()];
     a.spmv(&x, &mut y_serial);
-    let max_err = y
-        .iter()
-        .zip(&y_serial)
-        .map(|(u, v)| (u - v).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = y.iter().zip(&y_serial).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
     println!("max |tuned - serial| = {max_err:.3e}");
     assert!(max_err < 1e-9);
 }

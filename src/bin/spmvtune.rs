@@ -61,9 +61,7 @@ INPUT is a MatrixMarket file path or preset:NAME[:SCALE]
 
 /// Parses `--flag value` style options out of an argument list.
 fn option<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.windows(2)
-        .find(|w| w[0] == flag)
-        .map(|w| w[1].as_str())
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].as_str())
 }
 
 fn parse_machine(args: &[String]) -> Result<MachineModel, String> {
@@ -100,10 +98,7 @@ fn load_input(args: &[String]) -> Result<(String, Csr), String> {
 fn cmd_suite() -> Result<(), String> {
     println!("{:<18} {:>10} {:>12}  archetype", "preset", "paper N", "paper NNZ");
     for m in SUITE {
-        println!(
-            "{:<18} {:>10} {:>12}  {:?}",
-            m.name, m.paper_n, m.paper_nnz, m.archetype
-        );
+        println!("{:<18} {:>10} {:>12}  {:?}", m.name, m.paper_n, m.paper_nnz, m.archetype);
     }
     println!("\nuse as: spmvtune analyze preset:NAME[:SCALE]");
     Ok(())
@@ -117,10 +112,20 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 
     let fv = FeatureVector::extract(&a, machine.llc_bytes(), machine.line_elems());
     println!("structural features (paper Table 2):");
-    println!("  nnz/row: min {} max {} avg {:.1} sd {:.1}", fv.nnz_min, fv.nnz_max, fv.nnz_avg, fv.nnz_sd);
+    println!(
+        "  nnz/row: min {} max {} avg {:.1} sd {:.1}",
+        fv.nnz_min, fv.nnz_max, fv.nnz_avg, fv.nnz_sd
+    );
     println!("  bandwidth: avg {:.1} sd {:.1}", fv.bw_avg, fv.bw_sd);
-    println!("  scatter avg {:.3}, clustering avg {:.3}, misses avg {:.2}", fv.scatter_avg, fv.clustering_avg, fv.misses_avg);
-    println!("  working set {} LLC of {}", if fv.size_fits_llc > 0.5 { "fits" } else { "exceeds" }, machine.name);
+    println!(
+        "  scatter avg {:.3}, clustering avg {:.3}, misses avg {:.2}",
+        fv.scatter_avg, fv.clustering_avg, fv.misses_avg
+    );
+    println!(
+        "  working set {} LLC of {}",
+        if fv.size_fits_llc > 0.5 { "fits" } else { "exceeds" },
+        machine.name
+    );
 
     let model = CostModel::new(machine.clone());
     let profile = MatrixProfile::analyze(&a, &machine);
@@ -159,7 +164,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         if gf > best.1 {
             best = (v, gf);
         }
-        println!("  {:<24} {:>8.2} GFLOP/s  (prep {:>7.2} ms)", v.to_string(), gf, built.prep_seconds * 1e3);
+        println!(
+            "  {:<24} {:>8.2} GFLOP/s  (prep {:>7.2} ms)",
+            v.to_string(),
+            gf,
+            built.prep_seconds * 1e3
+        );
     }
     println!("best: {} at {:.2} GFLOP/s", best.0, best.1);
     Ok(())

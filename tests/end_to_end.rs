@@ -3,7 +3,6 @@
 
 use spmv_tune::prelude::*;
 use spmv_tune::sparse::gen;
-use spmv_tune::tuner::optimizer::Strategy;
 
 fn archetypes() -> Vec<(&'static str, Csr)> {
     vec![

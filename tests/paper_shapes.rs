@@ -117,9 +117,7 @@ fn fig1_shows_help_and_harm() {
     let helps: Vec<u32> = report
         .lines()
         .filter(|l| l.contains("helped"))
-        .filter_map(|l| {
-            l.split("helped").nth(1)?.trim().split(',').next()?.trim().parse().ok()
-        })
+        .filter_map(|l| l.split("helped").nth(1)?.trim().split(',').next()?.trim().parse().ok())
         .collect();
     assert!(helps.iter().any(|&h| h > 0), "no optimization ever helps: {report}");
 }

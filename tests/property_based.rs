@@ -15,8 +15,7 @@ use spmv_tune::sparse::{Bcsr, Coo, Csr, DecomposedCsr, DeltaCsr, SellCs};
 fn arb_matrix() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
     (1usize..40, 1usize..40).prop_flat_map(|(nrows, ncols)| {
         let entry = (0..nrows, 0..ncols, -5.0f64..5.0);
-        proptest::collection::vec(entry, 0..200)
-            .prop_map(move |entries| (nrows, ncols, entries))
+        proptest::collection::vec(entry, 0..200).prop_map(move |entries| (nrows, ncols, entries))
     })
 }
 
