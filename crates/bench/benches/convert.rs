@@ -14,7 +14,7 @@ fn bench_conversions(c: &mut Criterion) {
     let mut group = c.benchmark_group("convert");
     group.throughput(Throughput::Elements(banded.nnz() as u64));
     group.bench_function("delta_compress/banded", |b| {
-        b.iter(|| black_box(DeltaCsr::from_csr(black_box(&banded))));
+        b.iter(|| black_box(DeltaCsr::from_csr(black_box(&banded)).unwrap()));
     });
     group.bench_function("decompose/circuit", |b| {
         b.iter(|| black_box(DecomposedCsr::split(black_box(&circuit), 128).expect("threshold")));

@@ -7,14 +7,17 @@
 
 use std::ops::Range;
 
-use spmv_sparse::Csr;
+use spmv_sparse::{Csr, MaybeValidated};
 
 use crate::engine::Plan;
 use crate::prefetch::PREFETCH_DIST;
-use crate::prefetch::{row_sum_prefetch, row_sum_unrolled_prefetch};
+use crate::prefetch::{
+    row_sum_prefetch, row_sum_prefetch_unchecked, row_sum_unrolled_prefetch,
+    row_sum_unrolled_prefetch_unchecked,
+};
 use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
-use crate::vectorized::row_sum_unrolled;
+use crate::vectorized::{row_sum_unrolled, row_sum_unrolled_unchecked};
 
 /// Inner-loop flavor of a CSR-like kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +53,27 @@ impl InnerLoop {
             InnerLoop::UnrolledPrefetch => row_sum_unrolled_prefetch(cols, vals, x, PREFETCH_DIST),
         }
     }
+
+    /// [`InnerLoop::row_sum`] with per-element bounds checks elided.
+    ///
+    /// # Safety
+    /// `cols.len() == vals.len()` and every entry of `cols` indexes in
+    /// bounds of `x` — guaranteed when the row comes from a
+    /// [`spmv_sparse::Validated`] CSR witness and `x.len() == ncols`.
+    #[inline(always)]
+    pub unsafe fn row_sum_unchecked(self, cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+        // SAFETY: each arm forwards the caller's contract unchanged.
+        unsafe {
+            match self {
+                InnerLoop::Scalar => row_sum_scalar_unchecked(cols, vals, x),
+                InnerLoop::Unrolled => row_sum_unrolled_unchecked(cols, vals, x),
+                InnerLoop::Prefetch => row_sum_prefetch_unchecked(cols, vals, x, PREFETCH_DIST),
+                InnerLoop::UnrolledPrefetch => {
+                    row_sum_unrolled_prefetch_unchecked(cols, vals, x, PREFETCH_DIST)
+                }
+            }
+        }
+    }
 }
 
 /// Scalar row dot product (the paper's Fig. 2 inner loop).
@@ -62,14 +86,37 @@ pub fn row_sum_scalar(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
     sum
 }
 
+/// [`row_sum_scalar`] with the gather bounds check elided.
+///
+/// # Safety
+/// Every entry of `cols` must index in bounds of `x` — guaranteed
+/// when the row comes from a [`spmv_sparse::Validated`] CSR witness
+/// and `x.len() == ncols`.
+#[inline(always)]
+pub unsafe fn row_sum_scalar_unchecked(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for (c, v) in cols.iter().zip(vals) {
+        // SAFETY: the validated column is < x.len() (contract).
+        sum += v * unsafe { *x.get_unchecked(*c as usize) };
+    }
+    sum
+}
+
 /// Parallel CSR SpMV kernel.
 ///
 /// Holds a precomputed [`Plan`] (partition + persistent worker pool),
 /// so repeated [`run`](SpmvKernel::run) calls pay neither thread
 /// spawning nor partition recomputation.
+///
+/// The matrix is structurally verified once at construction: a
+/// [`spmv_sparse::Validated`] witness admits the parallel unchecked
+/// fast path, while a matrix that fails verification silently falls
+/// back to the serial fully-checked [`Csr::spmv`] (correct for any
+/// in-bounds structure, and panics rather than corrupting memory on
+/// anything worse).
 #[derive(Debug)]
 pub struct CsrKernel<'a> {
-    a: &'a Csr,
+    a: MaybeValidated<&'a Csr>,
     plan: Plan,
     flavor: InnerLoop,
 }
@@ -88,7 +135,14 @@ impl<'a> CsrKernel<'a> {
         schedule: Schedule,
         flavor: InnerLoop,
     ) -> CsrKernel<'a> {
-        let plan = Plan::new(schedule, a.rowptr(), nthreads);
+        let a = MaybeValidated::new(a);
+        // An unvalidated matrix never reaches the parallel path, so its
+        // plan partitions nothing (a possibly-corrupt rowptr must not
+        // drive partitioning arithmetic either).
+        let plan = match &a {
+            MaybeValidated::Validated(v) => Plan::new(schedule, v.rowptr(), nthreads),
+            MaybeValidated::Unvalidated(_) => Plan::new(schedule, &[0], nthreads),
+        };
         CsrKernel { a, plan, flavor }
     }
 
@@ -107,25 +161,42 @@ impl<'a> CsrKernel<'a> {
         self.flavor
     }
 
-    fn worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
+    /// Whether the matrix passed structural verification (and the
+    /// kernel therefore runs the parallel unchecked fast path).
+    pub fn is_validated(&self) -> bool {
+        self.a.is_validated()
+    }
+
+    fn worker(&self, a: &Csr, range: Range<usize>, x: &[f64], y: YPtr) {
         let flavor = self.flavor;
         for i in range {
-            let (cols, vals) = self.a.row(i);
-            // SAFETY: `execute` hands each worker disjoint row ranges
-            // and `y` points at a live buffer of `nrows` elements.
-            unsafe { y.write(i, flavor.row_sum(cols, vals, x)) };
+            let (cols, vals) = a.row(i);
+            // SAFETY: this path is only reached with a Validated witness
+            // (row_sum_unchecked's contract: columns < ncols == x.len());
+            // `execute` hands each worker disjoint row ranges and `y`
+            // points at a live buffer of `nrows` elements.
+            unsafe { y.write(i, flavor.row_sum_unchecked(cols, vals, x)) };
         }
     }
 }
 
 impl SpmvKernel for CsrKernel<'_> {
     fn run_timed(&self, x: &[f64], y: &mut [f64]) -> ThreadTimes {
-        assert_eq!(x.len(), self.a.ncols(), "x length");
-        assert_eq!(y.len(), self.a.nrows(), "y length");
-        let yp = YPtr(y.as_mut_ptr());
-        self.plan.execute(|range| {
-            self.worker(range, x, yp);
-        })
+        let a = *self.a.get();
+        assert_eq!(x.len(), a.ncols(), "x length");
+        assert_eq!(y.len(), a.nrows(), "y length");
+        match &self.a {
+            MaybeValidated::Validated(v) => {
+                let a = *v.get();
+                let yp = YPtr(y.as_mut_ptr());
+                self.plan.execute(|range| {
+                    self.worker(a, range, x, yp);
+                })
+            }
+            MaybeValidated::Unvalidated(a) => checked_fallback(self.plan.nthreads(), || {
+                a.spmv(x, y);
+            }),
+        }
     }
 
     fn name(&self) -> String {
@@ -133,16 +204,27 @@ impl SpmvKernel for CsrKernel<'_> {
     }
 
     fn nrows(&self) -> usize {
-        self.a.nrows()
+        self.a.get().nrows()
     }
 
     fn ncols(&self) -> usize {
-        self.a.ncols()
+        self.a.get().ncols()
     }
 
     fn format_bytes(&self) -> usize {
-        self.a.footprint_bytes()
+        self.a.get().footprint_bytes()
     }
+}
+
+/// Runs a serial fully-checked kernel body and reports its wall time
+/// as worker 0's busy time (the other workers stay idle). Shared by
+/// every kernel's unvalidated fallback path.
+pub(crate) fn checked_fallback(nthreads: usize, body: impl FnOnce()) -> ThreadTimes {
+    let t0 = std::time::Instant::now();
+    body();
+    let mut seconds = vec![0.0; nthreads.max(1)];
+    seconds[0] = t0.elapsed().as_secs_f64();
+    ThreadTimes { seconds }
 }
 
 #[cfg(test)]

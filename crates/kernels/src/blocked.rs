@@ -4,16 +4,23 @@
 use std::ops::Range;
 
 use spmv_sparse::bcsr::Bcsr;
+use spmv_sparse::MaybeValidated;
 
+use crate::baseline::checked_fallback;
 use crate::engine::Plan;
 use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
 
 /// Parallel BCSR kernel. Owns the blocked matrix (conversion
 /// product) and a precomputed [`Plan`] over block rows.
+///
+/// The block structure is verified once at construction; only a
+/// [`spmv_sparse::Validated`] witness admits the parallel unchecked
+/// block path, anything else falls back to the serial fully-checked
+/// [`Bcsr::spmv`].
 #[derive(Debug)]
 pub struct BcsrKernel {
-    b: Bcsr,
+    b: MaybeValidated<Bcsr>,
     plan: Plan,
     /// Nonzeros of the original matrix (blocks carry padding, so
     /// GFLOP/s accounting needs the true count).
@@ -23,15 +30,20 @@ pub struct BcsrKernel {
 impl BcsrKernel {
     /// Wraps a blocked matrix.
     pub fn new(b: Bcsr, nthreads: usize, schedule: Schedule, original_nnz: usize) -> BcsrKernel {
+        let b = MaybeValidated::new(b);
         // A pseudo row pointer in units of stored blocks balances the
-        // per-thread work.
-        let plan = Plan::new(schedule, b.browptr(), nthreads);
+        // per-thread work. A corrupt browptr must not drive
+        // partitioning arithmetic.
+        let plan = match &b {
+            MaybeValidated::Validated(v) => Plan::new(schedule, v.browptr(), nthreads),
+            MaybeValidated::Unvalidated(_) => Plan::new(schedule, &[0], nthreads),
+        };
         BcsrKernel { b, plan, original_nnz }
     }
 
     /// The blocked matrix.
     pub fn matrix(&self) -> &Bcsr {
-        &self.b
+        self.b.get()
     }
 
     /// Scheduling policy over block rows.
@@ -44,46 +56,64 @@ impl BcsrKernel {
         self.plan.nthreads()
     }
 
-    fn worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
+    /// Whether the matrix passed structural verification (and the
+    /// kernel therefore runs the parallel unchecked fast path).
+    pub fn is_validated(&self) -> bool {
+        self.b.is_validated()
+    }
+
+    fn worker(&self, b: &Bcsr, range: Range<usize>, x: &[f64], y: YPtr) {
         if range.is_empty() {
             return;
         }
-        let (r, _) = self.b.block_shape();
+        let (r, _) = b.block_shape();
         let row0 = range.start * r;
-        let row1 = (range.end * r).min(self.b.nrows());
+        let row1 = (range.end * r).min(b.nrows());
         // SAFETY: block-row ranges from the plan are disjoint, hence
         // the scalar row ranges [row0, row1) are disjoint too; the
         // buffer is the caller's live `&mut [f64]`.
         let out = unsafe { y.subslice(row0, row1 - row0) };
-        self.b.spmv_block_rows_into(range, x, out);
+        // SAFETY: this path is only reached with a Validated witness
+        // (every block column origin lands inside the matrix and the
+        // value array covers all stored blocks) and `x.len() == ncols`
+        // was asserted by `run_timed`.
+        unsafe { b.spmv_block_rows_into_unchecked(range, x, out) };
     }
 }
 
 impl SpmvKernel for BcsrKernel {
     fn run_timed(&self, x: &[f64], y: &mut [f64]) -> ThreadTimes {
-        assert_eq!(x.len(), self.b.ncols(), "x length");
-        assert_eq!(y.len(), self.b.nrows(), "y length");
-        let yp = YPtr(y.as_mut_ptr());
-        self.plan.execute(|range| {
-            self.worker(range, x, yp);
-        })
+        assert_eq!(x.len(), self.b.get().ncols(), "x length");
+        assert_eq!(y.len(), self.b.get().nrows(), "y length");
+        match &self.b {
+            MaybeValidated::Validated(v) => {
+                let b = v.get();
+                let yp = YPtr(y.as_mut_ptr());
+                self.plan.execute(|range| {
+                    self.worker(b, range, x, yp);
+                })
+            }
+            MaybeValidated::Unvalidated(b) => checked_fallback(self.plan.nthreads(), || {
+                b.spmv(x, y);
+            }),
+        }
     }
 
     fn name(&self) -> String {
-        let (r, c) = self.b.block_shape();
+        let (r, c) = self.b.get().block_shape();
         format!("bcsr[{r}x{c},{:?}]", self.plan.schedule())
     }
 
     fn nrows(&self) -> usize {
-        self.b.nrows()
+        self.b.get().nrows()
     }
 
     fn ncols(&self) -> usize {
-        self.b.ncols()
+        self.b.get().ncols()
     }
 
     fn format_bytes(&self) -> usize {
-        self.b.footprint_bytes()
+        self.b.get().footprint_bytes()
     }
 }
 

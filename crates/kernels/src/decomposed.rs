@@ -10,21 +10,26 @@
 use std::ops::Range;
 use std::sync::Mutex;
 
-use spmv_sparse::DecomposedCsr;
+use spmv_sparse::{DecomposedCsr, MaybeValidated};
 
-use crate::baseline::InnerLoop;
+use crate::baseline::{checked_fallback, InnerLoop};
 use crate::engine::Plan;
 use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
-use crate::vectorized::row_sum_unrolled8;
 
 /// Parallel decomposed SpMV kernel. Owns the decomposition product
 /// and a precomputed [`Plan`] for the short-part phase; the long
 /// phase dispatches raw per-worker tasks on the same engine, so both
 /// phases share one warm thread team.
+///
+/// The decomposition — short part, long-row chaining, and the
+/// short/long disjointness both phases rely on — is verified once at
+/// construction; only a [`spmv_sparse::Validated`] witness admits the
+/// parallel unchecked path, anything else falls back to the serial
+/// fully-checked [`DecomposedCsr::spmv`].
 #[derive(Debug)]
 pub struct DecomposedKernel {
-    d: DecomposedCsr,
+    d: MaybeValidated<DecomposedCsr>,
     plan: Plan,
     flavor: InnerLoop,
 }
@@ -37,13 +42,18 @@ impl DecomposedKernel {
         schedule: Schedule,
         flavor: InnerLoop,
     ) -> DecomposedKernel {
-        let plan = Plan::new(schedule, d.short().rowptr(), nthreads);
+        let d = MaybeValidated::new(d);
+        // A corrupt short rowptr must not drive partitioning.
+        let plan = match &d {
+            MaybeValidated::Validated(v) => Plan::new(schedule, v.short().rowptr(), nthreads),
+            MaybeValidated::Unvalidated(_) => Plan::new(schedule, &[0], nthreads),
+        };
         DecomposedKernel { d, plan, flavor }
     }
 
     /// Access to the decomposition (for footprint/threshold queries).
     pub fn matrix(&self) -> &DecomposedCsr {
-        &self.d
+        self.d.get()
     }
 
     /// Scheduling policy for the short-part phase.
@@ -56,20 +66,30 @@ impl DecomposedKernel {
         self.plan.nthreads()
     }
 
-    fn short_worker(&self, range: Range<usize>, x: &[f64], y: YPtr) {
-        let short = self.d.short();
+    /// Whether the matrix passed structural verification (and the
+    /// kernel therefore runs the parallel unchecked fast path).
+    pub fn is_validated(&self) -> bool {
+        self.d.is_validated()
+    }
+
+    fn short_worker(&self, d: &DecomposedCsr, range: Range<usize>, x: &[f64], y: YPtr) {
+        let short = d.short();
         for i in range {
             let (cols, vals) = short.row(i);
-            // SAFETY: disjoint ranges from `execute`; buffer is live.
-            unsafe { y.write(i, self.flavor.row_sum(cols, vals, x)) };
+            // SAFETY: this path is only reached with a Validated
+            // witness (the short part's columns are < ncols ==
+            // x.len()); `execute` hands each worker disjoint row
+            // ranges and the buffer is live.
+            unsafe { y.write(i, self.flavor.row_sum_unchecked(cols, vals, x)) };
         }
     }
 
     /// Phase 2: computes all long rows with an all-threads split and
     /// returns per-thread busy seconds. Dispatches on the same
     /// persistent engine as the short phase (no scoped spawning).
-    fn long_phase(&self, x: &[f64], y: &mut [f64]) -> Vec<f64> {
-        let long_rows = self.d.long_rows();
+    /// Only called on the validated path.
+    fn long_phase(&self, d: &DecomposedCsr, x: &[f64], y: &mut [f64]) -> Vec<f64> {
+        let long_rows = d.long_rows();
         let nthreads = self.plan.nthreads();
         if long_rows.is_empty() {
             return vec![0.0; nthreads];
@@ -79,7 +99,6 @@ impl DecomposedKernel {
         // the reduction order deterministic (t = 0..nthreads), so the
         // result is bitwise-stable across runs.
         let partials: Mutex<Vec<Option<Vec<f64>>>> = Mutex::new(vec![None; nthreads]);
-        let d = &self.d;
         let times = self.plan.engine().run(&|t| {
             let mut local = vec![0.0f64; nlong];
             for (k, lr) in d.long_rows().iter().enumerate() {
@@ -88,9 +107,11 @@ impl DecomposedKernel {
                 let s = (t * per).min(len);
                 let e = ((t + 1) * per).min(len);
                 if s < e {
-                    let cols = &d.long_colind()[lr.start + s..lr.start + e];
-                    let vals = &d.long_values()[lr.start + s..lr.start + e];
-                    local[k] = row_sum_unrolled8(cols, vals, x);
+                    // SAFETY: this path is only reached with a
+                    // Validated witness (long rows chain inside the
+                    // long arrays, long columns < ncols == x.len())
+                    // and `lr` comes from `d.long_rows()`.
+                    local[k] = unsafe { d.long_row_partial_unchecked(lr, s..e, x) };
                 }
             }
             partials.lock().expect("partials lock")[t] = Some(local);
@@ -110,33 +131,46 @@ impl DecomposedKernel {
 
 impl SpmvKernel for DecomposedKernel {
     fn run_timed(&self, x: &[f64], y: &mut [f64]) -> ThreadTimes {
-        assert_eq!(x.len(), self.d.ncols(), "x length");
-        assert_eq!(y.len(), self.d.nrows(), "y length");
-        let yp = YPtr(y.as_mut_ptr());
-        let mut times = self.plan.execute(|range| {
-            self.short_worker(range, x, yp);
-        });
-        let long_secs = self.long_phase(x, y);
-        for (a, b) in times.seconds.iter_mut().zip(long_secs) {
-            *a += b;
+        assert_eq!(x.len(), self.d.get().ncols(), "x length");
+        assert_eq!(y.len(), self.d.get().nrows(), "y length");
+        match &self.d {
+            MaybeValidated::Validated(v) => {
+                let d = v.get();
+                let yp = YPtr(y.as_mut_ptr());
+                let mut times = self.plan.execute(|range| {
+                    self.short_worker(d, range, x, yp);
+                });
+                let long_secs = self.long_phase(d, x, y);
+                for (a, b) in times.seconds.iter_mut().zip(long_secs) {
+                    *a += b;
+                }
+                times
+            }
+            MaybeValidated::Unvalidated(d) => checked_fallback(self.plan.nthreads(), || {
+                d.spmv(x, y);
+            }),
         }
-        times
     }
 
     fn name(&self) -> String {
-        format!("decomposed[{} long rows,{:?}]", self.d.long_rows().len(), self.plan.schedule())
+        format!(
+            "decomposed[{} long rows,{:?}]",
+            self.d.get().long_rows().len(),
+            self.plan.schedule()
+        )
     }
 
     fn nrows(&self) -> usize {
-        self.d.nrows()
+        self.d.get().nrows()
     }
 
     fn ncols(&self) -> usize {
-        self.d.ncols()
+        self.d.get().ncols()
     }
 
     fn format_bytes(&self) -> usize {
-        self.d.short().footprint_bytes() + self.d.long_nnz() * (4 + 8)
+        let d = self.d.get();
+        d.short().footprint_bytes() + d.long_nnz() * (4 + 8)
     }
 }
 

@@ -70,6 +70,73 @@ pub fn row_sum_unrolled_prefetch(cols: &[u32], vals: &[f64], x: &[f64], dist: us
     sum
 }
 
+/// [`row_sum_prefetch`] with bounds checks elided on the compute
+/// stream (the prefetch hint keeps its cheap guard — a misdirected
+/// hint is harmless but a wild one is not worth reasoning about).
+///
+/// # Safety
+/// `cols.len() == vals.len()` and every entry of `cols` indexes in
+/// bounds of `x` — guaranteed when the row comes from a
+/// `spmv_sparse::Validated` CSR witness and `x.len() == ncols`.
+#[inline(always)]
+pub unsafe fn row_sum_prefetch_unchecked(
+    cols: &[u32],
+    vals: &[f64],
+    x: &[f64],
+    dist: usize,
+) -> f64 {
+    let n = cols.len();
+    let mut sum = 0.0;
+    for j in 0..n {
+        if j + dist < n {
+            prefetch_x(x, cols[j + dist] as usize);
+        }
+        // SAFETY: j < n == cols.len() == vals.len(); the validated
+        // column is < x.len() (contract).
+        sum +=
+            unsafe { *vals.get_unchecked(j) * *x.get_unchecked(*cols.get_unchecked(j) as usize) };
+    }
+    sum
+}
+
+/// [`row_sum_unrolled_prefetch`] with bounds checks elided on the
+/// compute stream.
+///
+/// # Safety
+/// Same contract as [`row_sum_prefetch_unchecked`].
+#[inline(always)]
+pub unsafe fn row_sum_unrolled_prefetch_unchecked(
+    cols: &[u32],
+    vals: &[f64],
+    x: &[f64],
+    dist: usize,
+) -> f64 {
+    let n = cols.len();
+    let mut acc = [0.0f64; 4];
+    let chunks = n / 4;
+    for k in 0..chunks {
+        let b = 4 * k;
+        if b + dist < n {
+            prefetch_x(x, cols[b + dist] as usize);
+        }
+        for (lane, a) in acc.iter_mut().enumerate() {
+            // SAFETY: b + lane < 4 * chunks <= n == cols.len() ==
+            // vals.len(); the validated column is < x.len() (contract).
+            *a += unsafe {
+                *vals.get_unchecked(b + lane)
+                    * *x.get_unchecked(*cols.get_unchecked(b + lane) as usize)
+            };
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for k in 4 * chunks..n {
+        // SAFETY: k < n; the validated column is < x.len() (contract).
+        sum +=
+            unsafe { *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize) };
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +157,15 @@ mod tests {
             let s = scalar(&cols, &vals, &x);
             assert!((row_sum_prefetch(&cols, &vals, &x, PREFETCH_DIST) - s).abs() < 1e-12);
             assert!((row_sum_unrolled_prefetch(&cols, &vals, &x, PREFETCH_DIST) - s).abs() < 1e-10);
+            // SAFETY: cols are random in 0..512 == x.len().
+            let (pu, upu) = unsafe {
+                (
+                    row_sum_prefetch_unchecked(&cols, &vals, &x, PREFETCH_DIST),
+                    row_sum_unrolled_prefetch_unchecked(&cols, &vals, &x, PREFETCH_DIST),
+                )
+            };
+            assert!((pu - s).abs() < 1e-12);
+            assert!((upu - s).abs() < 1e-10);
         }
     }
 

@@ -15,11 +15,10 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
-
-use spmv_sparse::csr::partition_rows_by_nnz;
 
 use crate::engine::Plan;
+
+pub use crate::engine::execute_spawn;
 
 /// Row-to-thread scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +66,9 @@ pub(crate) fn claim_guided(
     nthreads: usize,
 ) -> Option<Range<usize>> {
     let take = |start: usize| ((nrows - start) / (GUIDED_DECAY * nthreads)).max(1);
+    // relaxed-ok: the claim counter is not part of the engine's
+    // dispatch handshake (that protocol is mutex-guarded); the claim
+    // only needs the atomicity of the fetch_update itself.
     next.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |start| {
         (start < nrows).then(|| start + take(start))
     })
@@ -130,6 +132,9 @@ pub struct YPtr(pub *mut f64);
 // SAFETY: see the struct-level contract — ranges are disjoint and the
 // pointee outlives the dispatch.
 unsafe impl Send for YPtr {}
+// SAFETY: shared references to a YPtr only copy the pointer; writes go
+// through the `unsafe` methods whose contracts (disjoint ranges, live
+// buffer) make concurrent use sound.
 unsafe impl Sync for YPtr {}
 
 impl YPtr {
@@ -172,98 +177,6 @@ where
     F: Fn(Range<usize>) + Sync,
 {
     Plan::new(schedule, rowptr, nthreads).execute(worker)
-}
-
-/// Legacy spawn-per-call execution: scoped OS threads created on
-/// every invocation, the strategy all kernels used before the
-/// persistent [`engine`](crate::engine) existed.
-///
-/// Kept (a) as an independent reference implementation for
-/// correctness tests and (b) so the dispatch bench can measure the
-/// pool's per-call saving against it. Not used by any kernel.
-pub fn execute_spawn<F>(
-    schedule: Schedule,
-    rowptr: &[usize],
-    nthreads: usize,
-    worker: F,
-) -> ThreadTimes
-where
-    F: Fn(Range<usize>) + Sync,
-{
-    let nrows = rowptr.len() - 1;
-    let nthreads = nthreads.max(1);
-    let mut seconds = vec![0.0f64; nthreads];
-
-    match schedule {
-        Schedule::StaticRows | Schedule::NnzBalanced => {
-            let parts: Vec<Range<usize>> = match schedule {
-                Schedule::StaticRows => {
-                    let per = nrows.div_ceil(nthreads);
-                    (0..nthreads)
-                        .map(|t| {
-                            let s = (t * per).min(nrows);
-                            s..((t + 1) * per).min(nrows)
-                        })
-                        .collect()
-                }
-                _ => partition_rows_by_nnz(rowptr, nthreads),
-            };
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(nthreads);
-                for part in parts {
-                    let worker = &worker;
-                    handles.push(scope.spawn(move || {
-                        let t0 = Instant::now();
-                        if !part.is_empty() {
-                            worker(part);
-                        }
-                        t0.elapsed().as_secs_f64()
-                    }));
-                }
-                for (t, h) in handles.into_iter().enumerate() {
-                    seconds[t] = h.join().expect("worker panicked");
-                }
-            });
-        }
-        Schedule::Dynamic { chunk } => {
-            let chunk = chunk.max(1);
-            let next = AtomicUsize::new(0);
-            run_claiming(nthreads, &mut seconds, &worker, || {
-                let s = next.fetch_add(chunk, Ordering::Relaxed);
-                (s < nrows).then(|| s..(s + chunk).min(nrows))
-            });
-        }
-        Schedule::Guided => {
-            let next = AtomicUsize::new(0);
-            run_claiming(nthreads, &mut seconds, &worker, || claim_guided(&next, nrows, nthreads));
-        }
-    }
-    ThreadTimes { seconds }
-}
-
-/// Spawns `nthreads` workers that repeatedly `claim()` a range and
-/// process it until the supply is exhausted.
-fn run_claiming<F, C>(nthreads: usize, seconds: &mut [f64], worker: &F, claim: C)
-where
-    F: Fn(Range<usize>) + Sync,
-    C: Fn() -> Option<Range<usize>> + Sync,
-{
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(nthreads);
-        for _ in 0..nthreads {
-            let claim = &claim;
-            handles.push(scope.spawn(move || {
-                let t0 = Instant::now();
-                while let Some(range) = claim() {
-                    worker(range);
-                }
-                t0.elapsed().as_secs_f64()
-            }));
-        }
-        for (t, h) in handles.into_iter().enumerate() {
-            seconds[t] = h.join().expect("worker panicked");
-        }
-    });
 }
 
 #[cfg(test)]

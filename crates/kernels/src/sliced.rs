@@ -4,23 +4,36 @@
 use std::ops::Range;
 
 use spmv_sparse::sellcs::SellCs;
+use spmv_sparse::MaybeValidated;
 
+use crate::baseline::checked_fallback;
 use crate::engine::Plan;
 use crate::schedule::{Schedule, ThreadTimes, YPtr};
 use crate::variant::SpmvKernel;
 
 /// Parallel SELL-C-σ kernel. Owns the converted matrix and a
 /// precomputed [`Plan`] over chunks (balanced by stored slots).
+///
+/// The chunk structure — including the permutation being a bijection,
+/// which the parallel scatter relies on for write disjointness — is
+/// verified once at construction; only a [`spmv_sparse::Validated`]
+/// witness admits the parallel unchecked scatter, anything else falls
+/// back to the serial fully-checked [`SellCs::spmv`].
 #[derive(Debug)]
 pub struct SellKernel {
-    s: SellCs,
+    s: MaybeValidated<SellCs>,
     plan: Plan,
 }
 
 impl SellKernel {
     /// Wraps a converted matrix.
     pub fn new(s: SellCs, nthreads: usize, schedule: Schedule) -> SellKernel {
-        let plan = Plan::new(schedule, s.chunk_slots_ptr(), nthreads);
+        let s = MaybeValidated::new(s);
+        // A corrupt chunk pointer must not drive partitioning.
+        let plan = match &s {
+            MaybeValidated::Validated(v) => Plan::new(schedule, v.chunk_slots_ptr(), nthreads),
+            MaybeValidated::Unvalidated(_) => Plan::new(schedule, &[0], nthreads),
+        };
         SellKernel { s, plan }
     }
 
@@ -36,48 +49,70 @@ impl SellKernel {
 
     /// The converted matrix.
     pub fn matrix(&self) -> &SellCs {
-        &self.s
+        self.s.get()
     }
 
-    fn worker(&self, chunks: Range<usize>, x: &[f64], y: YPtr) {
+    /// Whether the matrix passed structural verification (and the
+    /// kernel therefore runs the parallel unchecked fast path).
+    pub fn is_validated(&self) -> bool {
+        self.s.is_validated()
+    }
+
+    fn worker(&self, s: &SellCs, chunks: Range<usize>, x: &[f64], y: YPtr) {
         if chunks.is_empty() {
             return;
         }
         // Each chunk scatters to a disjoint set of original rows (the
-        // permutation is a bijection and chunks partition the sorted
-        // order), so concurrent workers never write the same element.
-        self.s.spmv_chunks_scatter(chunks, x, &mut |row, value| {
-            // SAFETY: rows from distinct chunk ranges are disjoint and
-            // the buffer is the caller's live `&mut [f64]`.
+        // validated permutation is a bijection and chunks partition
+        // the sorted order), so concurrent workers never write the
+        // same element.
+        //
+        let mut scatter = |row: usize, value: f64| {
+            // SAFETY: rows from distinct chunk ranges are disjoint
+            // and the buffer is the caller's live `&mut [f64]`.
             unsafe { y.write(row, value) };
-        });
+        };
+        // SAFETY: this path is only reached with a Validated witness
+        // (chunk geometry in bounds, columns < ncols or SELL_PAD, perm
+        // a bijection) and `x.len() == ncols` was asserted by
+        // `run_timed`.
+        unsafe { s.spmv_chunks_scatter_unchecked(chunks, x, &mut scatter) };
     }
 }
 
 impl SpmvKernel for SellKernel {
     fn run_timed(&self, x: &[f64], y: &mut [f64]) -> ThreadTimes {
-        assert_eq!(x.len(), self.s.ncols(), "x length");
-        assert_eq!(y.len(), self.s.nrows(), "y length");
-        let yp = YPtr(y.as_mut_ptr());
-        self.plan.execute(|chunks| {
-            self.worker(chunks, x, yp);
-        })
+        assert_eq!(x.len(), self.s.get().ncols(), "x length");
+        assert_eq!(y.len(), self.s.get().nrows(), "y length");
+        match &self.s {
+            MaybeValidated::Validated(v) => {
+                let s = v.get();
+                let yp = YPtr(y.as_mut_ptr());
+                self.plan.execute(|chunks| {
+                    self.worker(s, chunks, x, yp);
+                })
+            }
+            MaybeValidated::Unvalidated(s) => checked_fallback(self.plan.nthreads(), || {
+                s.spmv(x, y);
+            }),
+        }
     }
 
     fn name(&self) -> String {
-        format!("sell-{}-{}[{:?}]", self.s.chunk_size(), self.s.sigma(), self.plan.schedule())
+        let s = self.s.get();
+        format!("sell-{}-{}[{:?}]", s.chunk_size(), s.sigma(), self.plan.schedule())
     }
 
     fn nrows(&self) -> usize {
-        self.s.nrows()
+        self.s.get().nrows()
     }
 
     fn ncols(&self) -> usize {
-        self.s.ncols()
+        self.s.get().ncols()
     }
 
     fn format_bytes(&self) -> usize {
-        self.s.footprint_bytes()
+        self.s.get().footprint_bytes()
     }
 }
 

@@ -290,16 +290,16 @@ pub fn build_kernel<'a>(a: &'a Csr, variant: KernelVariant, nthreads: usize) -> 
         variant.contains(Optimization::Prefetch),
     );
 
+    // Preprocessing time is measured through kernel construction:
+    // every kernel performs its one-time O(nnz) structural
+    // verification there, and that cost belongs to `t_pre` just like
+    // the format conversion itself.
     let t0 = Instant::now();
     if variant.contains(Optimization::Decompose) {
         if let Some(threshold) = DecomposedCsr::auto_threshold(a, nthreads) {
             let d = DecomposedCsr::split(a, threshold).expect("threshold >= 1");
-            let prep = t0.elapsed().as_secs_f64();
-            return BuiltKernel {
-                kernel: Box::new(DecomposedKernel::new(d, nthreads, schedule, flavor)),
-                prep_seconds: prep,
-                variant,
-            };
+            let kernel = Box::new(DecomposedKernel::new(d, nthreads, schedule, flavor));
+            return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
         }
         // No long rows: decomposition is a no-op; fall through to the
         // remaining optimizations.
@@ -308,44 +308,31 @@ pub fn build_kernel<'a>(a: &'a Csr, variant: KernelVariant, nthreads: usize) -> 
         // C = 8 lanes with a 256-row sorting window: the standard
         // SELL-8-256 configuration for AVX-512-class machines.
         let s = SellCs::from_csr(a, 8, 256).expect("sigma >= chunk");
-        let prep = t0.elapsed().as_secs_f64();
-        return BuiltKernel {
-            kernel: Box::new(SellKernel::new(s, nthreads, schedule)),
-            prep_seconds: prep,
-            variant,
-        };
+        let kernel = Box::new(SellKernel::new(s, nthreads, schedule));
+        return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
     }
     if variant.contains(Optimization::RegisterBlock) {
         if let Some((r, c)) = Bcsr::auto_shape(a) {
             let b = Bcsr::from_csr(a, r, c).expect("positive block dims");
-            let prep = t0.elapsed().as_secs_f64();
-            return BuiltKernel {
-                kernel: Box::new(BcsrKernel::new(b, nthreads, schedule, a.nnz())),
-                prep_seconds: prep,
-                variant,
-            };
+            let kernel = Box::new(BcsrKernel::new(b, nthreads, schedule, a.nnz()));
+            return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
         }
         // Unprofitable blocking (fill ratio too high): fall through.
     }
     if variant.contains(Optimization::Compress) {
-        let d = DeltaCsr::from_csr(a);
-        let prep = t0.elapsed().as_secs_f64();
         // Note: the delta inner loop is scalar or unrolled via its own
         // decode path; prefetch is unavailable there (future columns
         // are not known before decoding). Vectorization benefits are
-        // modelled by the simulator; execution stays correct.
-        return BuiltKernel {
-            kernel: Box::new(DeltaKernel::new(d, nthreads, schedule)),
-            prep_seconds: prep,
-            variant,
-        };
+        // modelled by the simulator; execution stays correct. A matrix
+        // whose deltas cannot be encoded (checked narrowing in the
+        // builder) falls through to plain CSR.
+        if let Ok(d) = DeltaCsr::from_csr(a) {
+            let kernel = Box::new(DeltaKernel::new(d, nthreads, schedule));
+            return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
+        }
     }
-    let prep = t0.elapsed().as_secs_f64();
-    BuiltKernel {
-        kernel: Box::new(CsrKernel::with_options(a, nthreads, schedule, flavor)),
-        prep_seconds: prep,
-        variant,
-    }
+    let kernel = Box::new(CsrKernel::with_options(a, nthreads, schedule, flavor));
+    BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant }
 }
 
 #[cfg(test)]

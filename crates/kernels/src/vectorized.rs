@@ -53,6 +53,73 @@ pub fn row_sum_unrolled8(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
     sum
 }
 
+/// [`row_sum_unrolled`] with bounds checks elided — the `CMP`-class
+/// fast path.
+///
+/// # Safety
+/// `cols.len() == vals.len()` and every entry of `cols` indexes in
+/// bounds of `x` — guaranteed when the row comes from a
+/// `spmv_sparse::Validated` CSR witness and `x.len() == ncols`.
+#[inline(always)]
+pub unsafe fn row_sum_unrolled_unchecked(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    let n = cols.len();
+    let mut acc = [0.0f64; 4];
+    let chunks = n / 4;
+    for k in 0..chunks {
+        let b = 4 * k;
+        for (lane, a) in acc.iter_mut().enumerate() {
+            // SAFETY: b + lane < 4 * chunks <= n == cols.len() ==
+            // vals.len(); the validated column is < x.len() (contract).
+            *a += unsafe {
+                *vals.get_unchecked(b + lane)
+                    * *x.get_unchecked(*cols.get_unchecked(b + lane) as usize)
+            };
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for k in 4 * chunks..n {
+        // SAFETY: k < n; the validated column is < x.len() (contract).
+        sum +=
+            unsafe { *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize) };
+    }
+    sum
+}
+
+/// [`row_sum_unrolled8`] with bounds checks elided, for the
+/// decomposed kernel's long-row phase.
+///
+/// # Safety
+/// Same contract as [`row_sum_unrolled_unchecked`].
+#[inline(always)]
+pub unsafe fn row_sum_unrolled8_unchecked(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    let n = cols.len();
+    let mut acc = [0.0f64; 8];
+    let chunks = n / 8;
+    for k in 0..chunks {
+        let b = 8 * k;
+        for (lane, a) in acc.iter_mut().enumerate() {
+            // SAFETY: b + lane < 8 * chunks <= n == cols.len() ==
+            // vals.len(); the validated column is < x.len() (contract).
+            *a += unsafe {
+                *vals.get_unchecked(b + lane)
+                    * *x.get_unchecked(*cols.get_unchecked(b + lane) as usize)
+            };
+        }
+    }
+    let mut sum = 0.0;
+    for a in acc {
+        sum += a;
+    }
+    for k in 8 * chunks..n {
+        // SAFETY: k < n; the validated column is < x.len() (contract).
+        sum +=
+            unsafe { *vals.get_unchecked(k) * *x.get_unchecked(*cols.get_unchecked(k) as usize) };
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +145,23 @@ mod tests {
             let s = scalar(&cols, &vals, &x);
             assert!((row_sum_unrolled(&cols, &vals, &x) - s).abs() < 1e-12, "len {len}");
             assert!((row_sum_unrolled8(&cols, &vals, &x) - s).abs() < 1e-12, "len {len}");
+        }
+    }
+
+    #[test]
+    fn unchecked_variants_match_checked() {
+        for len in [0usize, 1, 5, 8, 9, 33, 1000] {
+            let (cols, vals, x) = random_row(len, 128, len as u64 + 17);
+            let s = scalar(&cols, &vals, &x);
+            // SAFETY: cols came from random_row with indices < 128 == x.len().
+            let (u4, u8x) = unsafe {
+                (
+                    row_sum_unrolled_unchecked(&cols, &vals, &x),
+                    row_sum_unrolled8_unchecked(&cols, &vals, &x),
+                )
+            };
+            assert!((u4 - s).abs() < 1e-10, "len {len}");
+            assert!((u8x - s).abs() < 1e-10, "len {len}");
         }
     }
 

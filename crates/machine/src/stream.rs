@@ -9,6 +9,9 @@
 
 use std::time::Instant;
 
+use spmv_kernels::schedule::YPtr;
+use spmv_kernels::ExecEngine;
+
 /// Result of a triad measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TriadResult {
@@ -26,6 +29,11 @@ pub struct TriadResult {
 /// (2 reads + 1 write, no write-allocate accounting), matching the
 /// original benchmark.
 ///
+/// Runs on the shared persistent worker pool
+/// ([`ExecEngine::global`]) rather than spawning its own threads, so
+/// repeated calibrations reuse one warm team and the measurement
+/// excludes thread-creation noise.
+///
 /// # Panics
 /// Panics if `n == 0` or `reps == 0`.
 pub fn measure_triad(n: usize, reps: usize) -> TriadResult {
@@ -38,16 +46,23 @@ pub fn measure_triad(n: usize, reps: usize) -> TriadResult {
     let bytes_per_rep = 3 * n * std::mem::size_of::<f64>();
     let nthreads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
     let chunk = n.div_ceil(nthreads);
+    let engine = ExecEngine::global(nthreads);
+    let ap = YPtr(a.as_mut_ptr());
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
-        std::thread::scope(|scope| {
-            for ((ac, bc), cc) in a.chunks_mut(chunk).zip(b.chunks(chunk)).zip(c.chunks(chunk)) {
-                scope.spawn(move || {
-                    for ((ai, bi), ci) in ac.iter_mut().zip(bc).zip(cc) {
-                        *ai = bi + s * ci;
-                    }
-                });
+        engine.run(&|t| {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            if lo < hi {
+                // SAFETY: workers receive disjoint index ranges
+                // ([t*chunk, (t+1)*chunk) clamped to n), and `a`
+                // outlives the dispatch — the exclusive borrow is
+                // alive while `run` blocks.
+                let ac = unsafe { ap.subslice(lo, hi - lo) };
+                for ((ai, bi), ci) in ac.iter_mut().zip(&b[lo..hi]).zip(&c[lo..hi]) {
+                    *ai = bi + s * ci;
+                }
             }
         });
         let dt = t0.elapsed().as_secs_f64();

@@ -367,7 +367,7 @@ mod tests {
         for a in [gen::banded(2_000, 6, 1.0, 1).unwrap(), gen::random_uniform(800, 10, 2).unwrap()]
         {
             let (bytes, _) = delta_footprint(&a);
-            let d = DeltaCsr::from_csr(&a);
+            let d = DeltaCsr::from_csr(&a).unwrap();
             assert_eq!(bytes, d.footprint_bytes());
         }
     }

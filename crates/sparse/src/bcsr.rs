@@ -175,6 +175,71 @@ impl Bcsr {
         }
     }
 
+    /// Like [`Bcsr::spmv_block_rows_into`] with per-element bounds
+    /// checks elided — the register-blocked fast path.
+    ///
+    /// # Safety
+    /// * `self` must hold a structure that passed
+    ///   [`crate::validate::ValidateFormat::validate_structure`]
+    ///   (i.e. the caller holds a [`crate::Validated`] witness): block
+    ///   geometry is consistent and every block column starts inside
+    ///   `ncols`.
+    /// * `range.end <= self.nblock_rows()`.
+    /// * `x.len() == self.ncols()`.
+    /// * `out` covers scalar rows `range.start * r ..
+    ///   min(range.end * r, nrows)`.
+    pub unsafe fn spmv_block_rows_into_unchecked(
+        &self,
+        range: std::ops::Range<usize>,
+        x: &[f64],
+        out: &mut [f64],
+    ) {
+        let (r, c) = (self.r, self.c);
+        let row0 = range.start * r;
+        let mut acc = vec![0.0f64; r];
+        for br in range {
+            acc.fill(0.0);
+            // SAFETY: the validated browptr has nblock_rows + 1 entries
+            // and the caller guarantees range.end <= nblock_rows.
+            let bs = unsafe { *self.browptr.get_unchecked(br) };
+            // SAFETY: same bound — br + 1 <= nblock_rows.
+            let be = unsafe { *self.browptr.get_unchecked(br + 1) };
+            for b in bs..be {
+                // SAFETY: the validated browptr is monotone with tail ==
+                // nblocks, so b < bcolind.len().
+                let col0 = unsafe { *self.bcolind.get_unchecked(b) } as usize * c;
+                let width = c.min(self.ncols - col0);
+                // SAFETY: validation proved values.len() == nblocks * r * c,
+                // so block b's r*c slice is in bounds.
+                let block = unsafe { self.values.get_unchecked(b * r * c..(b + 1) * r * c) };
+                for (lr, a) in acc.iter_mut().enumerate() {
+                    // SAFETY: lr < r and width <= c keep the row slice
+                    // inside the block; validation proved col0 < ncols so
+                    // col0 + width <= ncols == x.len() (caller contract).
+                    let (brow, xs) = unsafe {
+                        (
+                            block.get_unchecked(lr * c..lr * c + width),
+                            x.get_unchecked(col0..col0 + width),
+                        )
+                    };
+                    let mut s = 0.0;
+                    for (bv, xv) in brow.iter().zip(xs) {
+                        s += bv * xv;
+                    }
+                    *a += s;
+                }
+            }
+            let rows_here = r.min(self.nrows - br * r);
+            let off = br * r - row0;
+            // SAFETY: the caller guarantees out covers scalar rows
+            // row0..min(range.end * r, nrows), so off + rows_here fits.
+            unsafe {
+                out.get_unchecked_mut(off..off + rows_here)
+                    .copy_from_slice(acc.get_unchecked(..rows_here));
+            }
+        }
+    }
+
     /// Block-row pointer array.
     #[inline]
     pub fn browptr(&self) -> &[usize] {
@@ -195,6 +260,38 @@ impl Bcsr {
             }
         }
         best.map(|(shape, _)| shape)
+    }
+}
+
+impl crate::validate::ValidateFormat for Bcsr {
+    fn format_name(&self) -> &'static str {
+        "bcsr"
+    }
+
+    fn validate_structure(&self) -> Result<()> {
+        let corrupt = |detail: String| SparseError::Corrupt { format: "bcsr", detail };
+        if self.r == 0 || self.c == 0 {
+            return Err(corrupt(format!("block shape {}x{} has a zero dimension", self.r, self.c)));
+        }
+        let nbrows = self.nrows.div_ceil(self.r);
+        crate::validate::check_rowptr("bcsr", &self.browptr, nbrows, self.bcolind.len())?;
+        let slots = self.bcolind.len() * self.r * self.c;
+        if self.values.len() != slots {
+            return Err(corrupt(format!(
+                "values length {} != nblocks * r * c = {slots}",
+                self.values.len()
+            )));
+        }
+        for (b, &bc) in self.bcolind.iter().enumerate() {
+            if bc as usize * self.c >= self.ncols {
+                return Err(corrupt(format!(
+                    "block {b} starts at column {} >= ncols = {}",
+                    bc as usize * self.c,
+                    self.ncols
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -282,6 +379,33 @@ mod tests {
         b.spmv_block_rows_into(8..16, &x, &mut part);
         for (u, v) in part.iter().zip(&full[16..32]) {
             assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod corruption_proptests {
+    use super::*;
+    use crate::validate::{ValidateFormat, Validated};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every corruption of a well-formed BCSR buffer is rejected
+        /// by the witness constructor with an error — never a panic.
+        #[test]
+        fn corrupted_bcsr_is_rejected(n in 4usize..40, seed in 0u64..1000, kind in 0usize..3) {
+            let a = crate::gen::banded(n, 2, 1.0, seed).expect("generator");
+            let mut b = Bcsr::from_csr(&a, 2, 2).expect("blockable");
+            match kind {
+                0 => *b.browptr.last_mut().unwrap() += 1,
+                1 => b.bcolind[0] = b.ncols.div_ceil(b.c) as u32,
+                _ => { b.values.pop(); }
+            }
+            let err = b.validate_structure().expect_err("corruption must be caught");
+            prop_assert!(err.to_string().contains("bcsr"), "got: {err}");
+            prop_assert!(Validated::new(&b).is_err());
         }
     }
 }

@@ -376,6 +376,40 @@ impl Csr {
     }
 }
 
+impl crate::validate::ValidateFormat for Csr {
+    fn format_name(&self) -> &'static str {
+        "csr"
+    }
+
+    /// Safety-relevant invariants only: row-pointer shape and column
+    /// bounds. Per-row column *ordering* is a format invariant but no
+    /// fast path relies on it (and [`Csr::from_raw_unchecked`] callers
+    /// like the `P_ML` micro-benchmark deliberately violate it), so it
+    /// is not checked here.
+    fn validate_structure(&self) -> Result<()> {
+        crate::validate::check_rowptr("csr", &self.rowptr, self.nrows, self.colind.len())?;
+        if self.colind.len() != self.values.len() {
+            return Err(SparseError::Corrupt {
+                format: "csr",
+                detail: format!(
+                    "colind length {} != values length {}",
+                    self.colind.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        for (k, &c) in self.colind.iter().enumerate() {
+            if c as usize >= self.ncols {
+                return Err(SparseError::Corrupt {
+                    format: "csr",
+                    detail: format!("column index {c} at position {k} >= ncols = {}", self.ncols),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Splits rows into `nparts` contiguous ranges of roughly equal nnz.
 ///
 /// Each boundary is chosen so a partition ends as soon as it has
@@ -557,5 +591,38 @@ mod tests {
         let m = sample();
         assert_eq!(m.get(0, 1), 0.0);
         assert_eq!(m.get(1, 1), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod corruption_proptests {
+    use crate::validate::{ValidateFormat, Validated};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every corruption of a well-formed CSR buffer is rejected by
+        /// the witness constructor with an error — never a panic.
+        #[test]
+        fn corrupted_csr_is_rejected(n in 2usize..40, seed in 0u64..1000, kind in 0usize..4) {
+            let mut a = crate::gen::banded(n, 2, 1.0, seed).expect("generator");
+            match kind {
+                0 => *a.rowptr.last_mut().unwrap() += 1,
+                1 => a.colind[0] = a.ncols as u32,
+                2 => { a.values.pop(); }
+                _ => a.rowptr[1] = a.values.len() + 1,
+            }
+            let err = a.validate_structure().expect_err("corruption must be caught");
+            prop_assert!(err.to_string().contains("csr"), "got: {err}");
+            prop_assert!(Validated::new(&a).is_err());
+        }
+
+        /// Untouched generator output always passes validation.
+        #[test]
+        fn well_formed_csr_validates(n in 1usize..40, seed in 0u64..1000) {
+            let a = crate::gen::banded(n, 2, 0.8, seed).expect("generator");
+            prop_assert!(a.validate_structure().is_ok());
+        }
     }
 }

@@ -191,6 +191,38 @@ impl DecomposedCsr {
         sum
     }
 
+    /// Like [`DecomposedCsr::long_row_partial`] with per-element
+    /// bounds checks elided — the long-row reduction fast path.
+    ///
+    /// # Safety
+    /// * `self` must hold a structure that passed
+    ///   [`crate::validate::ValidateFormat::validate_structure`]
+    ///   (i.e. the caller holds a [`crate::Validated`] witness): long
+    ///   rows are chained slices inside the long-part arrays and every
+    ///   long column index is `< ncols`.
+    /// * `lr` must be one of `self.long_rows()`.
+    /// * `x.len() == self.ncols()`.
+    pub unsafe fn long_row_partial_unchecked(
+        &self,
+        lr: &LongRow,
+        chunk: std::ops::Range<usize>,
+        x: &[f64],
+    ) -> f64 {
+        let s = lr.start + chunk.start;
+        let e = (lr.start + chunk.end).min(lr.end);
+        let mut sum = 0.0;
+        for j in s..e {
+            // SAFETY: validation proved lr.end <= long_colind.len() ==
+            // long_values.len() and every long column < ncols == x.len()
+            // (caller contract), and j < lr.end by the loop bound.
+            sum += unsafe {
+                *self.long_values.get_unchecked(j)
+                    * *x.get_unchecked(*self.long_colind.get_unchecked(j) as usize)
+            };
+        }
+        sum
+    }
+
     /// Reassembles the original matrix (used by tests).
     pub fn to_csr(&self) -> Csr {
         let mut coo = self.short.to_coo();
@@ -201,6 +233,75 @@ impl DecomposedCsr {
             }
         }
         Csr::from_coo(&coo)
+    }
+}
+
+impl crate::validate::ValidateFormat for DecomposedCsr {
+    fn format_name(&self) -> &'static str {
+        "decomposed-csr"
+    }
+
+    fn validate_structure(&self) -> Result<()> {
+        let corrupt = |detail: String| SparseError::Corrupt { format: "decomposed-csr", detail };
+        crate::validate::ValidateFormat::validate_structure(&self.short)
+            .map_err(|e| corrupt(format!("short part: {e}")))?;
+        if self.long_colind.len() != self.long_values.len() {
+            return Err(corrupt(format!(
+                "long_colind length {} != long_values length {}",
+                self.long_colind.len(),
+                self.long_values.len()
+            )));
+        }
+        for (j, &c) in self.long_colind.iter().enumerate() {
+            if c as usize >= self.ncols() {
+                return Err(corrupt(format!(
+                    "long column index {c} at position {j} >= ncols = {}",
+                    self.ncols()
+                )));
+            }
+        }
+        // Long rows must chain through the long-part arrays without
+        // gaps or overlap, and each covered row must be empty in the
+        // short part — together this makes row coverage exactly-once.
+        let mut cursor = 0usize;
+        for (k, lr) in self.long_rows.iter().enumerate() {
+            if lr.start != cursor {
+                return Err(corrupt(format!(
+                    "long row {k} starts at {} but the previous slice ended at {cursor}",
+                    lr.start
+                )));
+            }
+            if lr.end < lr.start {
+                return Err(corrupt(format!(
+                    "long row {k} has end {} < start {}",
+                    lr.end, lr.start
+                )));
+            }
+            cursor = lr.end;
+            let row = lr.row as usize;
+            if row >= self.nrows() {
+                return Err(corrupt(format!(
+                    "long row {k} names row {row} >= nrows = {}",
+                    self.nrows()
+                )));
+            }
+            if self.short.row_nnz(row) != 0 {
+                return Err(corrupt(format!("row {row} appears in both the short and long parts")));
+            }
+        }
+        if cursor != self.long_colind.len() {
+            return Err(corrupt(format!(
+                "long rows cover {cursor} elements but the long part stores {}",
+                self.long_colind.len()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for lr in &self.long_rows {
+            if !seen.insert(lr.row) {
+                return Err(corrupt(format!("row {} listed as long twice", lr.row)));
+            }
+        }
+        Ok(())
     }
 }
 

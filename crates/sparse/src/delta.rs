@@ -86,7 +86,10 @@ impl DeltaCsr {
     /// Compresses `a` with an automatically chosen delta width: the
     /// width with the smaller total footprint wins (8-bit unless the
     /// escape traffic makes 16-bit cheaper).
-    pub fn from_csr(a: &Csr) -> DeltaCsr {
+    ///
+    /// # Errors
+    /// See [`DeltaCsr::with_width`].
+    pub fn from_csr(a: &Csr) -> Result<DeltaCsr> {
         let (n8, n16) = count_escapes(a);
         let nnz = a.nnz();
         let cost8 = nnz + 4 * n8; // bytes: 1/delta + 4/escape
@@ -95,13 +98,24 @@ impl DeltaCsr {
         Self::with_width(a, width)
     }
 
-    /// Compresses `a` with an explicit delta width.
-    pub fn with_width(a: &Csr, width: DeltaWidth) -> DeltaCsr {
+    /// Compresses `a` with an explicit delta width. All narrowing is
+    /// checked: a delta that does not fit the chosen stream escapes,
+    /// and anything that cannot be represented at all (non-monotone
+    /// rows from [`Csr::from_raw_unchecked`], an exception count
+    /// overflowing the 32-bit cursor) is an error rather than a
+    /// silent wrap.
+    ///
+    /// # Errors
+    /// [`SparseError::Corrupt`] if a row's columns decrease (delta
+    /// compression requires sorted rows) or an index stream would
+    /// overflow its storage type.
+    pub fn with_width(a: &Csr, width: DeltaWidth) -> Result<DeltaCsr> {
+        let corrupt = |detail: String| SparseError::Corrupt { format: "delta-csr", detail };
         let nrows = a.nrows();
         let nnz = a.nnz();
         let max_inline = width.max_inline();
         let mut firstcol = Vec::with_capacity(nrows);
-        let mut exceptions = Vec::new();
+        let mut exceptions: Vec<u32> = Vec::new();
         let mut exc_ptr = Vec::with_capacity(nrows + 1);
         let mut d8 = Vec::new();
         let mut d16 = Vec::new();
@@ -109,33 +123,53 @@ impl DeltaCsr {
             DeltaWidth::U8 => d8.reserve(nnz),
             DeltaWidth::U16 => d16.reserve(nnz),
         }
-        let mut push = |v: u32| match width {
-            DeltaWidth::U8 => d8.push(v as u8),
-            DeltaWidth::U16 => d16.push(v as u16),
+        let mut push = |v: u32| -> Result<()> {
+            match width {
+                DeltaWidth::U8 => d8.push(u8::try_from(v).map_err(|_| SparseError::Corrupt {
+                    format: "delta-csr",
+                    detail: format!("delta {v} does not fit the 8-bit stream"),
+                })?),
+                DeltaWidth::U16 => {
+                    d16.push(u16::try_from(v).map_err(|_| SparseError::Corrupt {
+                        format: "delta-csr",
+                        detail: format!("delta {v} does not fit the 16-bit stream"),
+                    })?)
+                }
+            }
+            Ok(())
         };
         let sentinel = match width {
             DeltaWidth::U8 => u8::MAX as u32,
             DeltaWidth::U16 => u16::MAX as u32,
         };
-        for (_, cols, _) in a.rows() {
-            exc_ptr.push(exceptions.len() as u32);
+        let cursor = |n: usize| {
+            u32::try_from(n)
+                .map_err(|_| corrupt("exception count overflows the 32-bit cursor".into()))
+        };
+        for (i, cols, _) in a.rows() {
+            exc_ptr.push(cursor(exceptions.len())?);
             firstcol.push(cols.first().copied().unwrap_or(0));
             for (k, &c) in cols.iter().enumerate() {
                 if k == 0 {
-                    push(0); // alignment padding; column is in firstcol
+                    push(0)?; // alignment padding; column is in firstcol
                     continue;
                 }
-                let gap = c - cols[k - 1];
+                let gap = c.checked_sub(cols[k - 1]).ok_or_else(|| {
+                    corrupt(format!(
+                        "columns of row {i} decrease at position {k}; \
+                         delta compression requires sorted rows"
+                    ))
+                })?;
                 if gap <= max_inline {
-                    push(gap);
+                    push(gap)?;
                 } else {
-                    push(sentinel);
+                    push(sentinel)?;
                     exceptions.push(gap);
                 }
             }
         }
-        exc_ptr.push(exceptions.len() as u32);
-        DeltaCsr {
+        exc_ptr.push(cursor(exceptions.len())?);
+        Ok(DeltaCsr {
             nrows,
             ncols: a.ncols(),
             width,
@@ -148,7 +182,7 @@ impl DeltaCsr {
             exceptions,
             exc_ptr,
             values: a.values().to_vec(),
-        }
+        })
     }
 
     /// Number of rows.
@@ -284,6 +318,91 @@ impl DeltaCsr {
         }
     }
 
+    /// Like [`DeltaCsr::spmv_rows_into`] but with every per-element
+    /// bounds check elided — the compressed-format fast path.
+    ///
+    /// # Safety
+    /// * `self` must hold a structure that passed
+    ///   [`crate::validate::ValidateFormat::validate_structure`]
+    ///   (i.e. the caller holds a [`crate::Validated`] witness): the
+    ///   delta streams decode strictly in-bounds and the exception
+    ///   cursor never overruns.
+    /// * `rows.end <= self.nrows()`.
+    /// * `x.len() == self.ncols()`.
+    /// * `out.len() == rows.len()`.
+    pub unsafe fn spmv_rows_into_unchecked(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        out: &mut [f64],
+    ) {
+        match &self.deltas {
+            // SAFETY: forwarded contract; sentinel matches the stream width.
+            Deltas::U8(d) => unsafe {
+                self.spmv_rows_into_unchecked_impl(rows, x, out, d, u8::MAX as u32)
+            },
+            // SAFETY: forwarded contract; sentinel matches the stream width.
+            Deltas::U16(d) => unsafe {
+                self.spmv_rows_into_unchecked_impl(rows, x, out, d, u16::MAX as u32)
+            },
+        }
+    }
+
+    /// # Safety
+    /// Same contract as [`DeltaCsr::spmv_rows_into_unchecked`];
+    /// additionally `deltas`/`sentinel` must be the matrix's own
+    /// stream and its width's sentinel.
+    unsafe fn spmv_rows_into_unchecked_impl<T: Copy + Into<u32>>(
+        &self,
+        rows: std::ops::Range<usize>,
+        x: &[f64],
+        out: &mut [f64],
+        deltas: &[T],
+        sentinel: u32,
+    ) {
+        let start = rows.start;
+        for i in rows {
+            // SAFETY: the validated rowptr has nrows + 1 entries and the
+            // caller guarantees rows.end <= nrows, so i and i + 1 are in
+            // bounds for rowptr and i is in bounds for exc_ptr/firstcol.
+            let (s, e, mut exc, mut col) = unsafe {
+                (
+                    *self.rowptr.get_unchecked(i),
+                    *self.rowptr.get_unchecked(i + 1),
+                    *self.exc_ptr.get_unchecked(i) as usize,
+                    *self.firstcol.get_unchecked(i),
+                )
+            };
+            let mut sum = 0.0;
+            for j in s..e {
+                if j > s {
+                    // SAFETY: the validated rowptr is monotone with
+                    // rowptr[nrows] == deltas.len(), so j < deltas.len().
+                    let d: u32 = unsafe { *deltas.get_unchecked(j) }.into();
+                    let gap = if d == sentinel {
+                        // SAFETY: validation decoded every stream and
+                        // proved the exception cursor stays within
+                        // exceptions.len() for each sentinel consumed.
+                        let g = unsafe { *self.exceptions.get_unchecked(exc) };
+                        exc += 1;
+                        g
+                    } else {
+                        d
+                    };
+                    col += gap;
+                }
+                // SAFETY: j < values.len() as above; validation decoded
+                // this exact stream and proved col < ncols at every
+                // element, and the caller guarantees x.len() == ncols.
+                sum += unsafe { *self.values.get_unchecked(j) * *x.get_unchecked(col as usize) };
+            }
+            // SAFETY: i - start < rows.len() <= out.len() by contract.
+            unsafe {
+                *out.get_unchecked_mut(i - start) = sum;
+            }
+        }
+    }
+
     #[inline]
     fn spmv_rows_impl<T>(
         &self,
@@ -384,6 +503,102 @@ impl DeltaCsr {
         }
         Ok(())
     }
+
+    /// Full decode check behind [`crate::validate::ValidateFormat`]:
+    /// replays every delta stream and proves each decoded column is in
+    /// bounds and the exception cursor advances exactly as `exc_ptr`
+    /// claims.
+    fn validate_decode<T: Copy + Into<u32>>(&self, deltas: &[T], sentinel: u32) -> Result<()> {
+        let corrupt = |detail: String| SparseError::Corrupt { format: "delta-csr", detail };
+        let mut exc = 0usize;
+        for i in 0..self.nrows {
+            if self.exc_ptr[i] as usize != exc {
+                return Err(corrupt(format!(
+                    "exc_ptr[{i}] = {} but {exc} exceptions consumed before row {i}",
+                    self.exc_ptr[i]
+                )));
+            }
+            let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+            // Accumulate in u64 so a corrupted stream cannot wrap the
+            // column accumulator past the bounds check.
+            let mut col = u64::from(self.firstcol[i]);
+            // Indexed loop: `j` addresses `deltas` while threading the
+            // exception cursor.
+            #[allow(clippy::needless_range_loop)]
+            for j in s..e {
+                if j > s {
+                    let d: u32 = deltas[j].into();
+                    col += if d == sentinel {
+                        let g = self.exceptions.get(exc).copied().ok_or_else(|| {
+                            corrupt(format!(
+                                "row {i} consumes more exceptions than the {} stored",
+                                self.exceptions.len()
+                            ))
+                        })?;
+                        exc += 1;
+                        u64::from(g)
+                    } else {
+                        u64::from(d)
+                    };
+                }
+                if col >= self.ncols as u64 {
+                    return Err(corrupt(format!(
+                        "row {i} decodes column {col} >= ncols = {}",
+                        self.ncols
+                    )));
+                }
+            }
+        }
+        if exc != self.exceptions.len() {
+            return Err(corrupt(format!(
+                "{} exceptions stored but only {exc} consumed by the streams",
+                self.exceptions.len()
+            )));
+        }
+        if self.exc_ptr[self.nrows] as usize != exc {
+            return Err(corrupt(format!(
+                "exc_ptr tail = {} but the streams consume {exc} exceptions",
+                self.exc_ptr[self.nrows]
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl crate::validate::ValidateFormat for DeltaCsr {
+    fn format_name(&self) -> &'static str {
+        "delta-csr"
+    }
+
+    fn validate_structure(&self) -> Result<()> {
+        let corrupt = |detail: String| SparseError::Corrupt { format: "delta-csr", detail };
+        crate::validate::check_rowptr("delta-csr", &self.rowptr, self.nrows, self.values.len())?;
+        if self.deltas.len() != self.values.len() {
+            return Err(corrupt(format!(
+                "delta stream length {} != values length {}",
+                self.deltas.len(),
+                self.values.len()
+            )));
+        }
+        if self.firstcol.len() != self.nrows {
+            return Err(corrupt(format!(
+                "firstcol length {} != nrows = {}",
+                self.firstcol.len(),
+                self.nrows
+            )));
+        }
+        if self.exc_ptr.len() != self.nrows + 1 {
+            return Err(corrupt(format!(
+                "exc_ptr length {} != nrows + 1 = {}",
+                self.exc_ptr.len(),
+                self.nrows + 1
+            )));
+        }
+        match &self.deltas {
+            Deltas::U8(d) => self.validate_decode(d, u8::MAX as u32),
+            Deltas::U16(d) => self.validate_decode(d, u16::MAX as u32),
+        }
+    }
 }
 
 /// Counts deltas that would escape at 8- and 16-bit widths.
@@ -432,7 +647,7 @@ mod tests {
     #[test]
     fn banded_picks_u8_and_roundtrips() {
         let a = banded(64, 2);
-        let d = DeltaCsr::from_csr(&a);
+        let d = DeltaCsr::from_csr(&a).unwrap();
         assert_eq!(d.width(), DeltaWidth::U8);
         assert_eq!(d.n_exceptions(), 0);
         assert_eq!(d.to_csr().unwrap(), a);
@@ -442,10 +657,10 @@ mod tests {
     #[test]
     fn scattered_needs_escapes_or_u16() {
         let a = scattered(16, 1000);
-        let d8 = DeltaCsr::with_width(&a, DeltaWidth::U8);
+        let d8 = DeltaCsr::with_width(&a, DeltaWidth::U8).unwrap();
         assert!(d8.n_exceptions() > 0);
         assert_eq!(d8.to_csr().unwrap(), a);
-        let d16 = DeltaCsr::with_width(&a, DeltaWidth::U16);
+        let d16 = DeltaCsr::with_width(&a, DeltaWidth::U16).unwrap();
         assert_eq!(d16.n_exceptions(), 0);
         assert_eq!(d16.to_csr().unwrap(), a);
     }
@@ -453,16 +668,16 @@ mod tests {
     #[test]
     fn auto_width_minimizes_footprint() {
         let a = scattered(16, 70000); // gaps exceed u16 as well
-        let auto = DeltaCsr::from_csr(&a);
-        let d8 = DeltaCsr::with_width(&a, DeltaWidth::U8);
-        let d16 = DeltaCsr::with_width(&a, DeltaWidth::U16);
+        let auto = DeltaCsr::from_csr(&a).unwrap();
+        let d8 = DeltaCsr::with_width(&a, DeltaWidth::U8).unwrap();
+        let d16 = DeltaCsr::with_width(&a, DeltaWidth::U16).unwrap();
         assert!(auto.footprint_bytes() <= d8.footprint_bytes().min(d16.footprint_bytes()) + 1);
     }
 
     #[test]
     fn spmv_matches_csr() {
         for a in [banded(50, 3), scattered(20, 700)] {
-            let d = DeltaCsr::from_csr(&a);
+            let d = DeltaCsr::from_csr(&a).unwrap();
             let x: Vec<f64> = (0..a.ncols()).map(|i| (i % 7) as f64 - 3.0).collect();
             let mut y_ref = vec![0.0; a.nrows()];
             let mut y = vec![0.0; a.nrows()];
@@ -477,7 +692,7 @@ mod tests {
     #[test]
     fn spmv_rows_partial_range() {
         let a = banded(32, 1);
-        let d = DeltaCsr::from_csr(&a);
+        let d = DeltaCsr::from_csr(&a).unwrap();
         let x = vec![1.0; a.ncols()];
         let mut y_full = vec![0.0; a.nrows()];
         a.spmv(&x, &mut y_full);
@@ -493,7 +708,7 @@ mod tests {
     #[test]
     fn compression_shrinks_regular_matrices() {
         let a = banded(256, 4);
-        let d = DeltaCsr::from_csr(&a);
+        let d = DeltaCsr::from_csr(&a).unwrap();
         assert!(d.index_compression_ratio(&a) < 1.0);
     }
 
@@ -503,7 +718,7 @@ mod tests {
         coo.push(0, 3, 2.0).unwrap();
         coo.push(3, 0, 5.0).unwrap();
         let a = Csr::from_coo(&coo);
-        let d = DeltaCsr::from_csr(&a);
+        let d = DeltaCsr::from_csr(&a).unwrap();
         assert_eq!(d.to_csr().unwrap(), a);
         let mut y = vec![0.0; 4];
         d.spmv(&[1.0, 1.0, 1.0, 1.0], &mut y);
@@ -517,14 +732,57 @@ mod tests {
         coo.push(0, 0, 1.0).unwrap();
         coo.push(0, 254, 1.0).unwrap(); // u8 max_inline = 254
         let a = Csr::from_coo(&coo);
-        let d = DeltaCsr::with_width(&a, DeltaWidth::U8);
+        let d = DeltaCsr::with_width(&a, DeltaWidth::U8).unwrap();
         assert_eq!(d.n_exceptions(), 0);
         let mut coo2 = Coo::new(1, 300).unwrap();
         coo2.push(0, 0, 1.0).unwrap();
         coo2.push(0, 255, 1.0).unwrap(); // gap 255 = sentinel -> escapes
         let a2 = Csr::from_coo(&coo2);
-        let d2 = DeltaCsr::with_width(&a2, DeltaWidth::U8);
+        let d2 = DeltaCsr::with_width(&a2, DeltaWidth::U8).unwrap();
         assert_eq!(d2.n_exceptions(), 1);
         assert_eq!(d2.to_csr().unwrap(), a2);
+    }
+}
+
+#[cfg(test)]
+mod corruption_proptests {
+    use super::*;
+    use crate::validate::{ValidateFormat, Validated};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every corruption of a well-formed delta-CSR buffer is
+        /// rejected by the witness constructor with an error — never a
+        /// panic (and in particular never an out-of-bounds decode).
+        #[test]
+        fn corrupted_delta_is_rejected(n in 2usize..40, seed in 0u64..1000, kind in 0usize..4) {
+            let a = crate::gen::banded(n, 2, 1.0, seed).expect("generator");
+            let mut d = DeltaCsr::from_csr(&a).expect("encodable");
+            match kind {
+                0 => *d.rowptr.last_mut().unwrap() += 1,
+                1 => d.firstcol[0] = d.ncols as u32,
+                2 => { d.values.pop(); }
+                _ => *d.exc_ptr.last_mut().unwrap() += 1,
+            }
+            let err = d.validate_structure().expect_err("corruption must be caught");
+            prop_assert!(err.to_string().contains("delta"), "got: {err}");
+            prop_assert!(Validated::new(&d).is_err());
+        }
+
+        /// Wide random matrices exercise the escape path; truncating
+        /// the exception stream must be caught by the cursor check.
+        #[test]
+        fn truncated_exceptions_are_rejected(n in 64usize..200, seed in 0u64..200) {
+            let a = crate::gen::random_uniform(n, 12, seed).expect("generator");
+            let mut d = DeltaCsr::from_csr(&a).expect("encodable");
+            if d.n_exceptions() == 0 {
+                // Dense enough not to escape; nothing to truncate.
+                return;
+            }
+            d.exceptions.pop();
+            prop_assert!(d.validate_structure().is_err());
+        }
     }
 }

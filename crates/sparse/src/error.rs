@@ -41,6 +41,15 @@ pub enum SparseError {
     Io(std::io::Error),
     /// A generator was asked for an impossible structure.
     InvalidGenerator(String),
+    /// A format's structural invariants are violated — reported by the
+    /// [`crate::validate`] witness checks and by compression builders
+    /// that refuse to narrow out-of-range values.
+    Corrupt {
+        /// Name of the format whose invariants failed.
+        format: &'static str,
+        /// The first violated invariant, human-readable.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -64,6 +73,9 @@ impl fmt::Display for SparseError {
             SparseError::Io(e) => write!(f, "I/O error: {e}"),
             SparseError::InvalidGenerator(detail) => {
                 write!(f, "invalid generator parameters: {detail}")
+            }
+            SparseError::Corrupt { format, detail } => {
+                write!(f, "corrupt {format} structure: {detail}")
             }
         }
     }

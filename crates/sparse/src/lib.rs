@@ -41,6 +41,7 @@ pub mod mm;
 pub mod sellcs;
 pub mod spy;
 pub mod stats;
+pub mod validate;
 
 pub use bcsr::Bcsr;
 pub use coo::Coo;
@@ -52,6 +53,7 @@ pub use error::SparseError;
 pub use features::FeatureVector;
 pub use sellcs::SellCs;
 pub use stats::RowStats;
+pub use validate::{MaybeValidated, ValidateFormat, Validated};
 
 /// Result alias for fallible sparse-matrix operations.
 pub type Result<T> = std::result::Result<T, SparseError>;

@@ -136,7 +136,12 @@ pub fn read_coo<R: Read>(reader: R) -> Result<Coo> {
     let ncols = parse_usize(dims[1], "column count", lineno)?;
     let nnz = parse_usize(dims[2], "nnz count", lineno)?;
 
-    let mut coo = Coo::with_capacity(nrows, ncols, nnz)?;
+    // Reserve from the header's declared count, but cap the up-front
+    // allocation: a corrupt or hostile header can declare an absurd
+    // nnz, and aborting on allocation failure is worse than growing
+    // incrementally for the (rare) genuinely huge file.
+    const MAX_RESERVE: usize = 1 << 24;
+    let mut coo = Coo::with_capacity(nrows, ncols, nnz.min(MAX_RESERVE))?;
     let mut seen = 0usize;
     for l in lines {
         lineno += 1;
@@ -324,5 +329,54 @@ mod tests {
     #[test]
     fn empty_stream_is_error() {
         assert!(read_csr("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_error_not_panic() {
+        // Header promises 4 entries, stream ends after 2.
+        let s = "%%MatrixMarket matrix coordinate real general\n\
+                 3 3 4\n\
+                 1 1 2.0\n\
+                 2 2 4.0\n";
+        match read_csr(s.as_bytes()) {
+            Err(SparseError::Parse { detail, .. }) => {
+                assert!(detail.contains("declared 4"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Truncated mid-entry: a row index with no column.
+        let s2 = "%%MatrixMarket matrix coordinate real general\n\
+                  2 2 2\n\
+                  1 1 1.0\n\
+                  2\n";
+        assert!(read_csr(s2.as_bytes()).is_err());
+        // Truncated before the size line.
+        let s3 = "%%MatrixMarket matrix coordinate real general\n% only comments\n";
+        assert!(read_csr(s3.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_nnz_is_error_not_abort() {
+        // A hostile header declaring ~10^18 entries must not reserve
+        // that much memory up front; the entry-count check errors out.
+        let s = format!(
+            "%%MatrixMarket matrix coordinate real general\n2 2 {}\n1 1 1.0\n",
+            10u64.pow(18)
+        );
+        match read_csr(s.as_bytes()) {
+            Err(SparseError::Parse { detail, .. }) => {
+                assert!(detail.contains("found 1"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn more_entries_than_declared_is_error() {
+        let s = "%%MatrixMarket matrix coordinate real general\n\
+                 2 2 1\n\
+                 1 1 1.0\n\
+                 2 2 2.0\n";
+        assert!(read_csr(s.as_bytes()).is_err());
     }
 }

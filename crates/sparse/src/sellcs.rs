@@ -201,10 +201,132 @@ impl SellCs {
         }
     }
 
+    /// Like [`SellCs::spmv_chunks_scatter`] with per-element bounds
+    /// checks elided — the sliced-ELL fast path.
+    ///
+    /// # Safety
+    /// * `self` must hold a structure that passed
+    ///   [`crate::validate::ValidateFormat::validate_structure`]
+    ///   (i.e. the caller holds a [`crate::Validated`] witness): slab
+    ///   geometry is consistent, every stored column is `SELL_PAD` or
+    ///   `< ncols`, and `perm` is a bijection on `0..nrows` (so rows
+    ///   delivered by distinct chunks stay disjoint).
+    /// * `chunks.end <= self.nchunks()`.
+    /// * `x.len() == self.ncols()`.
+    ///
+    /// `scatter` receives original row indices `< nrows`, each at most
+    /// once per call.
+    pub unsafe fn spmv_chunks_scatter_unchecked(
+        &self,
+        chunks: std::ops::Range<usize>,
+        x: &[f64],
+        scatter: &mut dyn FnMut(usize, f64),
+    ) {
+        let c = self.chunk;
+        let mut acc = vec![0.0f64; c];
+        for ci in chunks {
+            // SAFETY: the validated chunkptr/chunk_width have
+            // nchunks + 1 / nchunks entries and the caller guarantees
+            // chunks.end <= nchunks.
+            let (base, width) = unsafe {
+                (*self.chunkptr.get_unchecked(ci), *self.chunk_width.get_unchecked(ci) as usize)
+            };
+            let lanes = c.min(self.nrows - ci * c);
+            acc[..lanes].fill(0.0);
+            for k in 0..width {
+                let col_base = base + k * c;
+                for (lane, a) in acc.iter_mut().enumerate().take(lanes) {
+                    // SAFETY: validation proved chunkptr[ci + 1] -
+                    // chunkptr[ci] == width * chunk and colind/values have
+                    // chunkptr[nchunks] entries, so col_base + lane is in
+                    // bounds for both slabs.
+                    let col = unsafe { *self.colind.get_unchecked(col_base + lane) };
+                    if col != SELL_PAD {
+                        // SAFETY: validation proved every non-pad column is
+                        // < ncols, and the caller guarantees
+                        // x.len() == ncols.
+                        *a += unsafe {
+                            *self.values.get_unchecked(col_base + lane)
+                                * *x.get_unchecked(col as usize)
+                        };
+                    }
+                }
+            }
+            for (lane, &a) in acc.iter().enumerate().take(lanes) {
+                // SAFETY: perm has nrows entries (validated) and
+                // ci * c + lane < nrows because lanes is clamped.
+                scatter(unsafe { *self.perm.get_unchecked(ci * c + lane) } as usize, a);
+            }
+        }
+    }
+
     /// Chunk pointer in *chunk* units for nnz-balanced partitioning:
     /// entry `i` is the number of stored slots before chunk `i`.
     pub fn chunk_slots_ptr(&self) -> &[usize] {
         &self.chunkptr
+    }
+}
+
+impl crate::validate::ValidateFormat for SellCs {
+    fn format_name(&self) -> &'static str {
+        "sell-c-sigma"
+    }
+
+    fn validate_structure(&self) -> Result<()> {
+        let corrupt = |detail: String| SparseError::Corrupt { format: "sell-c-sigma", detail };
+        if self.chunk == 0 {
+            return Err(corrupt("chunk size is zero".into()));
+        }
+        let nchunks = self.nrows.div_ceil(self.chunk);
+        if self.chunk_width.len() != nchunks {
+            return Err(corrupt(format!(
+                "chunk_width length {} != nchunks = {nchunks}",
+                self.chunk_width.len()
+            )));
+        }
+        crate::validate::check_rowptr("sell-c-sigma", &self.chunkptr, nchunks, self.colind.len())?;
+        for ci in 0..nchunks {
+            let slots = self.chunkptr[ci + 1] - self.chunkptr[ci];
+            let want = self.chunk_width[ci] as usize * self.chunk;
+            if slots != want {
+                return Err(corrupt(format!(
+                    "chunk {ci} holds {slots} slots but width * chunk = {want}"
+                )));
+            }
+        }
+        if self.values.len() != self.colind.len() {
+            return Err(corrupt(format!(
+                "values length {} != colind length {}",
+                self.values.len(),
+                self.colind.len()
+            )));
+        }
+        for (k, &col) in self.colind.iter().enumerate() {
+            if col != SELL_PAD && col as usize >= self.ncols {
+                return Err(corrupt(format!(
+                    "column index {col} at slot {k} >= ncols = {}",
+                    self.ncols
+                )));
+            }
+        }
+        if self.perm.len() != self.nrows {
+            return Err(corrupt(format!(
+                "perm length {} != nrows = {}",
+                self.perm.len(),
+                self.nrows
+            )));
+        }
+        let mut seen = vec![false; self.nrows];
+        for &p in &self.perm {
+            match seen.get_mut(p as usize) {
+                Some(s) if !*s => *s = true,
+                Some(_) => {
+                    return Err(corrupt(format!("perm maps to row {p} twice; not a bijection")))
+                }
+                None => return Err(corrupt(format!("perm entry {p} >= nrows = {}", self.nrows))),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -296,5 +418,35 @@ mod tests {
         let a = gen::powerlaw(300, 6, 2.0, 2).unwrap();
         let s = SellCs::from_csr(&a, 8, 64).unwrap();
         assert!(s.footprint_bytes() > a.values_bytes());
+    }
+}
+
+#[cfg(test)]
+mod corruption_proptests {
+    use super::*;
+    use crate::validate::{ValidateFormat, Validated};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every corruption of a well-formed SELL-C-σ buffer —
+        /// including a broken permutation, which the parallel scatter
+        /// relies on for write disjointness — is rejected by the
+        /// witness constructor with an error, never a panic.
+        #[test]
+        fn corrupted_sellcs_is_rejected(n in 4usize..40, seed in 0u64..1000, kind in 0usize..4) {
+            let a = crate::gen::banded(n, 2, 1.0, seed).expect("generator");
+            let mut s = SellCs::from_csr(&a, 4, 16).expect("convertible");
+            match kind {
+                0 => *s.chunkptr.last_mut().unwrap() += 1,
+                1 => s.colind[0] = s.ncols as u32,
+                2 => s.perm[0] = s.perm[1],
+                _ => s.chunk_width[0] += 1,
+            }
+            let err = s.validate_structure().expect_err("corruption must be caught");
+            prop_assert!(err.to_string().contains("sell"), "got: {err}");
+            prop_assert!(Validated::new(&s).is_err());
+        }
     }
 }

@@ -1,0 +1,44 @@
+//! Audit fixture: compliant code that must scan clean under every
+//! policy. The self-test scans it as crates/kernels/src/engine.rs,
+//! so the unchecked access, the thread spawn, and the marked Relaxed
+//! ordering are all in their allowlisted home.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `values` must be non-empty.
+#[inline]
+pub unsafe fn first_unchecked(values: &[f64]) -> f64 {
+    // SAFETY: the caller guarantees `values` is non-empty.
+    unsafe { *values.get_unchecked(0) }
+}
+
+fn claim(counter: &AtomicUsize) -> usize {
+    // relaxed-ok: a work counter, not a handshake; only the
+    // atomicity of the increment matters.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn wrapped_assignment(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    // SAFETY: the caller's slice is non-empty; rustfmt may wrap the
+    // statement so `unsafe` sits on the continuation line below.
+    sum +=
+        unsafe { *values.get_unchecked(0) };
+    sum
+}
+
+fn run_team() {
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            claim(&done);
+        });
+    });
+    // A string mentioning unsafe and thread::spawn must not trip the
+    // scanner either:
+    let _ = "unsafe thread::spawn Ordering::Relaxed get_unchecked";
+}

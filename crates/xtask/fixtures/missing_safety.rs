@@ -1,0 +1,8 @@
+//! Audit fixture: an `unsafe` block with no `// SAFETY:` comment.
+//! Must trigger the `safety-comment` policy (and nothing else).
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+fn first(values: &[f64]) -> f64 {
+    // A comment that is not a safety argument.
+    unsafe { *values.as_ptr() }
+}

@@ -1,0 +1,11 @@
+//! Audit fixture: `Ordering::Relaxed` in (virtual) engine code with
+//! no `relaxed-ok` marker comment. Must trigger the
+//! `relaxed-ordering` policy (and nothing else — the self-test scans
+//! this file as if it were crates/kernels/src/engine.rs).
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn next_chunk(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,17 @@
+//! Audit fixture: thread creation outside the execution engine.
+//! Must trigger the `thread-containment` policy (and nothing else).
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+fn fan_out(chunks: Vec<Vec<f64>>) -> f64 {
+    let mut total = 0.0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in &chunks {
+            handles.push(scope.spawn(move || chunk.iter().sum::<f64>()));
+        }
+        for h in handles {
+            total += h.join().expect("worker");
+        }
+    });
+    total
+}

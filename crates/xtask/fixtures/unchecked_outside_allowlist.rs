@@ -1,0 +1,9 @@
+//! Audit fixture: `get_unchecked` in a module outside the kernel
+//! allowlist. Must trigger the `unchecked-allowlist` policy (and
+//! nothing else — the SAFETY comment below is deliberately present).
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+fn peek(values: &[f64]) -> f64 {
+    // SAFETY: `values` is non-empty at every call site.
+    unsafe { *values.get_unchecked(0) }
+}

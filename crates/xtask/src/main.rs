@@ -1,0 +1,598 @@
+//! Workspace task runner. The one task so far is `audit`, a
+//! line/token-level safety analyzer for the workspace's `unsafe` SpMV
+//! fast paths (see DESIGN.md, "Safety & invariants").
+//!
+//! `cargo xtask audit` enforces four policies over every `.rs` file
+//! in the repository (vendored deps and build output excluded):
+//!
+//! 1. **SAFETY comments** — every `unsafe` occurrence (block, fn,
+//!    impl) is immediately preceded by a `// SAFETY:` comment or a
+//!    `# Safety` doc section naming the invariant it relies on.
+//! 2. **Unchecked-access containment** — `get_unchecked`,
+//!    `from_raw_parts`, and raw-pointer arithmetic (`.add(`) appear
+//!    only in the allowlisted kernel/format modules whose fast paths
+//!    are gated by `spmv_sparse::Validated` witnesses.
+//! 3. **Thread containment** — `thread::spawn` / `thread::scope`
+//!    appear only in the execution engine (`crates/kernels/src/
+//!    engine.rs`); all other parallelism goes through `ExecEngine`.
+//! 4. **Relaxed-ordering discipline** — `Ordering::Relaxed` inside
+//!    the engine modules must carry a `relaxed-ok` marker comment
+//!    explaining why relaxed ordering cannot break the dispatch
+//!    handshake (test modules are exempt).
+//!
+//! The audit first runs a self-test over `crates/xtask/fixtures/`:
+//! deliberately violating snippets it must flag, plus a clean file it
+//! must not. A scanner regression therefore fails the audit itself.
+//!
+//! No external dependencies: the scanner is a hand-rolled lexer that
+//! strips string literals and separates comments from code while
+//! preserving line numbers, so audit patterns never match themselves.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => run_audit(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n\nusage: cargo xtask audit");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask audit");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Repository root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the repo root")
+        .to_path_buf()
+}
+
+fn run_audit() -> ExitCode {
+    let root = repo_root();
+    if let Err(e) = self_test(&root) {
+        eprintln!("audit self-test FAILED: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(root.join(file)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("audit: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        findings.extend(scan_source(file, &text));
+    }
+
+    if findings.is_empty() {
+        println!("audit OK: {} files scanned, 0 findings", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        println!("audit FAILED: {} finding(s) in {} files scanned", findings.len(), files.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collects workspace `.rs` files as `/`-separated paths
+/// relative to `root`, skipping build output, vendored dependencies,
+/// VCS metadata, and the deliberately-violating audit fixtures.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | "vendor" | ".git" | "results")
+                || path.ends_with("crates/xtask/fixtures")
+            {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walk stays under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+/// One policy violation.
+#[derive(Debug, PartialEq)]
+struct Finding {
+    file: String,
+    /// 1-based line number.
+    line: usize,
+    policy: &'static str,
+    message: String,
+}
+
+impl Finding {
+    fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.policy, self.message)
+    }
+}
+
+const POLICY_SAFETY: &str = "safety-comment";
+const POLICY_UNCHECKED: &str = "unchecked-allowlist";
+const POLICY_THREADS: &str = "thread-containment";
+const POLICY_RELAXED: &str = "relaxed-ordering";
+
+/// Modules allowed to contain unchecked-access tokens (policy 2):
+/// the validated-format fast paths in `spmv-sparse` and the kernel
+/// inner loops / engine plumbing in `spmv-kernels`.
+const UNCHECKED_ALLOWLIST: &[&str] = &[
+    "crates/sparse/src/delta.rs",
+    "crates/sparse/src/bcsr.rs",
+    "crates/sparse/src/sellcs.rs",
+    "crates/sparse/src/decomp.rs",
+    "crates/kernels/src/baseline.rs",
+    "crates/kernels/src/vectorized.rs",
+    "crates/kernels/src/prefetch.rs",
+    "crates/kernels/src/schedule.rs",
+    "crates/kernels/src/engine.rs",
+];
+
+/// The only module allowed to create threads (policy 3).
+const THREAD_ALLOWLIST: &[&str] = &["crates/kernels/src/engine.rs"];
+
+/// Modules whose `Ordering::Relaxed` uses require a `relaxed-ok`
+/// marker (policy 4): the engine and its scheduling primitives.
+const RELAXED_SCOPE: &[&str] = &["crates/kernels/src/engine.rs", "crates/kernels/src/schedule.rs"];
+
+fn path_in(file: &str, list: &[&str]) -> bool {
+    list.iter().any(|s| file.ends_with(s))
+}
+
+/// A source file split into per-line code and comment channels.
+///
+/// `code[i]` holds line `i` with comments removed and string/char
+/// literal *contents* blanked (delimiters kept), so token scans never
+/// match inside literals — including the audit's own pattern strings.
+/// `comments[i]` holds the text of any comment on line `i`.
+struct Scrubbed {
+    code: Vec<String>,
+    comments: Vec<String>,
+}
+
+fn scrub(text: &str) -> Scrubbed {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut state = State::Code;
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(String::new());
+            comments.push(String::new());
+            i += 1;
+            continue;
+        }
+        let line_code = code.last_mut().expect("at least one line");
+        let line_comment = comments.last_mut().expect("at least one line");
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    line_code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r'
+                    && matches!(next, Some('"') | Some('#'))
+                    && !prev_is_ident(line_code)
+                {
+                    // Raw string r"..." / r#"..."#; count the hashes.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        line_code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        line_code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Lifetime (`'a`) vs char literal (`'a'`): a
+                    // lifetime is an identifier not followed by a
+                    // closing quote.
+                    let is_lifetime =
+                        chars.get(i + 1).is_some_and(|n| n.is_alphabetic() || *n == '_')
+                            && chars.get(i + 2) != Some(&'\'');
+                    if is_lifetime {
+                        line_code.push(c);
+                        i += 1;
+                    } else {
+                        line_code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                    }
+                } else {
+                    line_code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line_comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line_comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character
+                } else if c == '"' {
+                    line_code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line_code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        line_code.push('"');
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                line_code.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    line_code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    line_code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    Scrubbed { code, comments }
+}
+
+/// Whether the scrubbed code line ends in an identifier character
+/// (used to distinguish `r"..."` raw strings from identifiers ending
+/// in `r`, like `ptr` in `ptr"`-impossible but `var` in `var#`).
+fn prev_is_ident(line_code: &str) -> bool {
+    line_code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Whether `line` contains `token` delimited by non-identifier
+/// characters on both sides.
+fn has_token(line: &str, token: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(token) {
+        let start = from + pos;
+        let end = start + token.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Runs all four policies over one file.
+fn scan_source(file: &str, text: &str) -> Vec<Finding> {
+    let s = scrub(text);
+    let nlines = s.code.len();
+    let mut findings = Vec::new();
+
+    // The trailing `#[cfg(test)]` module (attribute at column 0, the
+    // workspace convention) relaxes policy 4: test-only atomics are
+    // not part of any dispatch protocol.
+    let test_cutoff =
+        text.lines().position(|l| l.starts_with("#[cfg(test)]")).unwrap_or(usize::MAX);
+
+    for i in 0..nlines {
+        let code = &s.code[i];
+        let line_no = i + 1;
+
+        // Policy 1: SAFETY-comment adjacency.
+        if has_token(code, "unsafe") && !preceded_by_safety(&s, i) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_no,
+                policy: POLICY_SAFETY,
+                message: "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                          (or `# Safety` doc section) naming the invariant"
+                    .to_string(),
+            });
+        }
+
+        // Policy 2: unchecked accesses only in allowlisted modules.
+        if !path_in(file, UNCHECKED_ALLOWLIST) {
+            for token in
+                ["get_unchecked", "get_unchecked_mut", "from_raw_parts", "from_raw_parts_mut"]
+            {
+                if has_token(code, token) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_UNCHECKED,
+                        message: format!(
+                            "`{token}` outside the allowlisted kernel modules — route the \
+                             access through a `Validated<_>` fast path or a checked method"
+                        ),
+                    });
+                }
+            }
+            if code.contains(".add(") {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: line_no,
+                    policy: POLICY_UNCHECKED,
+                    message: "raw-pointer arithmetic (`.add(`) outside the allowlisted \
+                              kernel modules"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Policy 3: thread creation only in the execution engine.
+        if !path_in(file, THREAD_ALLOWLIST) {
+            for token in ["thread::spawn", "thread::scope"] {
+                if code.contains(token) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_THREADS,
+                        message: format!(
+                            "`{token}` outside crates/kernels/src/engine.rs — all \
+                             parallelism goes through ExecEngine"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Policy 4: relaxed ordering in the engine needs a marker.
+        if path_in(file, RELAXED_SCOPE)
+            && i < test_cutoff
+            && code.contains("Ordering::Relaxed")
+            && !has_relaxed_marker(&s, i)
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_no,
+                policy: POLICY_RELAXED,
+                message: "`Ordering::Relaxed` in the engine without a `relaxed-ok` marker \
+                          comment justifying it against the dispatch handshake"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Whether the contiguous run of comment, attribute, and blank lines
+/// directly above line `i` (or a trailing comment on `i` itself)
+/// contains a `SAFETY:` annotation or a `# Safety` doc section.
+///
+/// rustfmt may wrap a statement so that `unsafe` lands on a
+/// continuation line (`sum +=` / `let x =` above it); a code line
+/// ending in an assignment operator is therefore treated as part of
+/// the same statement and the walk continues above it.
+fn preceded_by_safety(s: &Scrubbed, i: usize) -> bool {
+    if s.comments[i].contains("SAFETY:") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let code = s.code[j].trim();
+        let comment = &s.comments[j];
+        let is_comment_line = code.is_empty() && !comment.is_empty();
+        let is_attribute = code.starts_with("#[");
+        let is_blank = code.is_empty() && comment.is_empty();
+        if is_comment_line {
+            if comment.contains("SAFETY:") || comment.contains("# Safety") {
+                return true;
+            }
+        } else if !(is_attribute || is_blank || is_assignment_continuation(code)) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether a code line ends mid-statement with an assignment operator,
+/// i.e. the next line is a formatting continuation, not a new
+/// statement. Comparison operators (`==`, `<=`, …) do not count.
+fn is_assignment_continuation(code: &str) -> bool {
+    let Some(rest) = code.strip_suffix('=') else {
+        return false;
+    };
+    !matches!(rest.chars().last(), Some('=' | '<' | '>' | '!'))
+}
+
+/// Whether line `i` carries a `relaxed-ok` marker in its own comment
+/// or in the contiguous comment run directly above it.
+fn has_relaxed_marker(s: &Scrubbed, i: usize) -> bool {
+    if s.comments[i].contains("relaxed-ok") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let code = s.code[j].trim();
+        let comment = &s.comments[j];
+        if code.is_empty() && !comment.is_empty() {
+            if comment.contains("relaxed-ok") {
+                return true;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Fixture files with the virtual workspace path they are scanned
+/// under and the exact set of policies each must trigger. An empty
+/// set means the fixture must scan clean.
+const FIXTURES: &[(&str, &str, &[&str])] = &[
+    ("missing_safety.rs", "crates/sim/src/fixture.rs", &[POLICY_SAFETY]),
+    ("unchecked_outside_allowlist.rs", "crates/sim/src/fixture.rs", &[POLICY_UNCHECKED]),
+    ("spawn_outside_engine.rs", "crates/sim/src/fixture.rs", &[POLICY_THREADS]),
+    ("relaxed_without_marker.rs", "crates/kernels/src/engine.rs", &[POLICY_RELAXED]),
+    ("clean.rs", "crates/kernels/src/engine.rs", &[]),
+];
+
+/// Scans each fixture under its virtual path and checks the triggered
+/// policy set matches expectations exactly. A scanner that stops
+/// flagging a violation (or starts flagging the clean file) fails
+/// here before any real file is scanned.
+fn self_test(root: &Path) -> Result<(), String> {
+    let dir = root.join("crates/xtask/fixtures");
+    for (name, virtual_path, expected) in FIXTURES {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
+        let mut got: Vec<&'static str> =
+            scan_source(virtual_path, &text).into_iter().map(|f| f.policy).collect();
+        got.sort_unstable();
+        got.dedup();
+        let mut want = expected.to_vec();
+        want.sort_unstable();
+        if got != want {
+            return Err(format!(
+                "fixture {name} (as {virtual_path}): triggered policies {got:?}, expected {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrubber_blanks_strings_and_splits_comments() {
+        let s = scrub("let x = \"unsafe\"; // SAFETY: not really\nunsafe {}\n");
+        assert!(!has_token(&s.code[0], "unsafe"), "string contents must be blanked");
+        assert!(s.comments[0].contains("SAFETY:"));
+        assert!(has_token(&s.code[1], "unsafe"));
+    }
+
+    #[test]
+    fn scrubber_handles_lifetimes_and_chars() {
+        let s = scrub("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(s.code[0].contains("fn f<'a>"));
+        assert!(!s.code[0].contains("'x'") || s.code[0].contains("' '"));
+    }
+
+    #[test]
+    fn token_matching_respects_word_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("unsafe_op_in_unsafe_fn = 1", "unsafe"));
+        assert!(!has_token("let get_unchecked_mutant = 1;", "get_unchecked_mut"));
+    }
+
+    #[test]
+    fn safety_adjacency_crosses_attributes_and_doc_blocks() {
+        let text = "/// Does things.\n///\n/// # Safety\n/// Caller checks bounds.\n#[inline]\npub unsafe fn f() {}\n";
+        let findings = scan_source("crates/sim/src/x.rs", text);
+        assert!(findings.iter().all(|f| f.policy != POLICY_SAFETY), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_safety_comment_is_flagged() {
+        let findings = scan_source("crates/sim/src/x.rs", "fn f() { unsafe { g(); } }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].policy, POLICY_SAFETY);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn self_test_fixtures_pass() {
+        self_test(&repo_root()).expect("fixtures behave");
+    }
+
+    #[test]
+    fn real_engine_sources_scan_clean() {
+        let root = repo_root();
+        for rel in ["crates/kernels/src/engine.rs", "crates/kernels/src/schedule.rs"] {
+            let text = std::fs::read_to_string(root.join(rel)).expect("source exists");
+            let findings = scan_source(rel, &text);
+            assert!(findings.is_empty(), "{rel}: {findings:?}");
+        }
+    }
+}

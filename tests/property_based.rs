@@ -41,10 +41,10 @@ proptest! {
     fn delta_compression_is_lossless((nrows, ncols, entries) in arb_matrix()) {
         let a = build(nrows, ncols, &entries);
         for width in [spmv_tune::sparse::DeltaWidth::U8, spmv_tune::sparse::DeltaWidth::U16] {
-            let d = DeltaCsr::with_width(&a, width);
+            let d = DeltaCsr::with_width(&a, width).expect("encodable");
             prop_assert_eq!(&d.to_csr().expect("roundtrip"), &a);
         }
-        let auto = DeltaCsr::from_csr(&a);
+        let auto = DeltaCsr::from_csr(&a).expect("encodable");
         auto.validate().expect("internal invariants");
         prop_assert_eq!(&auto.to_csr().expect("roundtrip"), &a);
     }
