@@ -1,0 +1,35 @@
+//! Emits the benchmark trajectory (`BENCH_spmv.json`).
+//!
+//! ```text
+//! bench_trajectory [--scale small|full|<f64>] [--threads N] [--out PATH]
+//! ```
+//!
+//! Prefer `cargo xtask bench`, which builds in release mode and
+//! defaults the output to the repo root.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = spmv_bench::trajectory::resolve_scale(&args);
+    let nthreads = flag_value(&args, "--threads")
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+        });
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_spmv.json".to_string());
+
+    eprintln!("bench_trajectory: scale={scale} threads={nthreads} -> {out}");
+    let report = spmv_bench::trajectory::run(scale, nthreads);
+    let rendered = report.render_pretty(2);
+
+    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("cannot create {out}: {e}"));
+    f.write_all(rendered.as_bytes()).expect("write BENCH_spmv.json");
+    eprintln!("bench_trajectory: wrote {} bytes to {out}", rendered.len());
+}
+
+/// Returns the value following `flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}

@@ -14,6 +14,7 @@
 //! | `table2_features` | Table 2 — feature extraction + scaling check |
 //! | `table3_accuracy` | Table 3 — LOOCV accuracy of the feature-guided classifier |
 //! | `table4_overhead` | Table 4 — amortization iterations per optimizer |
+//! | `bench_trajectory` | `BENCH_spmv.json` — cross-PR performance trajectory |
 //! | `ablation_thresholds` | grid-search sensitivity of `T_ML`/`T_IMB` |
 //! | `ablation_scheduling` | scheduling policies on skewed matrices |
 //! | `ablation_partitioned_ml` | future-work partitioned irregularity detection |
@@ -27,6 +28,7 @@
 pub mod context;
 pub mod experiments;
 pub mod table;
+pub mod trajectory;
 
 pub use context::{load_suite, Analysis, NamedMatrix, Platform};
 pub use table::Table;

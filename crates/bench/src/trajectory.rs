@@ -1,0 +1,227 @@
+//! Benchmark trajectory: the machine-readable performance record the
+//! repo carries from PR to PR (`BENCH_spmv.json` at the repo root).
+//!
+//! One run sweeps the standard suite and emits, per matrix:
+//!
+//! * the simulated §III-B bounds, classifier decision trace and
+//!   per-variant GFLOP/s on each paper platform (deterministic, so
+//!   trajectory diffs isolate model changes from host noise);
+//! * host-measured GFLOP/s and preprocessing cost for the baseline
+//!   and every single-optimization variant;
+//!
+//! plus a trailing `telemetry` section with the process-wide dispatch
+//! / preprocessing / profiling counters accumulated during the run.
+//!
+//! Invoke via `cargo xtask bench` (writes the file) or run the
+//! `bench_trajectory` binary directly.
+
+use spmv_kernels::variant::{build_kernel, KernelVariant};
+use spmv_telemetry::{metrics, JsonValue};
+use spmv_tuner::profile::ProfileClassifier;
+
+use crate::context::{analyze, load_suite, NamedMatrix, Platform};
+
+/// Schema identifier written into the report; bump on breaking shape
+/// changes so downstream diff tooling can refuse mixed comparisons.
+pub const SCHEMA: &str = "spmv-bench-trajectory/1";
+
+/// Suite scale of `--scale small` (CI smoke runs).
+pub const SMALL_SCALE: f64 = 0.05;
+
+/// Repetitions per host-measured kernel (best-of, warm pool).
+const HOST_REPS: usize = 3;
+
+/// Resolves the `--scale` argument: `small`, `full`, or an explicit
+/// positive float.
+pub fn resolve_scale(args: &[String]) -> f64 {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            return match it.next().map(String::as_str) {
+                Some("small") => SMALL_SCALE,
+                Some("full") | None => 1.0,
+                Some(v) => match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 => s,
+                    _ => {
+                        eprintln!("ignoring invalid --scale value {v:?}");
+                        1.0
+                    }
+                },
+            };
+        }
+    }
+    1.0
+}
+
+/// The variant set measured on the host: baseline plus every
+/// single-optimization variant from the paper's pool.
+fn host_variants() -> Vec<KernelVariant> {
+    let mut v = vec![KernelVariant::BASELINE];
+    v.extend(KernelVariant::all_singles());
+    v
+}
+
+/// Runs the full trajectory at `scale` on `nthreads` host threads and
+/// returns the report as a JSON document.
+pub fn run(scale: f64, nthreads: usize) -> JsonValue {
+    let platforms = Platform::paper_platforms();
+    let suite = load_suite(scale);
+    let clf = ProfileClassifier::default();
+
+    let mut matrices = Vec::with_capacity(suite.len());
+    for nm in &suite {
+        matrices.push(matrix_entry(nm, &platforms, &clf, nthreads));
+    }
+
+    JsonValue::obj()
+        .with("schema", SCHEMA)
+        .with("scale", scale)
+        .with("nthreads", nthreads)
+        .with("matrices", JsonValue::Arr(matrices))
+        .with("telemetry", telemetry_section())
+}
+
+/// One matrix's record: simulated platforms + host measurements.
+fn matrix_entry(
+    nm: &NamedMatrix,
+    platforms: &[Platform],
+    clf: &ProfileClassifier,
+    nthreads: usize,
+) -> JsonValue {
+    let a = &nm.matrix;
+    let mut plats = Vec::with_capacity(platforms.len());
+    for p in platforms {
+        let an = analyze(p, a);
+        let (classes, trace) = clf.classify_traced(&an.bounds);
+        let variant = classes.to_variant(&an.features);
+        let mut variants = Vec::new();
+        for v in host_variants() {
+            variants.push(
+                JsonValue::obj()
+                    .with("variant", v.to_string())
+                    .with("gflops", p.gflops(&an.profile, v)),
+            );
+        }
+        // The class-mapped variant (may duplicate a single; kept so
+        // diffs show what the paper's optimizer would have run).
+        variants.push(
+            JsonValue::obj()
+                .with("variant", variant.to_string())
+                .with("gflops", p.gflops(&an.profile, variant)),
+        );
+        let b = &an.bounds;
+        plats.push(
+            JsonValue::obj()
+                .with("platform", p.machine.name.as_str())
+                .with(
+                    "bounds",
+                    JsonValue::obj()
+                        .with("p_csr", b.p_csr)
+                        .with("p_mb", b.p_mb)
+                        .with("p_ml", b.p_ml)
+                        .with("p_imb", b.p_imb)
+                        .with("p_cmp", b.p_cmp)
+                        .with("p_peak", b.p_peak),
+                )
+                .with("classifier", trace)
+                .with("selected_variant", variant.to_string())
+                .with(
+                    "prep_seconds_model",
+                    p.prep.profiling_seconds(&p.model, &an.profile)
+                        + p.prep.variant_seconds(&an.profile, variant),
+                )
+                .with("variants", JsonValue::Arr(variants)),
+        );
+    }
+
+    JsonValue::obj()
+        .with("name", nm.name)
+        .with("nrows", a.nrows())
+        .with("ncols", a.ncols())
+        .with("nnz", a.nnz())
+        .with("platforms", JsonValue::Arr(plats))
+        .with("host", host_entry(nm, nthreads))
+}
+
+/// Host-measured GFLOP/s + preprocessing cost per variant.
+fn host_entry(nm: &NamedMatrix, nthreads: usize) -> JsonValue {
+    let a = &nm.matrix;
+    let flops = 2.0 * a.nnz() as f64;
+    let x = vec![1.0f64; a.ncols()];
+    let mut y = vec![0.0f64; a.nrows()];
+    let mut variants = Vec::new();
+    for v in host_variants() {
+        let built = build_kernel(a, v, nthreads);
+        built.kernel.run(&x, &mut y); // warm-up
+        let (best, times) = built.kernel.run_repeated(&x, &mut y, HOST_REPS);
+        variants.push(
+            JsonValue::obj()
+                .with("variant", v.to_string())
+                .with("kernel", built.kernel.name())
+                .with("gflops", flops / best.max(1e-12) / 1e9)
+                .with("prep_seconds", built.prep_seconds)
+                .with("effective_bytes_per_nnz", built.kernel.effective_bytes_per_nnz(a.nnz()))
+                .with("imbalance", spmv_telemetry::imbalance(&times.seconds)),
+        );
+    }
+    JsonValue::obj().with("nthreads", nthreads).with("variants", JsonValue::Arr(variants))
+}
+
+/// The process-wide counters accumulated while the trajectory ran.
+fn telemetry_section() -> JsonValue {
+    let prep = metrics::preprocessing();
+    let prof = metrics::profiling_runs();
+    JsonValue::obj()
+        .with("engine_dispatch", metrics::engine_dispatch().snapshot().to_json())
+        .with(
+            "preprocessing",
+            JsonValue::obj().with("count", prep.count()).with("seconds", prep.seconds()),
+        )
+        .with(
+            "profiling_runs",
+            JsonValue::obj().with("count", prof.count()).with("seconds", prof.seconds()),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_resolution() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(resolve_scale(&args(&["--scale", "small"])), SMALL_SCALE);
+        assert_eq!(resolve_scale(&args(&["--scale", "full"])), 1.0);
+        assert_eq!(resolve_scale(&args(&["--scale", "0.25"])), 0.25);
+        assert_eq!(resolve_scale(&args(&["--scale", "bogus"])), 1.0);
+        assert_eq!(resolve_scale(&args(&[])), 1.0);
+    }
+
+    #[test]
+    fn tiny_trajectory_has_full_schema() {
+        // 0.01 keeps this test fast while exercising every code path.
+        let report = run(0.01, 2);
+        let json = report.render();
+        for key in [
+            "\"schema\":\"spmv-bench-trajectory/1\"",
+            "\"matrices\":",
+            "\"bounds\":",
+            "\"classifier\":",
+            "\"selected_variant\":",
+            "\"prep_seconds_model\":",
+            "\"host\":",
+            "\"prep_seconds\":",
+            "\"effective_bytes_per_nnz\":",
+            "\"telemetry\":",
+            "\"engine_dispatch\":",
+            "\"profiling_runs\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {}", &json[..json.len().min(400)]);
+        }
+        // 17 suite matrices × (baseline + 5 singles) host variants.
+        assert_eq!(json.matches("\"prep_seconds\":").count(), 17 * 6);
+        // The run itself drove the pooled engine, so dispatch
+        // telemetry must be non-trivial by the time we serialize.
+        assert!(metrics::engine_dispatch().snapshot().dispatches > 0);
+    }
+}

@@ -153,10 +153,17 @@ impl ExecEngine {
     pub fn run(&self, task: &(dyn Fn(usize) + Sync)) -> ThreadTimes {
         let n = self.nthreads;
         let mut seconds = vec![0.0f64; n];
+        // Dispatch telemetry: wall time of the whole run (publish →
+        // barrier) against the per-thread busy times. The recording
+        // itself is a handful of relaxed atomic adds — the only
+        // telemetry primitive allowed on this hot path.
+        let t_wall = Instant::now();
         if n == 1 {
             let t0 = Instant::now();
             task(0);
             seconds[0] = t0.elapsed().as_secs_f64();
+            spmv_telemetry::metrics::engine_dispatch()
+                .record(t_wall.elapsed().as_secs_f64(), &seconds);
             return ThreadTimes { seconds };
         }
 
@@ -193,6 +200,7 @@ impl ExecEngine {
             std::panic::resume_unwind(payload);
         }
         assert!(!pool_panicked, "worker panicked");
+        spmv_telemetry::metrics::engine_dispatch().record(t_wall.elapsed().as_secs_f64(), &seconds);
         ThreadTimes { seconds }
     }
 
@@ -637,6 +645,29 @@ mod tests {
         for &idle in &times.seconds[1..] {
             assert!(idle < 0.010, "idle worker reported {idle}s of busy time");
         }
+    }
+
+    #[test]
+    fn dispatch_telemetry_advances_on_run() {
+        // The global dispatch counter is shared across parallel
+        // tests, so assert on deltas with >= instead of exact counts.
+        let stats = spmv_telemetry::metrics::engine_dispatch();
+        let before = stats.snapshot();
+        let engine = ExecEngine::new(3);
+        for _ in 0..5 {
+            engine.run(&|_| {});
+        }
+        let after = stats.snapshot();
+        assert!(after.dispatches >= before.dispatches + 5);
+        assert!(after.threads >= before.threads + 15);
+        assert!(after.wall_seconds > before.wall_seconds);
+        assert!(after.wake_latency_seconds() >= 0.0);
+        assert!(after.imbalance_ratio() >= 1.0);
+        // Single-thread inline dispatches are recorded too.
+        let solo = ExecEngine::new(1);
+        let solo_before = stats.snapshot();
+        solo.run(&|_| {});
+        assert!(stats.snapshot().dispatches > solo_before.dispatches);
     }
 
     #[test]

@@ -92,28 +92,17 @@ impl ThreadTimes {
     /// Median thread time, the denominator of the paper's `P_IMB`
     /// bound ("we use the median instead of the mean, as we require
     /// reduced importance to be attached to outliers").
+    ///
+    /// Delegates to [`spmv_telemetry::median`] — the one shared
+    /// implementation behind measured and simulated `P_IMB`, so the
+    /// two can never drift.
     pub fn median(&self) -> f64 {
-        if self.seconds.is_empty() {
-            return 0.0;
-        }
-        let mut v = self.seconds.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("thread times are finite"));
-        let n = v.len();
-        if n % 2 == 1 {
-            v[n / 2]
-        } else {
-            0.5 * (v[n / 2 - 1] + v[n / 2])
-        }
+        spmv_telemetry::median(&self.seconds)
     }
 
     /// Imbalance ratio `max / median` (1.0 = perfectly balanced).
     pub fn imbalance(&self) -> f64 {
-        let med = self.median();
-        if med == 0.0 {
-            1.0
-        } else {
-            self.max() / med
-        }
+        spmv_telemetry::imbalance(&self.seconds)
     }
 }
 

@@ -251,6 +251,15 @@ pub trait SpmvKernel: Sync {
         }
         2.0 * nnz as f64 / seconds / 1e9
     }
+
+    /// Effective bytes moved per nonzero under this kernel's storage
+    /// format: the format's own footprint plus the `x`/`y` vectors,
+    /// per original nonzero. This is the per-variant traffic figure
+    /// the benchmark trajectory records next to GFLOP/s — compression
+    /// and blocking show up here as fewer bytes per nonzero.
+    fn effective_bytes_per_nnz(&self, nnz: usize) -> f64 {
+        (self.format_bytes() + (self.nrows() + self.ncols()) * 8) as f64 / nnz.max(1) as f64
+    }
 }
 
 /// A built kernel plus the preprocessing cost spent building it.
@@ -299,7 +308,7 @@ pub fn build_kernel<'a>(a: &'a Csr, variant: KernelVariant, nthreads: usize) -> 
         if let Some(threshold) = DecomposedCsr::auto_threshold(a, nthreads) {
             let d = DecomposedCsr::split(a, threshold).expect("threshold >= 1");
             let kernel = Box::new(DecomposedKernel::new(d, nthreads, schedule, flavor));
-            return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
+            return finish_build(kernel, t0, variant);
         }
         // No long rows: decomposition is a no-op; fall through to the
         // remaining optimizations.
@@ -309,13 +318,13 @@ pub fn build_kernel<'a>(a: &'a Csr, variant: KernelVariant, nthreads: usize) -> 
         // SELL-8-256 configuration for AVX-512-class machines.
         let s = SellCs::from_csr(a, 8, 256).expect("sigma >= chunk");
         let kernel = Box::new(SellKernel::new(s, nthreads, schedule));
-        return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
+        return finish_build(kernel, t0, variant);
     }
     if variant.contains(Optimization::RegisterBlock) {
         if let Some((r, c)) = Bcsr::auto_shape(a) {
             let b = Bcsr::from_csr(a, r, c).expect("positive block dims");
             let kernel = Box::new(BcsrKernel::new(b, nthreads, schedule, a.nnz()));
-            return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
+            return finish_build(kernel, t0, variant);
         }
         // Unprofitable blocking (fill ratio too high): fall through.
     }
@@ -328,11 +337,25 @@ pub fn build_kernel<'a>(a: &'a Csr, variant: KernelVariant, nthreads: usize) -> 
         // builder) falls through to plain CSR.
         if let Ok(d) = DeltaCsr::from_csr(a) {
             let kernel = Box::new(DeltaKernel::new(d, nthreads, schedule));
-            return BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant };
+            return finish_build(kernel, t0, variant);
         }
     }
     let kernel = Box::new(CsrKernel::with_options(a, nthreads, schedule, flavor));
-    BuiltKernel { kernel, prep_seconds: t0.elapsed().as_secs_f64(), variant }
+    finish_build(kernel, t0, variant)
+}
+
+/// Stamps the preprocessing time of a finished build and feeds the
+/// process-wide preprocessing telemetry, so amortization studies can
+/// read total conversion cost without threading a recorder through
+/// every call site.
+fn finish_build<'a>(
+    kernel: Box<dyn SpmvKernel + 'a>,
+    t0: Instant,
+    variant: KernelVariant,
+) -> BuiltKernel<'a> {
+    let prep_seconds = t0.elapsed().as_secs_f64();
+    spmv_telemetry::metrics::preprocessing().record(prep_seconds);
+    BuiltKernel { kernel, prep_seconds, variant }
 }
 
 #[cfg(test)]

@@ -93,18 +93,12 @@ pub struct SimResult {
 
 impl SimResult {
     /// Median thread time — input to the paper's `P_IMB` bound.
+    ///
+    /// Delegates to [`spmv_telemetry::median`], the same helper the
+    /// measured path ([`spmv_kernels::schedule::ThreadTimes`]) uses,
+    /// so simulated and measured `P_IMB` share one definition.
     pub fn median_thread_seconds(&self) -> f64 {
-        let mut v = self.thread_seconds.clone();
-        if v.is_empty() {
-            return 0.0;
-        }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-        let n = v.len();
-        if n % 2 == 1 {
-            v[n / 2]
-        } else {
-            0.5 * (v[n / 2 - 1] + v[n / 2])
-        }
+        spmv_telemetry::median(&self.thread_seconds)
     }
 
     /// Thread imbalance ratio `max / median`.

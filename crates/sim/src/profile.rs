@@ -99,7 +99,11 @@ impl MatrixProfile {
     /// streaming matrix data competing for it.
     pub fn analyze(a: &Csr, machine: &MachineModel) -> MatrixProfile {
         let nrows = a.nrows();
-        let ws = working_set_bytes(a) + a.nrows() * 8 + a.ncols() * 8; // + x, y
+        // `working_set_bytes` already includes the x and y vectors
+        // (`S_CSR + S_x + S_y`); adding them again here used to
+        // inflate the working set by 8·(nrows+ncols) bytes and flip
+        // cache-residency decisions near the LLC boundary.
+        let ws = working_set_bytes(a);
         let llc_for_x =
             if ws <= machine.llc_bytes() { machine.llc_bytes() } else { machine.llc_bytes() / 2 };
         let priv_cfg = CacheConfig {
@@ -370,6 +374,51 @@ mod tests {
             let d = DeltaCsr::from_csr(&a).unwrap();
             assert_eq!(bytes, d.footprint_bytes());
         }
+    }
+
+    /// Regression for the working-set double count: `analyze` used to
+    /// add `8·(nrows+ncols)` on top of `working_set_bytes` (which
+    /// already includes x and y), halving the LLC available to `x`
+    /// for matrices near the cache boundary.
+    #[test]
+    fn working_set_not_double_counted_at_llc_boundary() {
+        use spmv_sparse::Coo;
+        // 4 rows × 8192 cols; each row scans its quarter of x at
+        // stride 8 (one access per 64-byte line): 1024 distinct lines
+        // = 64 KiB of x touched.
+        let (nrows, ncols, stride) = (4usize, 8192usize, 8usize);
+        let mut coo = Coo::new(nrows, ncols).unwrap();
+        let per_row = ncols / nrows;
+        for r in 0..nrows {
+            for c in (r * per_row..(r + 1) * per_row).step_by(stride) {
+                coo.push(r, c, 1.0).unwrap();
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        // Pin the exact working set: S_CSR + S_x + S_y, nothing more.
+        // CSR = 5 rowptr entries ×8 + 1024 colind ×4 + 1024 values ×8.
+        let ws = working_set_bytes(&a);
+        assert_eq!(ws, (nrows + 1) * 8 + a.nnz() * 4 + a.nnz() * 8 + (nrows + ncols) * 8);
+        assert_eq!(ws, 77_896);
+
+        // LLC sized exactly at the working set: the matrix is
+        // cache-resident, so the full LLC must stay available to `x`
+        // (its 128-set power-of-two geometry holds exactly the 1024
+        // touched lines). Any inflation of the estimate — the old
+        // code added 65 568 bytes — halves the LLC and spills every
+        // warm miss to memory.
+        let mut m = MachineModel::broadwell();
+        m.line_bytes = 64;
+        m.l2_bytes = 8 << 10; // private cache too small for x
+        m.l3_bytes = ws;
+        let p = MatrixProfile::analyze(&a, &m);
+        assert_eq!(p.total_misses(), a.nnz() as u64, "every warm access misses private");
+        assert_eq!(
+            p.total_mem_misses(),
+            0,
+            "working set fits the LLC exactly; memory-served misses mean the \
+             estimate was inflated"
+        );
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Hand-rolled JSON writer.
+//!
+//! The build environment has no crates.io access, so the telemetry
+//! layer serializes its records with this ~100-line writer instead of
+//! `serde_json`. Only what `BENCH_spmv.json` needs is implemented:
+//! objects, arrays, strings, booleans, integers and finite floats
+//! (non-finite floats serialize as `null`, the same choice browsers
+//! make for `JSON.stringify(NaN)`).
+//!
+//! [`JsonValue`] builds a document tree; [`JsonValue::render`]
+//! produces deterministic output — object keys keep their insertion
+//! order, so two runs of the same code emit byte-identical documents
+//! (modulo the measured numbers themselves).
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (serialized without a decimal point).
+    Int(i64),
+    /// Unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// Finite float; non-finite values render as `null`.
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object; keys keep insertion order for deterministic output.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Creates an empty object.
+    pub fn obj() -> JsonValue {
+        JsonValue::Obj(Vec::new())
+    }
+
+    /// Inserts `key: value` into an object (panics on non-objects —
+    /// a misuse, not a data error).
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Obj(pairs) => pairs.push((key.to_string(), value.into())),
+            other => panic!("JsonValue::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Builder-style [`JsonValue::set`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Renders the document compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    /// Renders the document with `indent`-space pretty-printing.
+    pub fn render_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some((indent, 0)));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, pretty: Option<(usize, usize)>) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::UInt(u) => out.push_str(&u.to_string()),
+            JsonValue::Num(f) => {
+                if f.is_finite() {
+                    // `{f}` round-trips f64 exactly in Rust and emits
+                    // integers as `1` — valid JSON either way.
+                    out.push_str(&format!("{f}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                write_seq(out, pretty, '[', ']', items.len(), |out, i, p| items[i].write(out, p));
+            }
+            JsonValue::Obj(pairs) => {
+                write_seq(out, pretty, '{', '}', pairs.len(), |out, i, p| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if p.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, p);
+                });
+            }
+        }
+    }
+}
+
+/// Shared open/separator/close logic for arrays and objects.
+fn write_seq(
+    out: &mut String,
+    pretty: Option<(usize, usize)>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<(usize, usize)>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = pretty.map(|(w, d)| (w, d + 1));
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some((w, d)) = inner {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * d));
+        }
+        item(out, i, inner);
+    }
+    if let Some((w, d)) = pretty {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * d));
+    }
+    out.push(close);
+}
+
+/// Writes `s` as a JSON string with the mandatory escapes.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Int(-3).render(), "-3");
+        assert_eq!(JsonValue::UInt(u64::MAX).render(), u64::MAX.to_string());
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for v in [0.1, 1e-300, 123456.789, 2.0f64.powi(-40)] {
+            let rendered = JsonValue::Num(v).render();
+            assert_eq!(rendered.parse::<f64>().unwrap(), v, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(JsonValue::from("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(JsonValue::from("\u{1}").render(), "\"\\u0001\"");
+        assert_eq!(JsonValue::from("naïve ✓").render(), "\"naïve ✓\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let v = JsonValue::obj().with("b", 1u64).with("a", 2u64);
+        assert_eq!(v.render(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn nested_pretty_output_is_stable() {
+        let v = JsonValue::obj()
+            .with("name", "m")
+            .with("xs", vec![1.0, 2.5])
+            .with("inner", JsonValue::obj().with("ok", true))
+            .with("empty", JsonValue::Arr(vec![]));
+        let pretty = v.render_pretty(2);
+        assert_eq!(
+            pretty,
+            "{\n  \"name\": \"m\",\n  \"xs\": [\n    1,\n    2.5\n  ],\n  \"inner\": {\n    \"ok\": true\n  },\n  \"empty\": []\n}\n"
+        );
+        // Compact render of the same tree parses the same shape.
+        assert_eq!(v.render(), r#"{"name":"m","xs":[1,2.5],"inner":{"ok":true},"empty":[]}"#);
+    }
+}

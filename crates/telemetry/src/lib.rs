@@ -1,0 +1,37 @@
+//! # spmv-telemetry
+//!
+//! Dependency-free observability layer for the SpMV workspace. The
+//! paper's whole method is measurement-driven — bottleneck classes
+//! are assigned from measured per-thread times and performance bounds
+//! — so the measurements themselves need first-class plumbing:
+//!
+//! * [`metrics`] — lock-free atomic counters for the **hot** paths
+//!   (engine dispatch, preprocessing, profiling runs). These are the
+//!   only primitives legal inside kernel dispatch;
+//! * [`span`] — named wall-clock span timers for the **cold** paths
+//!   (bound collection, format conversion, experiment phases);
+//! * [`stats`] — the single shared median/imbalance implementation
+//!   behind every `P_IMB = 2·NNZ / t_median` computation, measured or
+//!   simulated;
+//! * [`json`] — a hand-rolled JSON writer serializing telemetry into
+//!   the `BENCH_spmv.json` benchmark-trajectory record (schema in
+//!   DESIGN.md).
+//!
+//! # Hot-path rules (enforced by `cargo xtask audit`)
+//!
+//! This crate must never create threads and must never take locks on
+//! the kernel hot path: no `std::thread`, no `Mutex`/`RwLock`, only
+//! relaxed atomics with `relaxed-ok` justification markers. The
+//! workspace safety analyzer scans `crates/telemetry` under the same
+//! thread-containment and relaxed-marker policies as the execution
+//! engine, plus a telemetry-specific lock-freedom policy.
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod stats;
+
+pub use json::JsonValue;
+pub use metrics::{DispatchSnapshot, DispatchStats, TimeCounter};
+pub use span::{Span, SpanSet};
+pub use stats::{imbalance, median};

@@ -1,0 +1,114 @@
+//! Span timers: named wall-clock measurements for the cold paths
+//! (profiling runs, format conversion, experiment phases).
+//!
+//! A [`SpanSet`] is an owned, single-threaded collection of named
+//! durations — callers hold one per profiling session and serialize
+//! it into their telemetry record afterwards. Nothing here is shared
+//! or locked: the hot-path rules (no locks, no threads) hold trivially
+//! because a `SpanSet` lives on one caller's stack.
+
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// One completed named measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// What was measured (e.g. `"bound:P_ML"`, `"prep:comp"`).
+    pub name: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// An append-only collection of completed spans.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    spans: Vec<Span>,
+}
+
+impl SpanSet {
+    /// Creates an empty set.
+    pub fn new() -> SpanSet {
+        SpanSet::default()
+    }
+
+    /// Times `f` and records the span under `name`, passing the
+    /// closure's value through.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(name, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, name: &str, seconds: f64) {
+        self.spans.push(Span { name: name.to_string(), seconds });
+    }
+
+    /// All completed spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Sum of the recorded seconds of spans whose name starts with
+    /// `prefix` (`""` sums everything).
+    pub fn total_seconds(&self, prefix: &str) -> f64 {
+        self.spans.iter().filter(|s| s.name.starts_with(prefix)).map(|s| s.seconds).sum()
+    }
+
+    /// Serializes the set as a JSON object `{name: seconds, ...}`.
+    /// Duplicate names keep their separate entries summed, so repeated
+    /// measurements of one phase aggregate instead of colliding.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::obj();
+        let mut seen: Vec<(String, f64)> = Vec::new();
+        for s in &self.spans {
+            match seen.iter_mut().find(|(n, _)| *n == s.name) {
+                Some((_, total)) => *total += s.seconds,
+                None => seen.push((s.name.clone(), s.seconds)),
+            }
+        }
+        for (name, seconds) in seen {
+            obj.set(&name, seconds);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_passes_value_through_and_records() {
+        let mut set = SpanSet::new();
+        let v = set.time("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(set.spans().len(), 1);
+        assert_eq!(set.spans()[0].name, "work");
+        assert!(set.spans()[0].seconds >= 0.004);
+    }
+
+    #[test]
+    fn prefix_totals() {
+        let mut set = SpanSet::new();
+        set.record("bound:P_ML", 1.0);
+        set.record("bound:P_CMP", 2.0);
+        set.record("prep:comp", 4.0);
+        assert_eq!(set.total_seconds("bound:"), 3.0);
+        assert_eq!(set.total_seconds(""), 7.0);
+    }
+
+    #[test]
+    fn duplicate_names_aggregate_in_json() {
+        let mut set = SpanSet::new();
+        set.record("rep", 1.0);
+        set.record("rep", 2.0);
+        set.record("other", 0.5);
+        assert_eq!(set.to_json().render(), r#"{"rep":3,"other":0.5}"#);
+    }
+}

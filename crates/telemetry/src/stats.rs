@@ -1,0 +1,88 @@
+//! Shared timing statistics.
+//!
+//! The paper's `P_IMB = 2·NNZ / t_median` bound consumes a median of
+//! per-thread times in three places — measured kernel runs
+//! (`spmv_kernels::ThreadTimes`), simulated runs
+//! (`spmv_sim::SimResult`) and the host profiler
+//! (`spmv_tuner::bounds::HostSource`). Each used to carry its own
+//! hand-rolled median; a drift between any two would silently skew
+//! the measured-vs-simulated bound comparison the classifier relies
+//! on. [`median`] is now the single implementation all three call.
+
+/// Median of a slice of finite times, without mutating the input.
+///
+/// Even lengths average the two central elements (the convention all
+/// former copies already shared); the empty slice yields `0.0`, which
+/// downstream `P_IMB` computations clamp away with `.max(1e-12)`.
+///
+/// # Panics
+/// Panics if a value is NaN — thread times are measured durations and
+/// simulated times are finite by construction, so a NaN here is a
+/// caller bug worth failing loudly on.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Imbalance ratio `max / median` of a set of per-thread times
+/// (`1.0` = perfectly balanced, and the convention for degenerate
+/// inputs whose median is zero).
+pub fn imbalance(values: &[f64]) -> f64 {
+    let med = median(values);
+    if med == 0.0 {
+        return 1.0;
+    }
+    values.iter().copied().fold(0.0, f64::max) / med
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_length_takes_middle() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn even_length_averages_central_pair() {
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn input_is_not_mutated() {
+        let v = vec![9.0, 1.0, 5.0];
+        let _ = median(&v);
+        assert_eq!(v, vec![9.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        assert_eq!(imbalance(&[1.0, 2.0, 3.0, 10.0]), 4.0);
+        assert_eq!(imbalance(&[2.0, 2.0, 2.0]), 1.0);
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        median(&[1.0, f64::NAN]);
+    }
+}

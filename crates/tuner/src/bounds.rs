@@ -21,6 +21,7 @@ use spmv_sim::cost::{CostModel, SimResult};
 use spmv_sim::profile::MatrixProfile;
 use spmv_sparse::features::working_set_bytes;
 use spmv_sparse::Csr;
+use spmv_telemetry::SpanSet;
 
 /// Produces a bound profile for a matrix.
 pub trait BoundsSource {
@@ -91,8 +92,15 @@ impl HostSource {
     }
 }
 
-impl BoundsSource for HostSource {
-    fn collect(&self, a: &Csr) -> Bounds {
+impl HostSource {
+    /// Like [`BoundsSource::collect`], but also returns the
+    /// wall-clock cost of each micro-benchmark as a [`SpanSet`]
+    /// (span names `bound:P_CSR`, `bound:P_ML`, `bound:P_CMP`) — the
+    /// raw material of the paper's profiling-overhead accounting.
+    /// Every span is also fed into the process-wide
+    /// [`spmv_telemetry::metrics::profiling_runs`] counter.
+    pub fn collect_with_spans(&self, a: &Csr) -> (Bounds, SpanSet) {
+        let mut spans = SpanSet::new();
         let flops = 2.0 * a.nnz() as f64;
         let x = vec![1.0f64; a.ncols()];
         let mut y = vec![0.0f64; a.nrows()];
@@ -101,31 +109,29 @@ impl BoundsSource for HostSource {
         let base_kernel = CsrKernel::baseline(a, self.nthreads);
         // Warm-up (paper: warm cache measurements).
         base_kernel.run(&x, &mut y);
-        let (t_csr, thread_secs) = self.time_kernel(&base_kernel, &x, &mut y);
+        let (t_csr, thread_secs) =
+            spans.time("bound:P_CSR", || self.time_kernel(&base_kernel, &x, &mut y));
         let p_csr = flops / t_csr / 1e9;
 
-        // P_IMB: median thread time of the baseline.
-        let mut med = thread_secs.clone();
-        med.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
-        let t_median = if med.is_empty() {
-            t_csr
-        } else if med.len() % 2 == 1 {
-            med[med.len() / 2]
-        } else {
-            0.5 * (med[med.len() / 2 - 1] + med[med.len() / 2])
-        };
+        // P_IMB: median thread time of the baseline, via the shared
+        // helper so host-measured and simulated medians cannot drift.
+        let t_median =
+            if thread_secs.is_empty() { t_csr } else { spmv_telemetry::median(&thread_secs) };
         let p_imb = flops / t_median.max(1e-12) / 1e9;
 
         // P_ML: regularised x accesses (colind[j] = i).
         let ml_matrix = regularized_x_matrix(a);
         let ml_kernel = CsrKernel::baseline(&ml_matrix, self.nthreads);
         ml_kernel.run(&x, &mut y);
-        let (t_ml, _) = self.time_kernel(&ml_kernel, &x, &mut y);
+        let (t_ml, _) = spans.time("bound:P_ML", || self.time_kernel(&ml_kernel, &x, &mut y));
         let p_ml = flops / t_ml / 1e9;
 
         // P_CMP: no indirect references at all.
-        let (t_cmp, _) = time_no_index_kernel(a, &x, &mut y, self.nthreads, self.reps);
+        let (t_cmp, _) = spans
+            .time("bound:P_CMP", || time_no_index_kernel(a, &x, &mut y, self.nthreads, self.reps));
         let p_cmp = flops / t_cmp / 1e9;
+
+        spmv_telemetry::metrics::profiling_runs().record(spans.total_seconds("bound:"));
 
         // Analytic bounds.
         let ws = working_set_bytes(a);
@@ -140,7 +146,13 @@ impl BoundsSource for HostSource {
             thread_seconds: thread_secs,
             traffic_bytes: a.footprint_bytes() as f64 + xy,
         };
-        Bounds { p_csr, p_mb, p_ml, p_imb, p_cmp, p_peak, baseline }
+        (Bounds { p_csr, p_mb, p_ml, p_imb, p_cmp, p_peak, baseline }, spans)
+    }
+}
+
+impl BoundsSource for HostSource {
+    fn collect(&self, a: &Csr) -> Bounds {
+        self.collect_with_spans(a).0
     }
 
     fn machine(&self) -> &MachineModel {
@@ -238,6 +250,21 @@ mod tests {
             assert!(v > 0.0 && v.is_finite());
         }
         assert!(b.p_peak >= b.p_mb);
+    }
+
+    #[test]
+    fn host_source_reports_per_bound_spans() {
+        let a = gen::banded(2_000, 5, 1.0, 9).unwrap();
+        let src = HostSource::new(MachineModel::host(), 2, 1);
+        let before = spmv_telemetry::metrics::profiling_runs().count();
+        let (b, spans) = src.collect_with_spans(&a);
+        assert!(b.p_csr > 0.0);
+        let names: Vec<_> = spans.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["bound:P_CSR", "bound:P_ML", "bound:P_CMP"]);
+        assert!(spans.total_seconds("bound:") > 0.0);
+        // The process-wide profiling counter advanced (>= because
+        // other tests share the global).
+        assert!(spmv_telemetry::metrics::profiling_runs().count() > before);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! tolerance.
 
 use spmv_sim::bounds::Bounds;
+use spmv_telemetry::JsonValue;
 
 use crate::class::{Bottleneck, ClassSet};
 
@@ -72,6 +73,23 @@ impl ProfileClassifier {
             set = set.with(Bottleneck::CMP);
         }
         set
+    }
+
+    /// Classifies `b` and renders the full decision — the measured
+    /// ratios, the thresholds they were compared against, and the
+    /// resulting class set — as a JSON object for telemetry output
+    /// (the `classifier` section of `BENCH_spmv.json`).
+    pub fn classify_traced(&self, b: &Bounds) -> (ClassSet, JsonValue) {
+        let set = self.classify(b);
+        let p_csr = b.p_csr.max(1e-12);
+        let trace = JsonValue::obj()
+            .with("ml_ratio", b.p_ml / p_csr)
+            .with("imb_ratio", b.p_imb / p_csr)
+            .with("t_ml", self.thresholds.t_ml)
+            .with("t_imb", self.thresholds.t_imb)
+            .with("mb_approx", self.thresholds.mb_approx)
+            .with("classes", set.to_string());
+        (set, trace)
     }
 }
 
@@ -227,5 +245,57 @@ mod tests {
     #[should_panic(expected = "empty grid")]
     fn empty_grid_panics() {
         grid_search(&[], &[], |_, _| 0.0);
+    }
+
+    #[test]
+    fn ratio_exactly_at_t_ml_is_excluded() {
+        // Fig. 4 uses strict `>`: P_ML / P_CSR == T_ML must NOT
+        // classify as ML. 10.0 and 12.5 are exact in binary, so the
+        // ratio is exactly 1.25.
+        let b = bounds(10.0, 30.0, 12.5, 10.0, 40.0, 50.0);
+        assert_eq!(b.p_ml / b.p_csr, 1.25);
+        let set = ProfileClassifier::default().classify(&b);
+        assert!(!set.contains(Bottleneck::ML), "boundary must be exclusive: {set}");
+        // One ulp above the threshold flips the decision.
+        let above = bounds(10.0, 30.0, 12.5f64.next_up(), 10.0, 40.0, 50.0);
+        assert!(ProfileClassifier::default().classify(&above).contains(Bottleneck::ML));
+    }
+
+    #[test]
+    fn ratio_exactly_at_t_imb_is_excluded() {
+        // T_IMB = 1.24: pick P_CSR = 100 so P_IMB = 124 gives the
+        // exact ratio (both integers, the quotient 1.24 rounds the
+        // same way as the threshold literal's parse).
+        let b = bounds(100.0, 300.0, 100.0, 124.0, 400.0, 500.0);
+        assert_eq!(b.p_imb / b.p_csr, 1.24);
+        let set = ProfileClassifier::default().classify(&b);
+        assert!(!set.contains(Bottleneck::IMB), "boundary must be exclusive: {set}");
+        let above = bounds(100.0, 300.0, 100.0, 124.0f64.next_up(), 400.0, 500.0);
+        assert!(ProfileClassifier::default().classify(&above).contains(Bottleneck::IMB));
+    }
+
+    #[test]
+    fn grid_search_ties_resolve_to_first_grid_point() {
+        // Every grid point scores identically → the winner must be
+        // the first (t_ml, t_imb) pair visited, deterministically.
+        let samples = vec![bounds(10.0, 30.0, 13.0, 10.0, 40.0, 50.0)];
+        let grid = [1.3, 1.1, 1.2];
+        let r1 = grid_search(&samples, &grid, |_, _| 1.0);
+        let r2 = grid_search(&samples, &grid, |_, _| 1.0);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.thresholds.t_ml, 1.3);
+        assert_eq!(r1.thresholds.t_imb, 1.3);
+        assert_eq!(r1.mean_gain, 1.0);
+    }
+
+    #[test]
+    fn classify_traced_reports_ratios_and_classes() {
+        let b = bounds(10.0, 30.0, 15.0, 10.0, 40.0, 50.0);
+        let clf = ProfileClassifier::default();
+        let (set, trace) = clf.classify_traced(&b);
+        assert_eq!(set, clf.classify(&b));
+        let json = trace.render();
+        assert!(json.contains("\"ml_ratio\":1.5"), "{json}");
+        assert!(json.contains("\"classes\":\"{ML}\""), "{json}");
     }
 }

@@ -1,0 +1,13 @@
+//! Audit fixture: a lock inside (virtual) telemetry code. Must
+//! trigger the `telemetry-lock-free` policy (and nothing else — the
+//! self-test scans this file as if it were
+//! crates/telemetry/src/metrics.rs).
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+use std::sync::Mutex;
+
+static SLOW_COUNTER: Mutex<u64> = Mutex::new(0);
+
+fn bump() {
+    *SLOW_COUNTER.lock().unwrap() += 1;
+}

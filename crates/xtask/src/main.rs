@@ -1,8 +1,14 @@
-//! Workspace task runner. The one task so far is `audit`, a
-//! line/token-level safety analyzer for the workspace's `unsafe` SpMV
-//! fast paths (see DESIGN.md, "Safety & invariants").
+//! Workspace task runner.
 //!
-//! `cargo xtask audit` enforces four policies over every `.rs` file
+//! * `cargo xtask audit` — the line/token-level safety analyzer for
+//!   the workspace's `unsafe` SpMV fast paths (see DESIGN.md,
+//!   "Safety & invariants").
+//! * `cargo xtask bench [-- --scale small|full]` — builds the
+//!   `bench_trajectory` binary in release mode and writes
+//!   `BENCH_spmv.json` at the repo root (see DESIGN.md, "Telemetry &
+//!   the benchmark trajectory").
+//!
+//! The audit enforces five policies over every `.rs` file
 //! in the repository (vendored deps and build output excluded):
 //!
 //! 1. **SAFETY comments** — every `unsafe` occurrence (block, fn,
@@ -16,9 +22,14 @@
 //!    appear only in the execution engine (`crates/kernels/src/
 //!    engine.rs`); all other parallelism goes through `ExecEngine`.
 //! 4. **Relaxed-ordering discipline** — `Ordering::Relaxed` inside
-//!    the engine modules must carry a `relaxed-ok` marker comment
-//!    explaining why relaxed ordering cannot break the dispatch
-//!    handshake (test modules are exempt).
+//!    the engine modules *and the telemetry crate* must carry a
+//!    `relaxed-ok` marker comment explaining why relaxed ordering
+//!    cannot break the dispatch handshake (test modules are exempt).
+//! 5. **Telemetry lock-freedom** — `crates/telemetry` must never
+//!    take a lock or block (`Mutex`, `RwLock`, `Condvar`, `Barrier`,
+//!    `mpsc`): its hot-path counters ride inside kernel dispatch,
+//!    where blocking would invalidate the measurements it exists to
+//!    take. (Thread creation there is already banned by policy 3.)
 //!
 //! The audit first runs a self-test over `crates/xtask/fixtures/`:
 //! deliberately violating snippets it must flag, plus a clean file it
@@ -35,12 +46,38 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("audit") => run_audit(),
+        Some("bench") => run_bench(&args[1..]),
         Some(other) => {
-            eprintln!("unknown task `{other}`\n\nusage: cargo xtask audit");
+            eprintln!("unknown task `{other}`\n\nusage: cargo xtask <audit|bench>");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask audit");
+            eprintln!("usage: cargo xtask <audit|bench>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cargo xtask bench [-- ...]` — builds and runs the
+/// `bench_trajectory` binary in release mode with the repo root as
+/// working directory, so `BENCH_spmv.json` lands next to Cargo.toml.
+/// Everything after an optional leading `--` is forwarded verbatim.
+fn run_bench(args: &[String]) -> ExitCode {
+    let forwarded = args.strip_prefix(&["--".to_string()][..]).unwrap_or(args);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = std::process::Command::new(cargo)
+        .args(["run", "--release", "-p", "spmv-bench", "--bin", "bench_trajectory", "--"])
+        .args(forwarded)
+        .current_dir(repo_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => {
+            eprintln!("bench_trajectory exited with {s}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("cannot launch cargo: {e}");
             ExitCode::FAILURE
         }
     }
@@ -140,6 +177,7 @@ const POLICY_SAFETY: &str = "safety-comment";
 const POLICY_UNCHECKED: &str = "unchecked-allowlist";
 const POLICY_THREADS: &str = "thread-containment";
 const POLICY_RELAXED: &str = "relaxed-ordering";
+const POLICY_TELEMETRY: &str = "telemetry-lock-free";
 
 /// Modules allowed to contain unchecked-access tokens (policy 2):
 /// the validated-format fast paths in `spmv-sparse` and the kernel
@@ -160,11 +198,20 @@ const UNCHECKED_ALLOWLIST: &[&str] = &[
 const THREAD_ALLOWLIST: &[&str] = &["crates/kernels/src/engine.rs"];
 
 /// Modules whose `Ordering::Relaxed` uses require a `relaxed-ok`
-/// marker (policy 4): the engine and its scheduling primitives.
+/// marker (policy 4): the engine and its scheduling primitives. The
+/// telemetry crate (see [`in_telemetry`]) is in scope as a whole.
 const RELAXED_SCOPE: &[&str] = &["crates/kernels/src/engine.rs", "crates/kernels/src/schedule.rs"];
+
+/// Path fragment identifying telemetry sources (policies 4 and 5):
+/// the whole crate is hot-path-adjacent, so every file is in scope.
+const TELEMETRY_PREFIX: &str = "crates/telemetry/src/";
 
 fn path_in(file: &str, list: &[&str]) -> bool {
     list.iter().any(|s| file.ends_with(s))
+}
+
+fn in_telemetry(file: &str) -> bool {
+    file.contains(TELEMETRY_PREFIX)
 }
 
 /// A source file split into per-line code and comment channels.
@@ -422,8 +469,9 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
             }
         }
 
-        // Policy 4: relaxed ordering in the engine needs a marker.
-        if path_in(file, RELAXED_SCOPE)
+        // Policy 4: relaxed ordering in the engine or the telemetry
+        // crate needs a marker.
+        if (path_in(file, RELAXED_SCOPE) || in_telemetry(file))
             && i < test_cutoff
             && code.contains("Ordering::Relaxed")
             && !has_relaxed_marker(&s, i)
@@ -436,6 +484,25 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
                           comment justifying it against the dispatch handshake"
                     .to_string(),
             });
+        }
+
+        // Policy 5: the telemetry crate must stay lock-free — its
+        // counters ride inside kernel dispatch, where blocking would
+        // perturb the very timings being collected.
+        if in_telemetry(file) {
+            for token in ["Mutex", "RwLock", "Condvar", "Barrier", "mpsc"] {
+                if has_token(code, token) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_TELEMETRY,
+                        message: format!(
+                            "`{token}` in crates/telemetry — telemetry must never block; \
+                             use relaxed atomics (hot path) or owned values (cold path)"
+                        ),
+                    });
+                }
+            }
         }
     }
     findings
@@ -512,6 +579,10 @@ const FIXTURES: &[(&str, &str, &[&str])] = &[
     ("unchecked_outside_allowlist.rs", "crates/sim/src/fixture.rs", &[POLICY_UNCHECKED]),
     ("spawn_outside_engine.rs", "crates/sim/src/fixture.rs", &[POLICY_THREADS]),
     ("relaxed_without_marker.rs", "crates/kernels/src/engine.rs", &[POLICY_RELAXED]),
+    // The same unmarked-Relaxed fixture must also trip inside the
+    // telemetry crate (policy 4's extended scope).
+    ("relaxed_without_marker.rs", "crates/telemetry/src/metrics.rs", &[POLICY_RELAXED]),
+    ("telemetry_lock.rs", "crates/telemetry/src/metrics.rs", &[POLICY_TELEMETRY]),
     ("clean.rs", "crates/kernels/src/engine.rs", &[]),
 ];
 
@@ -589,7 +660,15 @@ mod tests {
     #[test]
     fn real_engine_sources_scan_clean() {
         let root = repo_root();
-        for rel in ["crates/kernels/src/engine.rs", "crates/kernels/src/schedule.rs"] {
+        for rel in [
+            "crates/kernels/src/engine.rs",
+            "crates/kernels/src/schedule.rs",
+            "crates/telemetry/src/metrics.rs",
+            "crates/telemetry/src/span.rs",
+            "crates/telemetry/src/json.rs",
+            "crates/telemetry/src/stats.rs",
+            "crates/telemetry/src/lib.rs",
+        ] {
             let text = std::fs::read_to_string(root.join(rel)).expect("source exists");
             let findings = scan_source(rel, &text);
             assert!(findings.is_empty(), "{rel}: {findings:?}");
