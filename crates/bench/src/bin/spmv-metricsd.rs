@@ -1,0 +1,106 @@
+//! `spmv-metricsd`: the standalone metrics endpoint.
+//!
+//! ```text
+//! spmv-metricsd [--addr HOST:PORT] [--requests N] [--load none|burst|loop]
+//! ```
+//!
+//! Binds the Prometheus/trace HTTP endpoint from `spmv-telemetry` and
+//! serves the process-wide counters:
+//!
+//! * `--addr`     bind address (default `127.0.0.1:9464`; port 0 picks
+//!   a free port, printed on startup);
+//! * `--requests` exit after serving N connections (default: forever);
+//! * `--load`     telemetry source: `burst` (default) runs a short
+//!   pooled SpMV sweep once before serving, so scrapes and traces show
+//!   real dispatch data; `loop` keeps re-running the sweep on a second
+//!   engine lane while serving (requires `--requests` to terminate);
+//!   `none` serves whatever the process has already recorded.
+//!
+//! The global tracer is enabled for the lifetime of the daemon, so
+//! `GET /trace` returns a Chrome trace of the most recent events —
+//! open it at <https://ui.perfetto.dev>.
+//!
+//! Serving is single-threaded; `loop` mode gets its concurrency by
+//! dispatching a two-lane `ExecEngine` job (lane 0 serves, lane 1
+//! generates load), because thread creation is confined to the engine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use spmv_bench::load_suite;
+use spmv_kernels::engine::ExecEngine;
+use spmv_kernels::variant::{build_kernel, KernelVariant};
+use spmv_telemetry::MetricsServer;
+
+/// Suite fraction used by the load generator: big enough to produce
+/// visible imbalance, small enough to loop at a few Hz.
+const LOAD_SCALE: f64 = 0.02;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9464".to_string());
+    let requests = flag_value(&args, "--requests").and_then(|v| v.parse::<u64>().ok());
+    let load = flag_value(&args, "--load").unwrap_or_else(|| "burst".to_string());
+
+    spmv_telemetry::tracer().set_enabled(true);
+
+    let server = MetricsServer::bind(&addr)
+        .unwrap_or_else(|e| panic!("spmv-metricsd: cannot bind {addr}: {e}"));
+    let bound = server.local_addr().expect("bound address");
+    eprintln!("spmv-metricsd: listening on http://{bound} (/metrics, /trace)");
+
+    match load.as_str() {
+        "none" => {
+            let served = server.serve(requests).expect("serve");
+            eprintln!("spmv-metricsd: served {served} connection(s), exiting");
+        }
+        "burst" => {
+            run_sweep(2);
+            eprintln!("spmv-metricsd: burst load complete, serving");
+            let served = server.serve(requests).expect("serve");
+            eprintln!("spmv-metricsd: served {served} connection(s), exiting");
+        }
+        "loop" => {
+            if requests.is_none() {
+                eprintln!("spmv-metricsd: --load loop without --requests never exits");
+            }
+            // Lane 0 serves; lane 1 regenerates telemetry until the
+            // serve loop finishes.
+            let done = AtomicBool::new(false);
+            let engine = ExecEngine::new(2);
+            engine.run(&|lane| {
+                if lane == 0 {
+                    let served = server.serve(requests).expect("serve");
+                    eprintln!("spmv-metricsd: served {served} connection(s), exiting");
+                    done.store(true, Ordering::SeqCst);
+                } else {
+                    while !done.load(Ordering::SeqCst) {
+                        run_sweep(1);
+                    }
+                }
+            });
+        }
+        other => {
+            eprintln!("spmv-metricsd: unknown --load mode {other:?} (none|burst|loop)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One short pooled sweep over a few suite matrices: populates the
+/// dispatch stats, preprocessing counters and the event trace.
+fn run_sweep(nthreads: usize) {
+    for nm in load_suite(LOAD_SCALE).iter().take(4) {
+        let a = &nm.matrix;
+        let x = vec![1.0f64; a.ncols()];
+        let mut y = vec![0.0f64; a.nrows()];
+        let built = build_kernel(a, KernelVariant::BASELINE, nthreads);
+        for _ in 0..5 {
+            built.kernel.run(&x, &mut y);
+        }
+    }
+}
+
+/// Returns the value following `flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}

@@ -25,6 +25,7 @@
 //! their output is reproducible bit-for-bit; criterion benches under
 //! `benches/` measure the *real* kernels on the host.
 
+pub mod compare;
 pub mod context;
 pub mod experiments;
 pub mod table;

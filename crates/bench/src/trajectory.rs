@@ -15,8 +15,10 @@
 //! Invoke via `cargo xtask bench` (writes the file) or run the
 //! `bench_trajectory` binary directly.
 
+use std::path::Path;
+
 use spmv_kernels::variant::{build_kernel, KernelVariant};
-use spmv_telemetry::{metrics, JsonValue};
+use spmv_telemetry::{metrics, tracer, JsonValue};
 use spmv_tuner::profile::ProfileClassifier;
 
 use crate::context::{analyze, load_suite, NamedMatrix, Platform};
@@ -24,6 +26,30 @@ use crate::context::{analyze, load_suite, NamedMatrix, Platform};
 /// Schema identifier written into the report; bump on breaking shape
 /// changes so downstream diff tooling can refuse mixed comparisons.
 pub const SCHEMA: &str = "spmv-bench-trajectory/1";
+
+/// Verifies a parsed trajectory document carries the schema this
+/// tooling understands.
+pub fn check_schema(doc: &JsonValue) -> Result<(), String> {
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == SCHEMA => Ok(()),
+        Some(s) => Err(format!(
+            "unsupported trajectory schema {s:?}; this tooling reads {SCHEMA:?} — \
+             regenerate the file with `cargo xtask bench`"
+        )),
+        None => Err(format!("missing \"schema\" field; expected a {SCHEMA:?} trajectory")),
+    }
+}
+
+/// Reads and parses a trajectory file, rejecting unknown schemas with
+/// a clear error.
+pub fn load(path: &Path) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc =
+        JsonValue::parse(&text).map_err(|e| format!("{}: not valid JSON: {e}", path.display()))?;
+    check_schema(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(doc)
+}
 
 /// Suite scale of `--scale small` (CI smoke runs).
 pub const SMALL_SCALE: f64 = 0.05;
@@ -181,6 +207,14 @@ fn telemetry_section() -> JsonValue {
             "profiling_runs",
             JsonValue::obj().with("count", prof.count()).with("seconds", prof.seconds()),
         )
+        .with(
+            "trace",
+            JsonValue::obj()
+                .with("events", tracer().recorded())
+                .with("dropped", tracer().dropped())
+                .with("capacity", tracer().capacity() as u64)
+                .with("enabled", tracer().enabled()),
+        )
 }
 
 #[cfg(test)]
@@ -223,5 +257,89 @@ mod tests {
         // The run itself drove the pooled engine, so dispatch
         // telemetry must be non-trivial by the time we serialize.
         assert!(metrics::engine_dispatch().snapshot().dispatches > 0);
+        // The new trace health counters ride in the telemetry section.
+        assert!(json.contains("\"trace\":"), "{json}");
+        assert!(json.contains("\"dropped\":"), "{json}");
+    }
+
+    #[test]
+    fn schema_check_accepts_current_and_rejects_others() {
+        let ok = JsonValue::obj().with("schema", SCHEMA);
+        assert!(check_schema(&ok).is_ok());
+
+        let future = JsonValue::obj().with("schema", "spmv-bench-trajectory/9");
+        let err = check_schema(&future).unwrap_err();
+        assert!(err.contains("spmv-bench-trajectory/9"), "{err}");
+        assert!(err.contains(SCHEMA), "names the supported schema: {err}");
+
+        let missing = JsonValue::obj().with("scale", 1.0);
+        assert!(check_schema(&missing).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn load_reports_clear_errors() {
+        let missing = load(Path::new("/nonexistent/BENCH_spmv.json")).unwrap_err();
+        assert!(missing.contains("cannot read"), "{missing}");
+
+        let dir = std::env::temp_dir();
+        let bad_json = dir.join("spmv-trajectory-test-bad.json");
+        std::fs::write(&bad_json, "{not json").expect("write fixture");
+        let err = load(&bad_json).unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+
+        let bad_schema = dir.join("spmv-trajectory-test-schema.json");
+        std::fs::write(&bad_schema, r#"{"schema":"other/2"}"#).expect("write fixture");
+        let err = load(&bad_schema).unwrap_err();
+        assert!(err.contains("unsupported trajectory schema"), "{err}");
+
+        let good = dir.join("spmv-trajectory-test-good.json");
+        std::fs::write(&good, format!(r#"{{"schema":"{SCHEMA}","matrices":[]}}"#))
+            .expect("write fixture");
+        let doc = load(&good).expect("valid file loads");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+        for f in [bad_json, bad_schema, good] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    /// Every object key path in the document, in serialization order —
+    /// the structure a JSON diff sees, minus the (measured, noisy)
+    /// leaf values.
+    fn key_paths(v: &JsonValue, prefix: &str, out: &mut Vec<String>) {
+        if let Some(entries) = v.entries() {
+            for (k, child) in entries {
+                let p = format!("{prefix}.{k}");
+                out.push(p.clone());
+                key_paths(child, &p, out);
+            }
+        } else if let Some(arr) = v.as_array() {
+            for (i, child) in arr.iter().enumerate() {
+                key_paths(child, &format!("{prefix}[{i}]"), out);
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_ordering_is_deterministic_across_runs() {
+        let a = run(0.01, 1);
+        let b = run(0.01, 1);
+        // Structure (map/array ordering) is byte-stable: same key
+        // paths in the same order, so diffs touch values only.
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        key_paths(&a, "", &mut pa);
+        key_paths(&b, "", &mut pb);
+        assert_eq!(pa, pb);
+        // The simulated sections are fully deterministic — not just
+        // ordered the same, but value-identical (this is what lets
+        // the compare gate run `--sim-only` without noise thresholds).
+        let sim = |doc: &JsonValue| -> Vec<String> {
+            doc.get("matrices")
+                .and_then(JsonValue::as_array)
+                .expect("matrices array")
+                .iter()
+                .map(|m| m.get("platforms").expect("platforms").render())
+                .collect()
+        };
+        assert_eq!(sim(&a), sim(&b));
     }
 }

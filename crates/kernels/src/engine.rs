@@ -43,8 +43,15 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use spmv_sparse::csr::partition_rows_by_nnz;
+use spmv_telemetry::{EventKind, TraceBuffer};
 
 use crate::schedule::{claim_guided, Schedule, ThreadTimes};
+
+/// Converts busy seconds to trace-event nanoseconds; at least 1 so a
+/// completed phase never renders as an instant.
+fn dur_ns(seconds: f64) -> u64 {
+    ((seconds * 1e9) as u64).max(1)
+}
 
 /// One dispatched job: a borrowed task and the buffer receiving each
 /// worker's busy seconds. Lifetimes are erased; see the module-level
@@ -53,6 +60,10 @@ use crate::schedule::{claim_guided, Schedule, ThreadTimes};
 struct Job {
     task: &'static (dyn Fn(usize) + Sync),
     times: *mut f64,
+    /// Trace-clock timestamp of job publication, or `0` when the
+    /// tracer was disabled at publish time (workers then skip all
+    /// event recording for this dispatch).
+    publish_ns: u64,
 }
 
 // SAFETY: the job travels to pool workers while the dispatching
@@ -99,6 +110,10 @@ pub struct ExecEngine {
     /// Serializes dispatches: one job owns the team at a time.
     dispatch: Mutex<()>,
     nthreads: usize,
+    /// Event sink for per-thread dispatch traces; the process-wide
+    /// tracer unless a test injected its own via
+    /// [`with_tracer`](ExecEngine::with_tracer).
+    tracer: &'static TraceBuffer,
 }
 
 impl std::fmt::Debug for ExecEngine {
@@ -113,6 +128,14 @@ impl ExecEngine {
     /// machine's parallelism are allowed; the extra workers simply
     /// time-share.
     pub fn new(nthreads: usize) -> ExecEngine {
+        ExecEngine::with_tracer(nthreads, spmv_telemetry::tracer())
+    }
+
+    /// Creates an engine whose dispatch events go to `tracer` instead
+    /// of the process-wide one. Production code uses [`new`]
+    /// (ExecEngine::new); tests inject a private buffer here so
+    /// concurrent tests cannot pollute each other's captures.
+    pub fn with_tracer(nthreads: usize, tracer: &'static TraceBuffer) -> ExecEngine {
         let nthreads = nthreads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -130,11 +153,16 @@ impl ExecEngine {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("spmv-exec-{tid}"))
-                    .spawn(move || worker_loop(&shared, tid))
+                    .spawn(move || worker_loop(&shared, tid, tracer))
                     .expect("spawn pool worker")
             })
             .collect();
-        ExecEngine { shared, workers, dispatch: Mutex::new(()), nthreads }
+        ExecEngine { shared, workers, dispatch: Mutex::new(()), nthreads, tracer }
+    }
+
+    /// The trace buffer this engine's dispatch events go to.
+    pub fn tracer(&self) -> &'static TraceBuffer {
+        self.tracer
     }
 
     /// The team size this engine dispatches to.
@@ -156,14 +184,28 @@ impl ExecEngine {
         // Dispatch telemetry: wall time of the whole run (publish →
         // barrier) against the per-thread busy times. The recording
         // itself is a handful of relaxed atomic adds — the only
-        // telemetry primitive allowed on this hot path.
+        // telemetry primitive allowed on this hot path. Trace events
+        // cost one relaxed load when disabled (`publish_ns == 0`).
+        let trace = self.tracer;
+        let publish_ns = if trace.enabled() { trace.now_ns() } else { 0 };
         let t_wall = Instant::now();
         if n == 1 {
+            // The inline path catches panics like the pooled one so a
+            // panicking task still leaves balanced telemetry behind
+            // (closing Task/Dispatch events, stats recorded) before
+            // the payload is re-raised.
             let t0 = Instant::now();
-            task(0);
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(0)));
             seconds[0] = t0.elapsed().as_secs_f64();
-            spmv_telemetry::metrics::engine_dispatch()
-                .record(t_wall.elapsed().as_secs_f64(), &seconds);
+            let wall = t_wall.elapsed().as_secs_f64();
+            if publish_ns != 0 {
+                trace.record(EventKind::Task, 0, "", publish_ns, dur_ns(seconds[0]), 0);
+                trace.record(EventKind::Dispatch, 0, "", publish_ns, dur_ns(wall), 0);
+            }
+            spmv_telemetry::metrics::engine_dispatch().record(wall, &seconds);
+            if let Err(payload) = outcome {
+                std::panic::resume_unwind(payload);
+            }
             return ThreadTimes { seconds };
         }
 
@@ -173,15 +215,17 @@ impl ExecEngine {
         // cannot outlive `task` or `seconds`. The caller's own panic
         // is caught and re-raised only after that barrier.
         let task_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
-        {
+        let epoch = {
             let mut st = lock(&self.shared.state);
-            st.job = Some(Job { task: task_erased, times: seconds.as_mut_ptr() });
+            st.job = Some(Job { task: task_erased, times: seconds.as_mut_ptr(), publish_ns });
             st.pending = n - 1;
             st.panicked = false;
             st.epoch += 1;
             self.shared.work.notify_all();
-        }
+            st.epoch
+        };
 
+        let caller_start_ns = if publish_ns != 0 { trace.now_ns() } else { 0 };
         let t0 = Instant::now();
         let caller = catch_unwind(AssertUnwindSafe(|| task(0)));
         let caller_seconds = t0.elapsed().as_secs_f64();
@@ -196,11 +240,20 @@ impl ExecEngine {
         };
         seconds[0] = caller_seconds;
 
+        // Telemetry lands before any panic is re-raised, so every exit
+        // path — normal return, caller panic, pool-worker panic —
+        // leaves balanced trace events and recorded dispatch stats.
+        let wall = t_wall.elapsed().as_secs_f64();
+        if publish_ns != 0 {
+            trace.record(EventKind::Task, 0, "", caller_start_ns, dur_ns(caller_seconds), epoch);
+            trace.record(EventKind::Dispatch, 0, "", publish_ns, dur_ns(wall), epoch);
+        }
+        spmv_telemetry::metrics::engine_dispatch().record(wall, &seconds);
+
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
         }
         assert!(!pool_panicked, "worker panicked");
-        spmv_telemetry::metrics::engine_dispatch().record(t_wall.elapsed().as_secs_f64(), &seconds);
         ThreadTimes { seconds }
     }
 
@@ -232,7 +285,7 @@ impl Drop for ExecEngine {
     }
 }
 
-fn worker_loop(shared: &Shared, tid: usize) {
+fn worker_loop(shared: &Shared, tid: usize, trace: &'static TraceBuffer) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -252,9 +305,19 @@ fn worker_loop(shared: &Shared, tid: usize) {
         };
         // Busy time starts after the wake-up completes: parked and
         // scheduling latency stay out of the reported ThreadTimes.
+        let wake_ns = if job.publish_ns != 0 { trace.now_ns() } else { 0 };
         let t0 = Instant::now();
         let ok = catch_unwind(AssertUnwindSafe(|| (job.task)(tid))).is_ok();
         let busy = t0.elapsed().as_secs_f64();
+        if wake_ns != 0 {
+            // Recorded whether or not the task panicked, so a capture
+            // never ends with an unbalanced wake/task pair.
+            let lane = tid as u32;
+            let latency = wake_ns.saturating_sub(job.publish_ns).max(1);
+            trace.record(EventKind::Wake, lane, "", job.publish_ns, latency, seen_epoch);
+            trace.record(EventKind::Task, lane, "", wake_ns, dur_ns(busy), seen_epoch);
+            trace.record(EventKind::Park, lane, "", trace.now_ns(), 0, seen_epoch);
+        }
         // SAFETY: slot `tid` is written by this worker alone and the
         // buffer is kept alive by the blocked dispatcher.
         unsafe { *job.times.add(tid) = busy };
@@ -376,7 +439,11 @@ impl Plan {
                 let chunk = chunk.max(1);
                 let nrows = self.nrows;
                 let next = AtomicUsize::new(0);
-                self.engine.run(&|_t| loop {
+                // Hoisted so an idle tracer costs one branch per
+                // claim; a capture toggled mid-run waits a dispatch.
+                let trace = self.engine.tracer;
+                let tracing = trace.enabled();
+                self.engine.run(&|t| loop {
                     // relaxed-ok: the claim counter is not part of the
                     // engine's dispatch handshake (that protocol is
                     // mutex-guarded); claims need atomicity only, and
@@ -386,20 +453,46 @@ impl Plan {
                     if start >= nrows {
                         break;
                     }
-                    worker(start..(start + chunk).min(nrows));
+                    let range = start..(start + chunk).min(nrows);
+                    traced_claim(trace, tracing, t, range, &worker);
                 })
             }
             (None, _) => {
                 let nrows = self.nrows;
                 let next = AtomicUsize::new(0);
-                self.engine.run(&|_t| {
+                let trace = self.engine.tracer;
+                let tracing = trace.enabled();
+                self.engine.run(&|t| {
                     while let Some(range) = claim_guided(&next, nrows, nthreads) {
-                        worker(range);
+                        traced_claim(trace, tracing, t, range, &worker);
                     }
                 })
             }
         }
     }
+}
+
+/// Runs one claimed range through `worker`, recording a Claim trace
+/// event (arg = rows claimed) on lane `t` when a capture is active.
+fn traced_claim<F>(trace: &TraceBuffer, tracing: bool, t: usize, range: Range<usize>, worker: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if !tracing {
+        worker(range);
+        return;
+    }
+    let rows = range.len() as u64;
+    let t0 = trace.now_ns();
+    worker(range);
+    trace.record(
+        EventKind::Claim,
+        t as u32,
+        "",
+        t0,
+        trace.now_ns().saturating_sub(t0).max(1),
+        rows,
+    );
 }
 
 /// Legacy spawn-per-call execution: scoped OS threads created on
@@ -668,6 +761,108 @@ mod tests {
         let solo_before = stats.snapshot();
         solo.run(&|_| {});
         assert!(stats.snapshot().dispatches > solo_before.dispatches);
+    }
+
+    fn leaked_tracer(capacity: usize) -> &'static TraceBuffer {
+        let buf = Box::leak(Box::new(TraceBuffer::new(capacity)));
+        buf.set_enabled(true);
+        buf
+    }
+
+    #[test]
+    fn traced_run_emits_per_thread_timeline() {
+        let trace = leaked_tracer(1024);
+        let engine = Arc::new(ExecEngine::with_tracer(3, trace));
+        assert!(std::ptr::eq(engine.tracer(), trace));
+        engine.run(&|_t| {});
+        let events = trace.snapshot();
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::Dispatch).count(), 1);
+        // One Task per lane (caller = lane 0, workers 1..3).
+        let mut task_lanes: Vec<u32> =
+            events.iter().filter(|e| e.kind == EventKind::Task).map(|e| e.tid).collect();
+        task_lanes.sort_unstable();
+        assert_eq!(task_lanes, [0, 1, 2]);
+        // Pool workers report wake latency and a park instant.
+        for kind in [EventKind::Wake, EventKind::Park] {
+            let mut lanes: Vec<u32> =
+                events.iter().filter(|e| e.kind == kind).map(|e| e.tid).collect();
+            lanes.sort_unstable();
+            assert_eq!(lanes, [1, 2], "{kind:?}");
+        }
+        assert!(events.iter().all(|e| e.start_ns > 0));
+        assert!(events.iter().filter(|e| e.kind != EventKind::Park).all(|e| e.dur_ns > 0));
+
+        // Claiming schedules add one Claim event per chunk; the args
+        // (rows claimed) sum to the full row count.
+        trace.clear();
+        let rowptr: Vec<usize> = (0..=57).collect();
+        let plan = Plan::with_engine(Schedule::Dynamic { chunk: 8 }, &rowptr, Arc::clone(&engine));
+        plan.execute(|_range| {});
+        let claims: Vec<_> =
+            trace.snapshot().into_iter().filter(|e| e.kind == EventKind::Claim).collect();
+        assert_eq!(claims.len(), 57usize.div_ceil(8));
+        assert_eq!(claims.iter().map(|e| e.arg).sum::<u64>(), 57);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_from_runs() {
+        let trace: &'static TraceBuffer = Box::leak(Box::new(TraceBuffer::new(64)));
+        let engine = ExecEngine::with_tracer(2, trace);
+        engine.run(&|_t| {});
+        assert_eq!(trace.recorded(), 0);
+    }
+
+    #[test]
+    fn panicking_task_leaves_tracer_balanced() {
+        let trace = leaked_tracer(1024);
+        let engine = ExecEngine::with_tracer(3, trace);
+        let stats = spmv_telemetry::metrics::engine_dispatch();
+
+        // Pool-worker panic: caller re-raises after the barrier.
+        let before = stats.snapshot().dispatches;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            engine.run(&|t| {
+                if t == 1 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        let events = trace.snapshot();
+        // The dispatch still closed: one Dispatch event, one Task per
+        // lane (the panicking worker's included), wake/park balanced.
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::Dispatch).count(), 1);
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::Task).count(), 3);
+        assert_eq!(
+            events.iter().filter(|e| e.kind == EventKind::Wake).count(),
+            events.iter().filter(|e| e.kind == EventKind::Park).count()
+        );
+        assert!(stats.snapshot().dispatches > before, "stats recorded despite panic");
+
+        // Caller panic (lane 0).
+        trace.clear();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            engine.run(&|t| {
+                if t == 0 {
+                    panic!("caller boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        let events = trace.snapshot();
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::Dispatch).count(), 1);
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::Task).count(), 3);
+
+        // Inline single-thread panic.
+        trace.clear();
+        let solo = ExecEngine::with_tracer(1, trace);
+        let before = stats.snapshot().dispatches;
+        let caught = catch_unwind(AssertUnwindSafe(|| solo.run(&|_t| panic!("solo boom"))));
+        assert!(caught.is_err());
+        let events = trace.snapshot();
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::Dispatch).count(), 1);
+        assert_eq!(events.iter().filter(|e| e.kind == EventKind::Task).count(), 1);
+        assert!(stats.snapshot().dispatches > before);
     }
 
     #[test]

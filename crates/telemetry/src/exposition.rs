@@ -1,0 +1,281 @@
+//! Metrics exposition endpoint: a dependency-free HTTP server over
+//! `std::net::TcpListener` serving the process-wide telemetry.
+//!
+//! This is the **only** module in the workspace allowed to touch
+//! sockets — `cargo xtask audit` enforces a socket-containment policy
+//! pinning `TcpListener`/`TcpStream` use to this file, the same way
+//! thread creation is pinned to the execution engine.
+//!
+//! The server is deliberately minimal: blocking accept, one request
+//! per connection (`Connection: close`), GET only. It exists so a
+//! long-running SpMV service can be scraped by Prometheus and so a
+//! capture session can download its Chrome trace; it is not a general
+//! web server. Serving is single-threaded from the caller's thread —
+//! the workspace thread-containment policy means anything concurrent
+//! must be driven through `ExecEngine` (see the `spmv-metricsd`
+//! binary).
+//!
+//! Routes:
+//! * `GET /metrics` — Prometheus text format 0.0.4
+//!   ([`MetricsRegistry::gather`]);
+//! * `GET /trace`   — Chrome trace-event JSON of the global tracer
+//!   (load in Perfetto);
+//! * `GET /`        — plain-text index.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::registry::MetricsRegistry;
+use crate::trace::tracer;
+
+/// Largest request head (request line + headers) we accept.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection read timeout, so a stalled client cannot wedge the
+/// single-threaded serve loop.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A bound metrics endpoint.
+#[derive(Debug)]
+pub struct MetricsServer {
+    listener: TcpListener,
+}
+
+impl MetricsServer {
+    /// Binds the endpoint (e.g. `"127.0.0.1:9464"`; port `0` picks a
+    /// free port — read it back with
+    /// [`local_addr`](MetricsServer::local_addr)).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<MetricsServer> {
+        Ok(MetricsServer { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves exactly one connection (blocking). Client
+    /// I/O errors are reported but leave the listener usable.
+    pub fn serve_one(&self) -> io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        handle(stream)
+    }
+
+    /// Serves connections until `max_requests` have been handled
+    /// (`None` = forever). Per-connection errors are counted as
+    /// served and swallowed — a misbehaving client must not take the
+    /// endpoint down. Returns the number of connections handled.
+    pub fn serve(&self, max_requests: Option<u64>) -> io::Result<u64> {
+        let mut served = 0u64;
+        while max_requests.is_none_or(|max| served < max) {
+            match self.serve_one() {
+                Ok(()) => {}
+                // Accept failures are fatal (listener broken)...
+                Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+                // ...client-side failures are not.
+                Err(_) => {}
+            }
+            served += 1;
+        }
+        Ok(served)
+    }
+}
+
+/// Reads one request head, routes it, writes one response.
+fn handle(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(_) => {
+            // Timed out or connection dropped mid-request: best-effort
+            // error reply.
+            let _ = write_response(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n");
+            return Ok(());
+        }
+    };
+    let (status, content_type, body) = route(&head);
+    write_response(&mut stream, status, content_type, &body)
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size
+/// cap, returning the head as lossy UTF-8.
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Maps a request head to `(status, content type, body)`.
+fn route(head: &str) -> (u16, &'static str, String) {
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/") => (m, t),
+        _ => return (400, "text/plain; charset=utf-8", "bad request\n".to_string()),
+    };
+    if method != "GET" {
+        return (405, "text/plain; charset=utf-8", "method not allowed\n".to_string());
+    }
+    // Ignore any query string.
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            MetricsRegistry::gather().render(),
+        ),
+        "/trace" => (200, "application/json; charset=utf-8", {
+            let mut doc = tracer().to_chrome_trace().render();
+            doc.push('\n');
+            doc
+        }),
+        "/" => (
+            200,
+            "text/plain; charset=utf-8",
+            "spmv-metricsd\n\n/metrics  Prometheus text exposition\n/trace    Chrome trace-event JSON (open in Perfetto)\n"
+                .to_string(),
+        ),
+        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete `HTTP/1.1` response and closes the write side.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::trace::EventKind;
+
+    /// Single-threaded request/response: a TCP connect succeeds as
+    /// soon as it lands in the listener's backlog, so the client can
+    /// connect and write its (small) request *before* the server
+    /// accepts, and read the reply after `serve_one` returns.
+    fn roundtrip(server: &MetricsServer, request: &str) -> String {
+        let addr = server.local_addr().expect("bound");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(request.as_bytes()).expect("send request");
+        server.serve_one().expect("serve");
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).expect("read reply");
+        reply
+    }
+
+    fn body_of(reply: &str) -> &str {
+        reply.split_once("\r\n\r\n").expect("header/body split").1
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let reply = roundtrip(&server, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+        let body = body_of(&reply);
+        assert!(body.contains("# TYPE spmv_dispatches_total counter"), "{body}");
+        assert!(body.contains("spmv_dispatch_imbalance_ratio"), "{body}");
+        assert!(body.contains("spmv_preprocessing_total"), "{body}");
+        // Content-Length matches the body exactly.
+        let len: usize = reply
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .trim()
+            .parse()
+            .expect("numeric length");
+        assert_eq!(len, body.len());
+    }
+
+    #[test]
+    fn trace_endpoint_serves_parseable_chrome_json() {
+        tracer().record(EventKind::Span, 0, "exposition-test", 1, 2, 3);
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let reply = roundtrip(&server, "GET /trace HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("Content-Type: application/json"));
+        let doc = JsonValue::parse(body_of(&reply).trim_end()).expect("valid JSON");
+        assert!(doc.get("traceEvents").and_then(JsonValue::as_array).is_some());
+    }
+
+    #[test]
+    fn index_and_errors() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let index = roundtrip(&server, "GET / HTTP/1.1\r\n\r\n");
+        assert!(index.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(body_of(&index).contains("/metrics"));
+
+        let missing = roundtrip(&server, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found\r\n"), "{missing}");
+
+        let post = roundtrip(&server, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"), "{post}");
+
+        let garbage = roundtrip(&server, "garbage\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{garbage}");
+    }
+
+    #[test]
+    fn query_strings_are_ignored() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let reply = roundtrip(&server, "GET /metrics?format=prometheus HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+    }
+
+    #[test]
+    fn serve_counts_connections() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("bound");
+        let mut clients: Vec<TcpStream> = (0..3)
+            .map(|_| {
+                let mut c = TcpStream::connect(addr).expect("connect");
+                c.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").expect("send");
+                c
+            })
+            .collect();
+        let served = server.serve(Some(3)).expect("serve");
+        assert_eq!(served, 3);
+        for c in &mut clients {
+            let mut reply = String::new();
+            c.read_to_string(&mut reply).expect("read");
+            assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"));
+        }
+    }
+}

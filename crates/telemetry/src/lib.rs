@@ -13,9 +13,15 @@
 //! * [`stats`] — the single shared median/imbalance implementation
 //!   behind every `P_IMB = 2·NNZ / t_median` computation, measured or
 //!   simulated;
-//! * [`json`] — a hand-rolled JSON writer serializing telemetry into
-//!   the `BENCH_spmv.json` benchmark-trajectory record (schema in
-//!   DESIGN.md).
+//! * [`json`] — a hand-rolled JSON writer/parser serializing
+//!   telemetry into the `BENCH_spmv.json` benchmark-trajectory record
+//!   (schema in DESIGN.md) and reading it back for regression gating;
+//! * [`trace`] — a lock-free fixed-capacity ring buffer of per-thread
+//!   dispatch events with a Chrome trace-event (Perfetto) exporter;
+//! * [`registry`] — one labeled metrics namespace over the counters,
+//!   spans and tracer, rendered as Prometheus text exposition;
+//! * [`exposition`] — the `std::net` HTTP endpoint serving
+//!   `/metrics` and `/trace` (the only socket code in the workspace).
 //!
 //! # Hot-path rules (enforced by `cargo xtask audit`)
 //!
@@ -26,12 +32,18 @@
 //! thread-containment and relaxed-marker policies as the execution
 //! engine, plus a telemetry-specific lock-freedom policy.
 
+pub mod exposition;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod span;
 pub mod stats;
+pub mod trace;
 
-pub use json::JsonValue;
+pub use exposition::MetricsServer;
+pub use json::{JsonParseError, JsonValue};
 pub use metrics::{DispatchSnapshot, DispatchStats, TimeCounter};
+pub use registry::{MetricKind, MetricsRegistry};
 pub use span::{Span, SpanSet};
 pub use stats::{imbalance, median};
+pub use trace::{chrome_trace, tracer, EventKind, TraceBuffer, TraceEvent};

@@ -1,0 +1,451 @@
+//! Metrics registry: one labeled namespace unifying the hot-path
+//! counters ([`crate::metrics`]), span timers ([`crate::span`]) and
+//! trace-buffer health ([`crate::trace`]) behind a single snapshot
+//! that renders as Prometheus text exposition format 0.0.4.
+//!
+//! The registry itself is an owned, single-threaded value — callers
+//! build one per scrape via [`MetricsRegistry::gather`] (or by hand in
+//! tests), so the hot-path rules (no locks, no threads) hold trivially.
+//! All concurrency lives in the atomic sources being snapshotted.
+//!
+//! # Naming conventions (see DESIGN.md §9)
+//!
+//! * every metric is prefixed `spmv_`;
+//! * monotonic totals end in `_total`, accumulated durations in
+//!   `_seconds_total`;
+//! * instantaneous/derived values (ratios, capacities, flags) carry no
+//!   suffix and are exported as gauges;
+//! * span timings share one metric, `spmv_span_seconds_total`, with
+//!   the span name as the `span` label.
+
+use crate::metrics::{engine_dispatch, preprocessing, profiling_runs};
+use crate::span::SpanSet;
+use crate::trace::tracer;
+
+/// Prometheus metric type as exported in `# TYPE` lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing total.
+    Counter,
+    /// Instantaneous value that can go up and down.
+    Gauge,
+}
+
+impl MetricKind {
+    /// The exposition-format keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One exported sample: optional labels plus a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// `(label name, label value)` pairs, rendered in order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// One metric family: name, help text, type and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Full metric name (already `spmv_`-prefixed).
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Samples, in registration order.
+    pub samples: Vec<Sample>,
+}
+
+/// An insertion-ordered collection of metric families.
+///
+/// Pushing a sample under an existing name appends to that family
+/// (keeping the first help/kind), so label variants of one metric
+/// render under a single `# HELP`/`# TYPE` header as the exposition
+/// format requires.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registered metric families, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Pushes an unlabeled sample.
+    pub fn push(&mut self, name: &str, help: &str, kind: MetricKind, value: f64) {
+        self.push_labeled(name, help, kind, &[], value);
+    }
+
+    /// Pushes a sample with labels. Samples pushed under one name are
+    /// merged into a single family in first-seen order.
+    pub fn push_labeled(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let sample = Sample {
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            value,
+        };
+        match self.metrics.iter_mut().find(|m| m.name == name) {
+            Some(metric) => metric.samples.push(sample),
+            None => self.metrics.push(Metric {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                samples: vec![sample],
+            }),
+        }
+    }
+
+    /// Exports a [`SpanSet`] as `spmv_span_seconds_total{span="..."}`
+    /// samples, aggregating duplicate span names first so each label
+    /// value appears once per scrape.
+    pub fn record_spans(&mut self, spans: &SpanSet) {
+        let mut seen: Vec<(&str, f64)> = Vec::new();
+        for s in spans.spans() {
+            match seen.iter_mut().find(|(n, _)| *n == s.name) {
+                Some((_, total)) => *total += s.seconds,
+                None => seen.push((&s.name, s.seconds)),
+            }
+        }
+        for (name, seconds) in seen {
+            self.push_labeled(
+                "spmv_span_seconds_total",
+                "Accumulated wall-clock seconds per named cold-path span.",
+                MetricKind::Counter,
+                &[("span", name)],
+                seconds,
+            );
+        }
+    }
+
+    /// Snapshots the process-wide telemetry sources — dispatch stats,
+    /// preprocessing and profiling counters, trace-buffer health —
+    /// into a fresh registry.
+    pub fn gather() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let d = engine_dispatch().snapshot();
+        reg.push(
+            "spmv_dispatches_total",
+            "Pooled dispatches executed by ExecEngine::run.",
+            MetricKind::Counter,
+            d.dispatches as f64,
+        );
+        reg.push(
+            "spmv_dispatch_threads_total",
+            "Sum of team sizes over all pooled dispatches.",
+            MetricKind::Counter,
+            d.threads as f64,
+        );
+        reg.push(
+            "spmv_dispatch_wall_seconds_total",
+            "Wall-clock seconds spent inside ExecEngine::run.",
+            MetricKind::Counter,
+            d.wall_seconds,
+        );
+        reg.push(
+            "spmv_dispatch_busy_seconds_total",
+            "Per-thread busy seconds summed over all workers and dispatches.",
+            MetricKind::Counter,
+            d.busy_seconds,
+        );
+        reg.push(
+            "spmv_dispatch_max_busy_seconds_total",
+            "Per-dispatch maximum busy seconds, summed over dispatches.",
+            MetricKind::Counter,
+            d.max_busy_seconds,
+        );
+        reg.push(
+            "spmv_dispatch_wake_latency_seconds",
+            "Mean wake + synchronization latency per dispatch.",
+            MetricKind::Gauge,
+            d.wake_latency_seconds(),
+        );
+        reg.push(
+            "spmv_dispatch_imbalance_ratio",
+            "Mean max-over-mean busy-time ratio per dispatch (1.0 = balanced).",
+            MetricKind::Gauge,
+            d.imbalance_ratio(),
+        );
+        let prep = preprocessing();
+        reg.push(
+            "spmv_preprocessing_total",
+            "Format conversions / preprocessing passes performed.",
+            MetricKind::Counter,
+            prep.count() as f64,
+        );
+        reg.push(
+            "spmv_preprocessing_seconds_total",
+            "Wall-clock seconds spent in preprocessing.",
+            MetricKind::Counter,
+            prep.seconds(),
+        );
+        let prof = profiling_runs();
+        reg.push(
+            "spmv_profiling_runs_total",
+            "Micro-benchmark profiling runs performed by the tuner.",
+            MetricKind::Counter,
+            prof.count() as f64,
+        );
+        reg.push(
+            "spmv_profiling_seconds_total",
+            "Wall-clock seconds spent in profiling runs.",
+            MetricKind::Counter,
+            prof.seconds(),
+        );
+        let t = tracer();
+        reg.push(
+            "spmv_trace_events_total",
+            "Trace events recorded since process start (including dropped).",
+            MetricKind::Counter,
+            t.recorded() as f64,
+        );
+        reg.push(
+            "spmv_trace_events_dropped_total",
+            "Trace events overwritten by ring-buffer wraparound.",
+            MetricKind::Counter,
+            t.dropped() as f64,
+        );
+        reg.push(
+            "spmv_trace_capacity_events",
+            "Trace ring-buffer capacity in events.",
+            MetricKind::Gauge,
+            t.capacity() as f64,
+        );
+        reg.push(
+            "spmv_trace_enabled",
+            "Whether the global tracer is currently recording (1/0).",
+            MetricKind::Gauge,
+            if t.enabled() { 1.0 } else { 0.0 },
+        );
+        reg
+    }
+
+    /// Renders the registry in Prometheus text exposition format 0.0.4
+    /// (`text/plain; version=0.0.4`), ending with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for metric in &self.metrics {
+            out.push_str("# HELP ");
+            out.push_str(&metric.name);
+            out.push(' ');
+            escape_help(&metric.help, &mut out);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&metric.name);
+            out.push(' ');
+            out.push_str(metric.kind.as_str());
+            out.push('\n');
+            for sample in &metric.samples {
+                out.push_str(&metric.name);
+                if !sample.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in sample.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(k);
+                        out.push_str("=\"");
+                        escape_label_value(v, &mut out);
+                        out.push('"');
+                    }
+                    out.push('}');
+                }
+                out.push(' ');
+                out.push_str(&format_value(sample.value));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// HELP text escaping: backslash and newline.
+fn escape_help(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Label-value escaping: backslash, double quote and newline.
+fn escape_label_value(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats a sample value: integral values print without a fraction,
+/// everything else uses Rust's shortest round-trip float form.
+fn format_value(value: f64) -> String {
+    if value.is_finite() && value.fract() == 0.0 && value.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_golden_counter_and_gauge() {
+        let mut reg = MetricsRegistry::new();
+        reg.push("spmv_dispatches_total", "Pooled dispatches.", MetricKind::Counter, 42.0);
+        reg.push("spmv_dispatch_imbalance_ratio", "Imbalance.", MetricKind::Gauge, 1.25);
+        assert_eq!(
+            reg.render(),
+            "# HELP spmv_dispatches_total Pooled dispatches.\n\
+             # TYPE spmv_dispatches_total counter\n\
+             spmv_dispatches_total 42\n\
+             # HELP spmv_dispatch_imbalance_ratio Imbalance.\n\
+             # TYPE spmv_dispatch_imbalance_ratio gauge\n\
+             spmv_dispatch_imbalance_ratio 1.25\n"
+        );
+    }
+
+    #[test]
+    fn labeled_samples_merge_under_one_header() {
+        let mut reg = MetricsRegistry::new();
+        reg.push_labeled(
+            "spmv_span_seconds_total",
+            "Spans.",
+            MetricKind::Counter,
+            &[("span", "a")],
+            1.0,
+        );
+        reg.push_labeled(
+            "spmv_span_seconds_total",
+            "ignored",
+            MetricKind::Gauge,
+            &[("span", "b")],
+            2.5,
+        );
+        let text = reg.render();
+        assert_eq!(text.matches("# HELP").count(), 1);
+        assert_eq!(text.matches("# TYPE").count(), 1);
+        assert!(text.contains("spmv_span_seconds_total{span=\"a\"} 1\n"), "{text}");
+        assert!(text.contains("spmv_span_seconds_total{span=\"b\"} 2.5\n"), "{text}");
+        // First-seen kind wins.
+        assert!(text.contains("# TYPE spmv_span_seconds_total counter\n"));
+    }
+
+    #[test]
+    fn pathological_label_values_escape() {
+        let mut reg = MetricsRegistry::new();
+        reg.push_labeled(
+            "spmv_span_seconds_total",
+            "Help with \\ backslash\nand newline.",
+            MetricKind::Counter,
+            &[("span", "weird \"name\" \\ with\nnewline ✓")],
+            0.5,
+        );
+        let text = reg.render();
+        assert!(
+            text.contains(
+                "# HELP spmv_span_seconds_total Help with \\\\ backslash\\nand newline.\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("{span=\"weird \\\"name\\\" \\\\ with\\nnewline ✓\"} 0.5\n"),
+            "{text}"
+        );
+        // Escaped output stays single-line per sample.
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn record_spans_aggregates_duplicates() {
+        let mut spans = SpanSet::new();
+        spans.record("bound:P_ML", 1.0);
+        spans.record("bound:P_ML", 2.0);
+        spans.record("bound:P_CMP", 0.25);
+        let mut reg = MetricsRegistry::new();
+        reg.record_spans(&spans);
+        let text = reg.render();
+        assert!(text.contains("spmv_span_seconds_total{span=\"bound:P_ML\"} 3\n"), "{text}");
+        assert!(text.contains("spmv_span_seconds_total{span=\"bound:P_CMP\"} 0.25\n"), "{text}");
+    }
+
+    #[test]
+    fn gather_exports_all_families() {
+        let text = MetricsRegistry::gather().render();
+        for name in [
+            "spmv_dispatches_total",
+            "spmv_dispatch_threads_total",
+            "spmv_dispatch_wall_seconds_total",
+            "spmv_dispatch_busy_seconds_total",
+            "spmv_dispatch_max_busy_seconds_total",
+            "spmv_dispatch_wake_latency_seconds",
+            "spmv_dispatch_imbalance_ratio",
+            "spmv_preprocessing_total",
+            "spmv_preprocessing_seconds_total",
+            "spmv_profiling_runs_total",
+            "spmv_profiling_seconds_total",
+            "spmv_trace_events_total",
+            "spmv_trace_events_dropped_total",
+            "spmv_trace_capacity_events",
+            "spmv_trace_enabled",
+        ] {
+            assert!(text.contains(&format!("\n{name} ")), "missing {name} in:\n{text}");
+        }
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn value_formatting_is_stable() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(42.0), "42");
+        assert_eq!(format_value(-3.0), "-3");
+        assert_eq!(format_value(1.25), "1.25");
+        assert_eq!(format_value(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(valid_metric_name("spmv_dispatches_total"));
+        assert!(valid_metric_name("_x:y"));
+        assert!(!valid_metric_name("9bad"));
+        assert!(!valid_metric_name("has space"));
+        assert!(!valid_metric_name(""));
+    }
+}

@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use crate::json::JsonValue;
+use crate::trace::{tracer, EventKind};
 
 /// One completed named measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,11 +34,20 @@ impl SpanSet {
     }
 
     /// Times `f` and records the span under `name`, passing the
-    /// closure's value through.
+    /// closure's value through. When the global tracer is capturing,
+    /// the span also lands on the trace timeline (lane 0) so cold-path
+    /// phases line up with the engine's per-thread dispatch events.
     pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let trace = tracer();
+        let start_ns = if trace.enabled() { trace.now_ns() } else { 0 };
         let t0 = Instant::now();
         let out = f();
-        self.record(name, t0.elapsed().as_secs_f64());
+        let seconds = t0.elapsed().as_secs_f64();
+        if start_ns != 0 {
+            let dur_ns = (seconds * 1e9) as u64;
+            trace.record(EventKind::Span, 0, name, start_ns, dur_ns.max(1), 0);
+        }
+        self.record(name, seconds);
         out
     }
 
@@ -101,6 +111,23 @@ mod tests {
         set.record("prep:comp", 4.0);
         assert_eq!(set.total_seconds("bound:"), 3.0);
         assert_eq!(set.total_seconds(""), 7.0);
+    }
+
+    #[test]
+    fn time_emits_trace_event_when_tracer_enabled() {
+        let trace = tracer();
+        trace.set_enabled(true);
+        let mut set = SpanSet::new();
+        set.time("span-autotrace-probe", || std::hint::black_box(1 + 1));
+        trace.set_enabled(false);
+        let hit = trace
+            .snapshot()
+            .into_iter()
+            .find(|e| e.name == "span-autotrace-probe")
+            .expect("span landed on the trace timeline");
+        assert_eq!(hit.kind, EventKind::Span);
+        assert_eq!(hit.tid, 0);
+        assert!(hit.dur_ns >= 1);
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Audit fixture: socket use outside the metrics exposition module.
+//! Must trigger the `socket-containment` policy (and nothing else)
+//! when scanned under any ordinary path, and scan clean when scanned
+//! as crates/telemetry/src/exposition.rs itself.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+
+fn rogue_endpoint() -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let (mut conn, _): (TcpStream, _) = listener.accept()?;
+    conn.write_all(b"HTTP/1.1 200 OK\r\n\r\n")
+}

@@ -8,7 +8,7 @@
 //!   `BENCH_spmv.json` at the repo root (see DESIGN.md, "Telemetry &
 //!   the benchmark trajectory").
 //!
-//! The audit enforces five policies over every `.rs` file
+//! The audit enforces six policies over every `.rs` file
 //! in the repository (vendored deps and build output excluded):
 //!
 //! 1. **SAFETY comments** — every `unsafe` occurrence (block, fn,
@@ -30,6 +30,11 @@
 //!    `mpsc`): its hot-path counters ride inside kernel dispatch,
 //!    where blocking would invalidate the measurements it exists to
 //!    take. (Thread creation there is already banned by policy 3.)
+//! 6. **Socket containment** — network types (`TcpListener`,
+//!    `TcpStream`, `UdpSocket`, …) appear only in the metrics
+//!    exporter module (`crates/telemetry/src/exposition.rs`); no
+//!    other code opens or accepts connections, so the workspace's
+//!    entire network surface is one auditable file.
 //!
 //! The audit first runs a self-test over `crates/xtask/fixtures/`:
 //! deliberately violating snippets it must flag, plus a clean file it
@@ -62,18 +67,26 @@ fn main() -> ExitCode {
 /// `bench_trajectory` binary in release mode with the repo root as
 /// working directory, so `BENCH_spmv.json` lands next to Cargo.toml.
 /// Everything after an optional leading `--` is forwarded verbatim.
+///
+/// `cargo xtask bench --compare OLD.json NEW.json [...]` runs the
+/// `bench_compare` regression gate instead, preserving its exit code
+/// (non-zero on regression), so CI can call one task for both sides.
 fn run_bench(args: &[String]) -> ExitCode {
     let forwarded = args.strip_prefix(&["--".to_string()][..]).unwrap_or(args);
+    let (bin, forwarded): (&str, &[String]) = match forwarded.first().map(String::as_str) {
+        Some("--compare") => ("bench_compare", &forwarded[1..]),
+        _ => ("bench_trajectory", forwarded),
+    };
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let status = std::process::Command::new(cargo)
-        .args(["run", "--release", "-p", "spmv-bench", "--bin", "bench_trajectory", "--"])
+        .args(["run", "--release", "-p", "spmv-bench", "--bin", bin, "--"])
         .args(forwarded)
         .current_dir(repo_root())
         .status();
     match status {
         Ok(s) if s.success() => ExitCode::SUCCESS,
         Ok(s) => {
-            eprintln!("bench_trajectory exited with {s}");
+            eprintln!("{bin} exited with {s}");
             ExitCode::FAILURE
         }
         Err(e) => {
@@ -178,6 +191,7 @@ const POLICY_UNCHECKED: &str = "unchecked-allowlist";
 const POLICY_THREADS: &str = "thread-containment";
 const POLICY_RELAXED: &str = "relaxed-ordering";
 const POLICY_TELEMETRY: &str = "telemetry-lock-free";
+const POLICY_SOCKETS: &str = "socket-containment";
 
 /// Modules allowed to contain unchecked-access tokens (policy 2):
 /// the validated-format fast paths in `spmv-sparse` and the kernel
@@ -205,6 +219,11 @@ const RELAXED_SCOPE: &[&str] = &["crates/kernels/src/engine.rs", "crates/kernels
 /// Path fragment identifying telemetry sources (policies 4 and 5):
 /// the whole crate is hot-path-adjacent, so every file is in scope.
 const TELEMETRY_PREFIX: &str = "crates/telemetry/src/";
+
+/// The only module allowed to touch sockets (policy 6): the
+/// Prometheus/trace exposition endpoint. Everything else reaches the
+/// network through [`MetricsServer`](../telemetry) or not at all.
+const SOCKET_ALLOWLIST: &[&str] = &["crates/telemetry/src/exposition.rs"];
 
 fn path_in(file: &str, list: &[&str]) -> bool {
     list.iter().any(|s| file.ends_with(s))
@@ -395,7 +414,7 @@ fn has_token(line: &str, token: &str) -> bool {
     false
 }
 
-/// Runs all four policies over one file.
+/// Runs every policy over one file.
 fn scan_source(file: &str, text: &str) -> Vec<Finding> {
     let s = scrub(text);
     let nlines = s.code.len();
@@ -504,6 +523,24 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
                 }
             }
         }
+
+        // Policy 6: socket types only in the exposition module — one
+        // file is the workspace's entire network surface.
+        if !path_in(file, SOCKET_ALLOWLIST) {
+            for token in ["TcpListener", "TcpStream", "UdpSocket", "UnixListener", "UnixStream"] {
+                if has_token(code, token) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_SOCKETS,
+                        message: format!(
+                            "`{token}` outside crates/telemetry/src/exposition.rs — all \
+                             network I/O goes through the metrics exposition module"
+                        ),
+                    });
+                }
+            }
+        }
     }
     findings
 }
@@ -583,6 +620,10 @@ const FIXTURES: &[(&str, &str, &[&str])] = &[
     // telemetry crate (policy 4's extended scope).
     ("relaxed_without_marker.rs", "crates/telemetry/src/metrics.rs", &[POLICY_RELAXED]),
     ("telemetry_lock.rs", "crates/telemetry/src/metrics.rs", &[POLICY_TELEMETRY]),
+    // The same socket fixture must trip everywhere except under the
+    // exposition module's own path (policy 6's single allowlist entry).
+    ("socket_outside_exposition.rs", "crates/sim/src/fixture.rs", &[POLICY_SOCKETS]),
+    ("socket_outside_exposition.rs", "crates/telemetry/src/exposition.rs", &[]),
     ("clean.rs", "crates/kernels/src/engine.rs", &[]),
 ];
 
@@ -668,6 +709,9 @@ mod tests {
             "crates/telemetry/src/json.rs",
             "crates/telemetry/src/stats.rs",
             "crates/telemetry/src/lib.rs",
+            "crates/telemetry/src/trace.rs",
+            "crates/telemetry/src/registry.rs",
+            "crates/telemetry/src/exposition.rs",
         ] {
             let text = std::fs::read_to_string(root.join(rel)).expect("source exists");
             let findings = scan_source(rel, &text);

@@ -3,6 +3,7 @@
 //! ```text
 //! spmvtune suite                         list built-in matrix presets
 //! spmvtune analyze <INPUT> [--machine M] spy plot + features + bounds + classes
+//! spmvtune explain <INPUT> [--machine M] classifier decision trace as a table
 //! spmvtune bench   <INPUT>               time every kernel variant on this host
 //! spmvtune solve   <INPUT> [--solver S]  tuned iterative solve (cg|bicgstab|gmres)
 //!
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "suite" => cmd_suite(),
         "analyze" => cmd_analyze(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "solve" => cmd_solve(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -52,6 +54,7 @@ fn usage() -> &'static str {
     "usage:
   spmvtune suite
   spmvtune analyze <INPUT> [--machine knc|knl|broadwell|host]
+  spmvtune explain <INPUT> [--machine knc|knl|broadwell|host]
   spmvtune bench   <INPUT>
   spmvtune solve   <INPUT> [--solver cg|bicgstab|gmres]
 
@@ -136,6 +139,98 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let variant = classes.to_variant(&fv);
     println!("bottleneck classes: {classes}");
     println!("selected optimizations: {variant}");
+    Ok(())
+}
+
+/// Renders the profile-guided classifier's decision trace for one
+/// matrix as a human-readable table: every measured bound, every
+/// Fig. 4 rule with the ratio it computed and the threshold it was
+/// compared against, and whether the rule fired.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let (name, a) = load_input(args)?;
+    let machine = parse_machine(args)?;
+    let fv = FeatureVector::extract(&a, machine.llc_bytes(), machine.line_elems());
+    let model = CostModel::new(machine.clone());
+    let profile = MatrixProfile::analyze(&a, &machine);
+    let b = collect_bounds(&model, &profile);
+    let clf = ProfileClassifier::default();
+    let (classes, trace) = clf.classify_traced(&b);
+    let t = clf.thresholds;
+
+    println!("classifier decision trace for {name} on {}", machine.name);
+    println!("\nmeasured bounds (GFLOP/s):");
+    let rows = [
+        ("P_CSR", b.p_csr, "baseline parallel CSR"),
+        ("P_MB", b.p_mb, "memory-bandwidth bound"),
+        ("P_ML", b.p_ml, "memory-latency bound (regularised x accesses)"),
+        ("P_IMB", b.p_imb, "load-balance bound (median-thread time)"),
+        ("P_CMP", b.p_cmp, "computation bound"),
+        ("P_PEAK", b.p_peak, "machine peak"),
+    ];
+    for (label, value, meaning) in rows {
+        println!("  {label:<7} {value:>9.2}   {meaning}");
+    }
+
+    // Pull the ratios from the classify_traced decision trace so this
+    // output shows exactly what the classifier compared, not a
+    // recomputation that could drift from it.
+    let ratio = |key: &str| {
+        trace
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("decision trace is missing {key:?}"))
+    };
+    let ml_ratio = ratio("ml_ratio")?;
+    let imb_ratio = ratio("imb_ratio")?;
+    let fired = |yes: bool| if yes { "FIRED" } else { "-" };
+
+    let mb_saturated = b.p_csr >= t.mb_approx * b.p_mb;
+    let mb_window = b.p_mb < b.p_cmp && b.p_cmp < b.p_peak;
+    println!("\nrules (paper Fig. 4; T_ML = {}, T_IMB = {}):", t.t_ml, t.t_imb);
+    println!("  {:<5} {:<32} {:>18} {:>11}   fired", "class", "condition", "measured", "threshold");
+    println!(
+        "  {:<5} {:<32} {:>18.3} {:>11}   {}",
+        "IMB",
+        "P_IMB / P_CSR > T_IMB",
+        imb_ratio,
+        format!("> {}", t.t_imb),
+        fired(classes.contains(Bottleneck::IMB)),
+    );
+    println!(
+        "  {:<5} {:<32} {:>18.3} {:>11}   {}",
+        "ML",
+        "P_ML / P_CSR > T_ML",
+        ml_ratio,
+        format!("> {}", t.t_ml),
+        fired(classes.contains(Bottleneck::ML)),
+    );
+    println!(
+        "  {:<5} {:<32} {:>18} {:>11}   {}",
+        "MB",
+        "P_CSR >= mb_approx * P_MB",
+        format!("{:.2} vs {:.2}", b.p_csr, t.mb_approx * b.p_mb),
+        format!("sat: {}", if mb_saturated { "yes" } else { "no" }),
+        fired(classes.contains(Bottleneck::MB)),
+    );
+    println!(
+        "  {:<5} {:<32} {:>18} {:>11}",
+        "",
+        "  and P_MB < P_CMP < P_PEAK",
+        format!("{:.1} / {:.1} / {:.1}", b.p_mb, b.p_cmp, b.p_peak),
+        format!("win: {}", if mb_window { "yes" } else { "no" }),
+    );
+    println!(
+        "  {:<5} {:<32} {:>18} {:>11}   {}",
+        "CMP",
+        "P_MB > P_CMP or P_CMP > P_PEAK",
+        format!("{:.1} / {:.1} / {:.1}", b.p_mb, b.p_cmp, b.p_peak),
+        "see cond",
+        fired(classes.contains(Bottleneck::CMP)),
+    );
+
+    let traced_classes = trace.get("classes").and_then(|v| v.as_str()).unwrap_or("?");
+    println!("\nbottleneck classes: {traced_classes}");
+    println!("selected optimizations: {}", classes.to_variant(&fv));
     Ok(())
 }
 

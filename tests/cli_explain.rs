@@ -1,0 +1,47 @@
+//! CLI-level coverage of `spmvtune explain`: the decision-trace
+//! renderer must show the thresholds, the measured ratios, and which
+//! rule fired, and must fail cleanly on bad input.
+
+use std::process::Command;
+
+fn spmvtune(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_spmvtune")).args(args).output().expect("spawn spmvtune")
+}
+
+#[test]
+fn explain_renders_the_decision_table() {
+    let out = spmvtune(&["explain", "preset:rajat30:0.02", "--machine", "knc"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    // The thresholds the ratios were compared against.
+    assert!(text.contains("T_ML = 1.25"), "{text}");
+    assert!(text.contains("T_IMB = 1.24"), "{text}");
+    // Every bound and every rule row is present.
+    for label in ["P_CSR", "P_MB", "P_ML", "P_IMB", "P_CMP", "P_PEAK"] {
+        assert!(text.contains(label), "missing bound {label}:\n{text}");
+    }
+    for rule in ["P_IMB / P_CSR > T_IMB", "P_ML / P_CSR > T_ML", "P_MB > P_CMP or P_CMP > P_PEAK"] {
+        assert!(text.contains(rule), "missing rule {rule:?}:\n{text}");
+    }
+    // The verdict lines.
+    assert!(text.contains("bottleneck classes:"), "{text}");
+    assert!(text.contains("selected optimizations:"), "{text}");
+    // At least one rule fires for this skewed circuit matrix on KNC.
+    assert!(text.contains("FIRED"), "{text}");
+}
+
+#[test]
+fn explain_rejects_unknown_input() {
+    let out = spmvtune(&["explain", "preset:no-such-matrix"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown preset"), "{err}");
+}
+
+#[test]
+fn explain_rejects_unknown_machine() {
+    let out = spmvtune(&["explain", "preset:rajat30:0.02", "--machine", "sparc"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown machine"), "{err}");
+}
