@@ -1,0 +1,284 @@
+//! Depth-first exploration of every schedule and every weak-memory
+//! read a model admits, under a bounded-preemption cut.
+//!
+//! The search is *stateless* (CHESS-style): instead of snapshotting
+//! world state at each branch, the explorer re-runs the model from
+//! scratch under a recorded choice prefix, then backtracks the last
+//! not-yet-exhausted choice. Executions are cheap (tens of steps), so
+//! replay costs less than cloning store histories and view maps at
+//! every step — and the recorded choice string doubles as a
+//! counterexample the checker can print.
+//!
+//! Two cuts keep the state space finite and small:
+//!
+//! * **Bounded preemptions** — a scheduling choice that switches away
+//!   from a thread that could have kept running counts against a
+//!   budget (default [`Config::DEFAULT_PREEMPTIONS`]); past it, the
+//!   running thread runs on until it blocks or finishes. Context-
+//!   switch-bounded search finds practically all protocol bugs at
+//!   small bounds (Musuvathi & Qadeer, CHESS), and every interleaving
+//!   the engine's two-or-three-step windows admit fits well inside
+//!   it. Voluntary switches (block, completion) are always free.
+//! * **Step budget** — a per-execution ceiling that converts a
+//!   livelocked model (e.g. a claim loop that stops advancing) into a
+//!   reported failure instead of a hung checker.
+
+use crate::exec::{run_once, Choice, Controller, ExecEnd, Instance, World};
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Preemption budget per execution.
+    pub max_preemptions: usize,
+    /// Step budget per execution (livelock cut-off).
+    pub max_steps: usize,
+    /// Hard ceiling on explored executions; exceeding it is reported
+    /// as [`Outcome::BudgetExhausted`], never silently truncated.
+    pub max_executions: usize,
+}
+
+impl Config {
+    pub const DEFAULT_PREEMPTIONS: usize = 3;
+
+    pub fn new() -> Config {
+        Config {
+            max_preemptions: Config::DEFAULT_PREEMPTIONS,
+            max_steps: 2_000,
+            max_executions: 3_000_000,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config::new()
+    }
+}
+
+/// Result of exploring one model.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every execution within the cut completed and passed all
+    /// checks.
+    Pass(Stats),
+    /// Some execution failed; the trace is the interleaving, one line
+    /// per shared operation.
+    Fail(Failure),
+    /// `max_executions` was hit before the space was exhausted.
+    BudgetExhausted(Stats),
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    pub executions: usize,
+    pub max_depth: usize,
+    pub total_steps: usize,
+}
+
+/// A found violation plus the execution that exhibits it.
+#[derive(Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    pub trace: Vec<String>,
+    pub stats: Stats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// An explicit property check failed.
+    Property,
+    /// All threads blocked with work remaining.
+    Deadlock,
+    /// The step budget ran out (livelock or an undersized bound).
+    Livelock,
+}
+
+impl Failure {
+    /// Renders the failure with its interleaving, ready for stderr.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:?}: {}\n", self.kind, self.message));
+        out.push_str("interleaving (one line per shared operation):\n");
+        for line in &self.trace {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "found after {} execution(s), {} step(s) total\n",
+            self.stats.executions, self.stats.total_steps
+        ));
+        out
+    }
+}
+
+/// Exhaustively explores `make`'s model under `cfg`.
+pub fn explore(make: &dyn Fn(&mut World) -> Instance, cfg: Config) -> Outcome {
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut stats = Stats::default();
+
+    loop {
+        if stats.executions >= cfg.max_executions {
+            return Outcome::BudgetExhausted(stats);
+        }
+        let result =
+            run_once(make, Controller::replay(prefix.clone()), cfg.max_preemptions, cfg.max_steps);
+        stats.executions += 1;
+        stats.total_steps += result.steps;
+        stats.max_depth = stats.max_depth.max(result.choices.len());
+
+        match result.end {
+            ExecEnd::Completed => {}
+            ExecEnd::Violation(message) => {
+                return Outcome::Fail(Failure {
+                    kind: FailureKind::Property,
+                    message,
+                    trace: result.trace,
+                    stats,
+                });
+            }
+            ExecEnd::Deadlock => {
+                return Outcome::Fail(Failure {
+                    kind: FailureKind::Deadlock,
+                    message: "all remaining threads are blocked".to_string(),
+                    trace: result.trace,
+                    stats,
+                });
+            }
+            ExecEnd::StepBudget => {
+                return Outcome::Fail(Failure {
+                    kind: FailureKind::Livelock,
+                    message: format!("step budget ({}) exhausted", cfg.max_steps),
+                    trace: result.trace,
+                    stats,
+                });
+            }
+        }
+
+        // Depth-first backtrack: advance the deepest choice with an
+        // untried option, drop everything after it.
+        prefix = result.choices;
+        loop {
+            match prefix.pop() {
+                None => return Outcome::Pass(stats),
+                Some(c) if c.taken + 1 < c.total => {
+                    prefix.push(Choice { taken: c.taken + 1, total: c.total });
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Ctx, ModelThread, Step};
+    use crate::mem::{Loc, MOrd};
+
+    /// Classic store-buffering litmus: with relaxed operations both
+    /// threads may read 0 — the explorer must find that execution.
+    struct Sb {
+        my: Loc,
+        other: Loc,
+        seen: OracleSlot,
+        pc: u8,
+    }
+    #[derive(Clone, Copy)]
+    struct OracleSlot(crate::exec::OracleId);
+
+    impl ModelThread for Sb {
+        fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+            match self.pc {
+                0 => {
+                    ctx.store(self.my, 1, MOrd::Relaxed);
+                    self.pc = 1;
+                    Step::Ready
+                }
+                _ => {
+                    let v = ctx.load(self.other, MOrd::Relaxed);
+                    if v == 0 {
+                        ctx.oracle_add(self.seen.0, 1);
+                    }
+                    Step::Done
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_finds_store_buffering() {
+        // Fail when BOTH threads read 0, proving the explorer reaches
+        // the weak outcome SC interleavings cannot produce.
+        let make = |w: &mut World| {
+            let x = w.alloc("x", 0);
+            let y = w.alloc("y", 0);
+            let zeros = w.oracle("zeros");
+            Instance {
+                threads: vec![
+                    Box::new(Sb { my: x, other: y, seen: OracleSlot(zeros), pc: 0 }),
+                    Box::new(Sb { my: y, other: x, seen: OracleSlot(zeros), pc: 0 }),
+                ],
+                final_check: Box::new(move |w| {
+                    if w.oracle_value(zeros) == 2 {
+                        Err("both threads read 0 (store buffering)".to_string())
+                    } else {
+                        Ok(())
+                    }
+                }),
+            }
+        };
+        match explore(&make, Config::new()) {
+            Outcome::Fail(f) => {
+                assert_eq!(f.kind, FailureKind::Property);
+                assert!(f.message.contains("store buffering"));
+            }
+            other => panic!("expected the weak outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explorer_exhausts_clean_models() {
+        struct Inc {
+            c: Loc,
+            done: bool,
+        }
+        impl ModelThread for Inc {
+            fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+                if self.done {
+                    return Step::Done;
+                }
+                ctx.rmw(self.c, MOrd::Relaxed, |v| Some(v + 1));
+                self.done = true;
+                Step::Done
+            }
+        }
+        let make = |w: &mut World| {
+            let c = w.alloc("c", 0);
+            Instance {
+                threads: vec![
+                    Box::new(Inc { c, done: false }),
+                    Box::new(Inc { c, done: false }),
+                    Box::new(Inc { c, done: false }),
+                ],
+                final_check: Box::new(move |w| {
+                    // RMWs never lose updates: the mo history length
+                    // is 1 (init) + 3.
+                    let last = w.mem.readable(0, c).end;
+                    if last == 4 {
+                        Ok(())
+                    } else {
+                        Err(format!("lost update: {last} stores"))
+                    }
+                }),
+            }
+        };
+        match explore(&make, Config::new()) {
+            Outcome::Pass(stats) => assert!(stats.executions >= 6, "{stats:?}"),
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Model of the `ExecEngine` dispatch handshake and the guided-claim
+//! loop (`crates/kernels/src/engine.rs` + `schedule.rs`).
+//!
+//! Extracted shape: the caller publishes a job under the state mutex
+//! (bumps `epoch`, sets `pending`, `notify_all(work)`), participates
+//! in the claim loop itself, then blocks on the `done` condvar until
+//! `pending == 0`. Each pool worker loops: under the mutex, wait for
+//! a fresh epoch (or shutdown), run the claim loop, then decrement
+//! `pending` and notify `done` when it hits zero. Claiming follows
+//! `claim_guided`: one relaxed `fetch_update` takes
+//! `remaining / (GUIDED_DECAY * nthreads)` rows, at least one, until
+//! `nrows` is exhausted. Two dispatch epochs run back-to-back, so an
+//! epoch-tracking bug (a worker re-running or skipping a dispatch)
+//! is observable.
+//!
+//! Checked properties:
+//! * **No lost or double-claimed chunk**: every row `0..NROWS` is
+//!   claimed exactly once per epoch (oracle row counters), and no
+//!   claim is empty.
+//! * **Barrier soundness**: when the caller passes the `pending == 0`
+//!   barrier, every worker has finished its task for that epoch —
+//!   the exact guarantee the engine's lifetime-erasing `Job` borrow
+//!   rests on.
+//! * **Park/wake liveness**: the whole two-epoch dispatch terminates;
+//!   a missed wakeup surfaces as a deadlock.
+//!
+//! Seeded mutants ([`HandshakeMutant`]): a claim-bound off-by-one
+//! (`start <= nrows` admits an empty claim), a non-atomic
+//! load-then-store claim (lost update → double-claimed rows), an
+//! early `pending` decrement (caller can pass the barrier while a
+//! worker still runs), and a wait-before-check worker loop (misses a
+//! notify that raced ahead of it → deadlock).
+
+use std::rc::Rc;
+
+use crate::exec::{CondvarId, Ctx, Instance, ModelThread, MutexId, OracleId, Step, World};
+use crate::mem::{Loc, MOrd};
+
+/// Rows scheduled per epoch.
+pub const NROWS: u64 = 4;
+/// Team size: the caller plus one pool worker.
+pub const NTHREADS: u64 = 2;
+/// Dispatch epochs run back-to-back.
+pub const EPOCHS: u64 = 2;
+/// Mirrors `spmv_kernels::schedule::GUIDED_DECAY`.
+pub const GUIDED_DECAY: u64 = 2;
+
+/// Seeded bugs the checker must flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeMutant {
+    /// `start <= nrows` instead of `start < nrows` in the claim
+    /// predicate: the loop hands out an empty chunk at the boundary.
+    ClaimBoundOffByOne,
+    /// The claim is a relaxed load followed by a separate relaxed
+    /// store instead of one `fetch_update`: two threads can read the
+    /// same `start` and double-claim the chunk.
+    NonAtomicClaim,
+    /// The worker decrements `pending` *before* running its task, so
+    /// the caller can pass the barrier (and invalidate the borrowed
+    /// job) while the worker still executes it.
+    EarlyPendingDecrement,
+    /// The worker waits on the condvar once *before* checking the
+    /// epoch predicate: a notify that fires before the wait is lost
+    /// and the dispatch deadlocks.
+    WaitBeforeCheck,
+}
+
+struct Shared {
+    m: MutexId,
+    work: CondvarId,
+    done: CondvarId,
+    /// Mutex-protected dispatch state (modeled as atomics for the
+    /// view machinery; every access happens with the mutex held, so
+    /// relaxed shadow operations observe the newest store).
+    epoch: Loc,
+    pending: Loc,
+    shutdown: Loc,
+    /// Claim counter, reset per epoch by the caller before publish.
+    next: Vec<Loc>,
+    /// Oracle: per-epoch, per-row claim counts.
+    rows: Vec<Vec<OracleId>>,
+    /// Oracle: per-epoch count of workers that finished their task.
+    task_done: Vec<OracleId>,
+}
+
+/// One guided claim against epoch `e`'s counter; returns the claimed
+/// range or `None` when exhausted. Mirrors `claim_guided`.
+fn claim(
+    ctx: &mut Ctx<'_>,
+    sh: &Shared,
+    e: usize,
+    mutant: Option<HandshakeMutant>,
+    staged: &mut Option<u64>,
+) -> ClaimStep {
+    let take = |start: u64| ((NROWS - start) / (GUIDED_DECAY * NTHREADS)).max(1);
+    match mutant {
+        Some(HandshakeMutant::NonAtomicClaim) => {
+            // Two separate shared operations: the lost-update window.
+            match staged.take() {
+                None => {
+                    let start = ctx.load(sh.next[e], MOrd::Relaxed);
+                    if start >= NROWS {
+                        return ClaimStep::Exhausted;
+                    }
+                    *staged = Some(start);
+                    ClaimStep::Pending
+                }
+                Some(start) => {
+                    ctx.store(sh.next[e], start + take(start), MOrd::Relaxed);
+                    ClaimStep::Claimed(start..(start + take(start)).min(NROWS))
+                }
+            }
+        }
+        _ => {
+            let bound_incl = mutant == Some(HandshakeMutant::ClaimBoundOffByOne);
+            let (start, updated) = ctx.rmw(sh.next[e], MOrd::Relaxed, |start| {
+                let in_bounds = if bound_incl { start <= NROWS } else { start < NROWS };
+                in_bounds.then(|| start + take(start))
+            });
+            if updated {
+                ClaimStep::Claimed(start..(start + take(start)).min(NROWS))
+            } else {
+                ClaimStep::Exhausted
+            }
+        }
+    }
+}
+
+enum ClaimStep {
+    Claimed(std::ops::Range<u64>),
+    /// Mid-claim (non-atomic mutant only): call again to finish.
+    Pending,
+    Exhausted,
+}
+
+/// Marks a claimed range in the oracle and checks it is non-empty.
+fn record_claim(ctx: &mut Ctx<'_>, sh: &Shared, e: usize, range: std::ops::Range<u64>) {
+    if range.is_empty() {
+        ctx.fail(format!("empty claim {range:?} handed out in epoch {}", e + 1));
+        return;
+    }
+    for row in range {
+        ctx.oracle_add(sh.rows[e][row as usize], 1);
+    }
+}
+
+struct Caller {
+    sh: Rc<Shared>,
+    mutant: Option<HandshakeMutant>,
+    pc: u8,
+    epoch: u64,
+    staged: Option<u64>,
+}
+
+impl ModelThread for Caller {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            // Publish the next epoch's job.
+            0 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                self.epoch += 1;
+                ctx.store(sh.epoch, self.epoch, MOrd::Relaxed);
+                ctx.store(sh.pending, NTHREADS - 1, MOrd::Relaxed);
+                ctx.notify_all(sh.work);
+                ctx.unlock(sh.m);
+                self.pc = 1;
+                Step::Ready
+            }
+            // Participate in the claim loop as worker 0.
+            1 => {
+                let e = (self.epoch - 1) as usize;
+                match claim(ctx, &sh, e, self.mutant, &mut self.staged) {
+                    ClaimStep::Claimed(range) => record_claim(ctx, &sh, e, range),
+                    ClaimStep::Pending => {}
+                    ClaimStep::Exhausted => self.pc = 2,
+                }
+                Step::Ready
+            }
+            // Barrier: wait until the pool worker finished.
+            2 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                self.pc = 3;
+                Step::Ready
+            }
+            3 => {
+                let pending = ctx.load(sh.pending, MOrd::Relaxed);
+                if pending > 0 {
+                    ctx.cond_wait(sh.done, sh.m);
+                    self.pc = 2; // re-acquire, re-check
+                    return Step::Blocked;
+                }
+                ctx.unlock(sh.m);
+                // Past the barrier: the job borrow is about to die —
+                // every worker task of this epoch must have finished.
+                let e = (self.epoch - 1) as usize;
+                if ctx.oracle_get(sh.task_done[e]) != (NTHREADS - 1) as i64 {
+                    ctx.fail(format!(
+                        "caller passed the pending==0 barrier of epoch {} with {}/{} worker task(s) finished",
+                        self.epoch,
+                        ctx.oracle_get(sh.task_done[e]),
+                        NTHREADS - 1
+                    ));
+                    return Step::Done;
+                }
+                self.pc = if self.epoch < EPOCHS { 0 } else { 4 };
+                Step::Ready
+            }
+            // Shut the team down.
+            4 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                ctx.store(sh.shutdown, 1, MOrd::Relaxed);
+                ctx.notify_all(sh.work);
+                ctx.unlock(sh.m);
+                Step::Done
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+struct Worker {
+    sh: Rc<Shared>,
+    mutant: Option<HandshakeMutant>,
+    pc: u8,
+    seen_epoch: u64,
+    epoch: u64,
+    staged: Option<u64>,
+    /// WaitBeforeCheck: whether the mutant's unconditional first wait
+    /// of the current parking cycle already happened.
+    waited_first: bool,
+}
+
+impl ModelThread for Worker {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            // Parked: wait for a fresh epoch or shutdown.
+            0 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                self.pc = 1;
+                Step::Ready
+            }
+            1 => {
+                if self.mutant == Some(HandshakeMutant::WaitBeforeCheck) && !self.waited_first {
+                    // Seeded bug: wait once before looking at the
+                    // predicate. A notify that already fired is lost.
+                    self.waited_first = true;
+                    ctx.cond_wait(sh.work, sh.m);
+                    self.pc = 0;
+                    return Step::Blocked;
+                }
+                if ctx.load(sh.shutdown, MOrd::Relaxed) == 1 {
+                    ctx.unlock(sh.m);
+                    return Step::Done;
+                }
+                let epoch = ctx.load(sh.epoch, MOrd::Relaxed);
+                if epoch != self.seen_epoch {
+                    self.seen_epoch = epoch;
+                    self.epoch = epoch;
+                    ctx.unlock(sh.m);
+                    if self.mutant == Some(HandshakeMutant::EarlyPendingDecrement) {
+                        self.pc = 4; // decrement first, run the task after
+                    } else {
+                        self.pc = 2;
+                    }
+                    return Step::Ready;
+                }
+                ctx.cond_wait(sh.work, sh.m);
+                self.pc = 0; // re-acquire, re-check
+                Step::Blocked
+            }
+            // The task: drain the claim loop.
+            2 => {
+                let e = (self.epoch - 1) as usize;
+                match claim(ctx, &sh, e, self.mutant, &mut self.staged) {
+                    ClaimStep::Claimed(range) => record_claim(ctx, &sh, e, range),
+                    ClaimStep::Pending => {}
+                    ClaimStep::Exhausted => {
+                        ctx.oracle_add(sh.task_done[e], 1);
+                        self.pc = 3;
+                    }
+                }
+                Step::Ready
+            }
+            // Report completion.
+            3 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                let pending = ctx.load(sh.pending, MOrd::Relaxed);
+                ctx.store(sh.pending, pending - 1, MOrd::Relaxed);
+                if pending - 1 == 0 {
+                    ctx.notify_all(sh.done);
+                }
+                ctx.unlock(sh.m);
+                self.waited_first = false;
+                self.pc = 0; // back to the parking loop
+                Step::Ready
+            }
+            // EarlyPendingDecrement: the seeded wrong order — report
+            // completion first, then run the task.
+            4 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                let pending = ctx.load(sh.pending, MOrd::Relaxed);
+                ctx.store(sh.pending, pending - 1, MOrd::Relaxed);
+                if pending - 1 == 0 {
+                    ctx.notify_all(sh.done);
+                }
+                ctx.unlock(sh.m);
+                self.pc = 5;
+                Step::Ready
+            }
+            5 => {
+                let e = (self.epoch - 1) as usize;
+                match claim(ctx, &sh, e, self.mutant, &mut self.staged) {
+                    ClaimStep::Claimed(range) => record_claim(ctx, &sh, e, range),
+                    ClaimStep::Pending => {}
+                    ClaimStep::Exhausted => {
+                        ctx.oracle_add(sh.task_done[e], 1);
+                        self.waited_first = false;
+                        self.pc = 0;
+                    }
+                }
+                Step::Ready
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+/// Builds the handshake model instance (optionally with a seeded
+/// bug).
+pub fn instance(world: &mut World, mutant: Option<HandshakeMutant>) -> Instance {
+    let m = world.mutex();
+    let work = world.condvar();
+    let done = world.condvar();
+    let epoch = world.alloc("epoch", 0);
+    let pending = world.alloc("pending", 0);
+    let shutdown = world.alloc("shutdown", 0);
+    let next = (0..EPOCHS).map(|_| world.alloc("next", 0)).collect();
+    let rows: Vec<Vec<OracleId>> =
+        (0..EPOCHS).map(|_| (0..NROWS).map(|_| world.oracle("row")).collect()).collect();
+    let task_done: Vec<OracleId> = (0..EPOCHS).map(|_| world.oracle("task_done")).collect();
+    let rows_for_check = rows.clone();
+    let sh = Rc::new(Shared { m, work, done, epoch, pending, shutdown, next, rows, task_done });
+
+    let threads: Vec<Box<dyn ModelThread>> = vec![
+        Box::new(Caller { sh: Rc::clone(&sh), mutant, pc: 0, epoch: 0, staged: None }),
+        Box::new(Worker {
+            sh,
+            mutant,
+            pc: 0,
+            seen_epoch: 0,
+            epoch: 0,
+            staged: None,
+            waited_first: false,
+        }),
+    ];
+    Instance {
+        threads,
+        final_check: Box::new(move |w| {
+            for (e, rows) in rows_for_check.iter().enumerate() {
+                for (row, id) in rows.iter().enumerate() {
+                    let n = w.oracle_value(*id);
+                    if n != 1 {
+                        return Err(format!(
+                            "epoch {}: row {row} claimed {n} time(s), expected exactly once",
+                            e + 1
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }),
+    }
+}

@@ -1,0 +1,144 @@
+//! The extracted protocol models plus a registry the `xtask check`
+//! driver and the self-tests iterate.
+//!
+//! Every protocol exposes its real implementation and a set of
+//! *seeded mutants* — deliberately wrong variants mirroring realistic
+//! regressions. The checker must pass every real model and flag every
+//! mutant; the mutants are the checker's own regression suite, the
+//! moral equivalent of a failing fixture for a static-analysis
+//! policy.
+
+pub mod handshake;
+pub mod publish;
+pub mod seqlock;
+
+use crate::exec::{Instance, World};
+
+/// A seeded-bug variant of a protocol, which exploration must flag.
+pub struct MutantInfo {
+    /// Stable name (`--demo-mutant` argument, test identifier).
+    pub name: &'static str,
+    /// What the seeded bug is, one line.
+    pub about: &'static str,
+    /// Builds the mutated model.
+    pub build: fn(&mut World) -> Instance,
+}
+
+/// One extracted protocol: the real model plus its seeded mutants.
+pub struct Protocol {
+    /// Stable name (`--model` argument, test identifier).
+    pub name: &'static str,
+    /// What the protocol is, one line.
+    pub about: &'static str,
+    /// Builds the faithful model.
+    pub build: fn(&mut World) -> Instance,
+    pub mutants: &'static [MutantInfo],
+}
+
+fn seqlock_real(w: &mut World) -> Instance {
+    seqlock::instance(w, None)
+}
+fn seqlock_late_bump(w: &mut World) -> Instance {
+    seqlock::instance(w, Some(seqlock::SeqlockMutant::LateVersionBump))
+}
+fn seqlock_relaxed_publish(w: &mut World) -> Instance {
+    seqlock::instance(w, Some(seqlock::SeqlockMutant::RelaxedPublish))
+}
+
+fn handshake_real(w: &mut World) -> Instance {
+    handshake::instance(w, None)
+}
+fn handshake_claim_bound(w: &mut World) -> Instance {
+    handshake::instance(w, Some(handshake::HandshakeMutant::ClaimBoundOffByOne))
+}
+fn handshake_nonatomic_claim(w: &mut World) -> Instance {
+    handshake::instance(w, Some(handshake::HandshakeMutant::NonAtomicClaim))
+}
+fn handshake_early_decrement(w: &mut World) -> Instance {
+    handshake::instance(w, Some(handshake::HandshakeMutant::EarlyPendingDecrement))
+}
+fn handshake_wait_before_check(w: &mut World) -> Instance {
+    handshake::instance(w, Some(handshake::HandshakeMutant::WaitBeforeCheck))
+}
+
+fn publish_real(w: &mut World) -> Instance {
+    publish::instance(w, None)
+}
+fn publish_reread(w: &mut World) -> Instance {
+    publish::instance(w, Some(publish::PublishMutant::ReReadRegistry))
+}
+fn publish_relaxed_install(w: &mut World) -> Instance {
+    publish::instance(w, Some(publish::PublishMutant::RelaxedInstall))
+}
+
+/// All extracted protocols, in checking order.
+pub fn protocols() -> &'static [Protocol] {
+    &[
+        Protocol {
+            name: "seqlock",
+            about: "TraceRing seqlock-per-slot record/snapshot (trace.rs)",
+            build: seqlock_real,
+            mutants: &[
+                MutantInfo {
+                    name: "late-version-bump",
+                    about: "seq_writing bump moved after the payload stores",
+                    build: seqlock_late_bump,
+                },
+                MutantInfo {
+                    name: "relaxed-publish",
+                    about: "final seq_complete store downgraded to relaxed",
+                    build: seqlock_relaxed_publish,
+                },
+            ],
+        },
+        Protocol {
+            name: "handshake",
+            about: "ExecEngine dispatch barrier + guided claim loop (engine.rs, schedule.rs)",
+            build: handshake_real,
+            mutants: &[
+                MutantInfo {
+                    name: "claim-bound-off-by-one",
+                    about: "claim predicate start <= nrows hands out an empty chunk",
+                    build: handshake_claim_bound,
+                },
+                MutantInfo {
+                    name: "non-atomic-claim",
+                    about: "claim split into load + store, losing updates",
+                    build: handshake_nonatomic_claim,
+                },
+                MutantInfo {
+                    name: "early-pending-decrement",
+                    about: "worker reports done before running its task",
+                    build: handshake_early_decrement,
+                },
+                MutantInfo {
+                    name: "wait-before-check",
+                    about: "worker waits once before checking the epoch predicate",
+                    build: handshake_wait_before_check,
+                },
+            ],
+        },
+        Protocol {
+            name: "publish",
+            about: "publish_ns=0 disabled-tracer fast path (trace.rs registry + engine capture)",
+            build: publish_real,
+            mutants: &[
+                MutantInfo {
+                    name: "reread-registry",
+                    about: "event sites re-read the registry instead of the captured gate",
+                    build: publish_reread,
+                },
+                MutantInfo {
+                    name: "relaxed-install",
+                    about: "registry pointer published with a relaxed store",
+                    build: publish_relaxed_install,
+                },
+            ],
+        },
+    ]
+}
+
+/// Looks a protocol up by name.
+pub fn find(name: &str) -> Option<&'static Protocol> {
+    protocols().iter().find(|p| p.name == name)
+}

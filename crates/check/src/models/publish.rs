@@ -1,0 +1,185 @@
+//! Model of the `publish_ns = 0` disabled-tracer fast path
+//! (`crates/telemetry/src/trace.rs` registry + the dispatch capture
+//! in `crates/kernels/src/engine.rs`).
+//!
+//! Extracted shape: tracer installation writes the tracer's
+//! configuration (`publish_ns`, modeled as one cell) first, then
+//! publishes the registry pointer with a **release store**; readers
+//! load the pointer with **acquire**. The engine captures the
+//! tracer's `publish_ns` **once per dispatch** into a local; every
+//! event site in that dispatch tests the captured local, so a
+//! dispatch either records its full `wake`/`task`/`park` triple or
+//! records nothing — even if the tracer is torn down mid-dispatch.
+//!
+//! Checked properties:
+//! * **Initialized config**: a thread that observes the registry
+//!   pointer must observe the configuration written before it
+//!   (`publish_ns` is never read as its zeroed initial value).
+//! * **Balanced triple**: the per-dispatch event count is 0 or 3,
+//!   never a partial triple.
+//!
+//! Seeded mutants ([`PublishMutant`]): re-reading the registry at
+//! each event site (a concurrent disable tears the triple) and a
+//! relaxed registry publish (the config write is no longer ordered
+//! before the pointer, so an enabled reader can see `publish_ns = 0`
+//! — or garbage — where the real code would dereference an
+//! uninitialized tracer).
+
+use std::rc::Rc;
+
+use crate::exec::{Ctx, Instance, ModelThread, OracleId, Step, World};
+use crate::mem::{Loc, MOrd};
+
+/// The non-zero `publish_ns` the installed tracer carries.
+pub const PUBLISH_NS: u64 = 42;
+
+/// Seeded bugs the checker must flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishMutant {
+    /// The dispatch re-reads the registry at every event site instead
+    /// of capturing `publish_ns` once: a concurrent disable lands
+    /// between events and the wake/task/park triple comes out
+    /// partial.
+    ReReadRegistry,
+    /// The registry pointer is published with a relaxed store: the
+    /// configuration written before it is not ordered with the
+    /// pointer, so a reader that sees the tracer may read its
+    /// `publish_ns` as the uninitialized 0.
+    RelaxedInstall,
+}
+
+struct Shared {
+    /// Tracer configuration, written before install (0 = unwritten).
+    publish_ns: Loc,
+    /// Registry pointer sentinel: 0 = none, 1 = installed.
+    registry: Loc,
+    /// Oracle: events recorded by the dispatch.
+    events: OracleId,
+}
+
+/// Installs the tracer, then disables it again — the exact window the
+/// engine's once-per-dispatch capture is designed to survive.
+struct Lifecycle {
+    sh: Rc<Shared>,
+    mutant: Option<PublishMutant>,
+    pc: u8,
+}
+
+impl ModelThread for Lifecycle {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            0 => {
+                ctx.store(sh.publish_ns, PUBLISH_NS, MOrd::Relaxed);
+                self.pc = 1;
+                Step::Ready
+            }
+            1 => {
+                let ord = if self.mutant == Some(PublishMutant::RelaxedInstall) {
+                    MOrd::Relaxed
+                } else {
+                    MOrd::Release
+                };
+                ctx.store(sh.registry, 1, ord);
+                self.pc = 2;
+                Step::Ready
+            }
+            // Disable: clear the pointer (readers that already hold a
+            // captured publish_ns keep using it; new dispatches see
+            // the fast path).
+            _ => {
+                ctx.store(sh.registry, 0, MOrd::Relaxed);
+                Step::Done
+            }
+        }
+    }
+}
+
+/// One dispatch: capture the tracer once, then emit the
+/// wake/task/park triple through the captured (or, mutated,
+/// re-read) gate.
+struct Dispatch {
+    sh: Rc<Shared>,
+    mutant: Option<PublishMutant>,
+    pc: u8,
+    /// Captured per-dispatch gate (0 = tracer disabled).
+    publish_ns: u64,
+}
+
+impl Dispatch {
+    /// The event-site gate: the correct code tests the captured
+    /// local; the ReReadRegistry mutant consults the registry again.
+    fn gate(&mut self, ctx: &mut Ctx<'_>) -> u64 {
+        if self.mutant == Some(PublishMutant::ReReadRegistry) {
+            if ctx.load(self.sh.registry, MOrd::Acquire) == 1 {
+                ctx.load(self.sh.publish_ns, MOrd::Relaxed)
+            } else {
+                0
+            }
+        } else {
+            self.publish_ns
+        }
+    }
+}
+
+impl ModelThread for Dispatch {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            // Capture the tracer once for the whole dispatch.
+            0 => {
+                if ctx.load(sh.registry, MOrd::Acquire) == 1 {
+                    let ns = ctx.load(sh.publish_ns, MOrd::Relaxed);
+                    if ns == 0 {
+                        ctx.fail(
+                            "observed the installed tracer with uninitialized publish_ns (= 0)",
+                        );
+                        return Step::Done;
+                    }
+                    self.publish_ns = ns;
+                }
+                self.pc = 1;
+                Step::Ready
+            }
+            // wake / task / park event sites.
+            1 | 2 => {
+                if self.gate(ctx) != 0 {
+                    ctx.oracle_add(sh.events, 1);
+                }
+                self.pc += 1;
+                Step::Ready
+            }
+            _ => {
+                if self.gate(ctx) != 0 {
+                    ctx.oracle_add(sh.events, 1);
+                }
+                Step::Done
+            }
+        }
+    }
+}
+
+/// Builds the publish fast-path model instance (optionally with a
+/// seeded bug).
+pub fn instance(world: &mut World, mutant: Option<PublishMutant>) -> Instance {
+    let sh = Rc::new(Shared {
+        publish_ns: world.alloc("publish_ns", 0),
+        registry: world.alloc("registry", 0),
+        events: world.oracle("events"),
+    });
+    let events = sh.events;
+    Instance {
+        threads: vec![
+            Box::new(Lifecycle { sh: Rc::clone(&sh), mutant, pc: 0 }),
+            Box::new(Dispatch { sh, mutant, pc: 0, publish_ns: 0 }),
+        ],
+        final_check: Box::new(move |w| {
+            let n = w.oracle_value(events);
+            if n == 0 || n == 3 {
+                Ok(())
+            } else {
+                Err(format!("partial wake/task/park triple: {n} of 3 events recorded"))
+            }
+        }),
+    }
+}

@@ -1,0 +1,292 @@
+//! Model of the `TraceRing` seqlock-per-slot protocol
+//! (`crates/telemetry/src/trace.rs`).
+//!
+//! Extracted, parameter-reduced shape of `TraceBuffer::record` /
+//! `read_slot`: writers claim a global index from `head` with a
+//! relaxed `fetch_add`, then claim the *slot* with a single-attempt
+//! CAS of the sequence word to `2*index+1` (**acquire** on success;
+//! an odd word or a lost race sheds the event), issue a **release
+//! fence**, store the payload cells relaxed, and publish `2*index+2`
+//! with a **release store**. The reader loads `head`, then for each
+//! retained index does the seqlock dance: acquire-load of the
+//! sequence word, relaxed payload loads, **acquire fence**, relaxed
+//! recheck — accepting the event only if both sequence reads
+//! returned `complete(index)`.
+//!
+//! The slot-claim CAS is load-bearing, and earlier revisions of the
+//! real protocol (a plain relaxed `seq_writing` store) were caught by
+//! this very model with two distinct torn-read interleavings: a
+//! wrapping writer's odd marker masked by the previous writer's later
+//! `seq_complete` store, and a straggling old writer's late payload
+//! store landing modification-order after the new writer's payload.
+//! Both are impossible once same-slot payload episodes are mutually
+//! exclusive and happens-before chained (CAS acquire → previous
+//! `seq_complete` release).
+//!
+//! The model shrinks the ring to [`CAPACITY`] slot(s) and the payload
+//! to two cells whose correct values are derived from the global
+//! index (`100+i` / `200+i`), so a torn event — any mix of two
+//! writers' payloads, or a stale cell — is detectable by value.
+//!
+//! Checked properties:
+//! * **No torn events**: an accepted event's payload cells both match
+//!   the claimed index exactly.
+//! * **Oldest-first retention**: accepted indices are strictly
+//!   increasing and within `head - capacity .. head`.
+//!
+//! Seeded mutants ([`SeqlockMutant`]): the slot claim moved after the
+//! payload stores (a writer scribbles before owning the slot) and the
+//! final publish downgraded to relaxed (payload never synchronizes,
+//! so a reader can accept stale cells).
+
+use crate::exec::{Ctx, Instance, ModelThread, Step, World};
+use crate::mem::{Loc, MOrd};
+
+/// Ring slots in the model (wraparound needs just one).
+pub const CAPACITY: u64 = 1;
+/// Concurrent writers, one event each (indices 0 and 1 share slot 0).
+pub const WRITERS: usize = 2;
+
+const fn seq_writing(index: u64) -> u64 {
+    2 * index + 1
+}
+const fn seq_complete(index: u64) -> u64 {
+    2 * index + 2
+}
+
+/// Seeded bugs the checker must flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqlockMutant {
+    /// The `seq_writing` slot claim happens *after* the payload
+    /// stores, so a writer scribbles over a slot it does not own and
+    /// a concurrent reader sees a stable-looking sequence word while
+    /// the payload changes under it.
+    LateVersionBump,
+    /// The final `seq_complete` store is relaxed instead of release:
+    /// nothing publishes the payload, and a reader that observes the
+    /// new sequence word may still read stale payload cells.
+    RelaxedPublish,
+}
+
+struct Ring {
+    head: Loc,
+    seq: Vec<Loc>,
+    pay_a: Vec<Loc>,
+    pay_b: Vec<Loc>,
+}
+
+// The single-slot model makes this constant-zero today; the modulo
+// keeps the mapping honest if CAPACITY is ever raised.
+#[allow(clippy::modulo_one)]
+fn slot(index: u64) -> usize {
+    (index % CAPACITY) as usize
+}
+
+struct Writer {
+    ring: std::rc::Rc<Ring>,
+    mutant: Option<SeqlockMutant>,
+    pc: u8,
+    index: u64,
+}
+
+impl ModelThread for Writer {
+    /// One slot-claim CAS attempt: succeeds iff the word is even (no
+    /// owner); an odd word or a lost race sheds the event, exactly as
+    /// `TraceBuffer::record` does.
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        // Correct order:   claim index, CAS slot odd (acquire), release fence, a, b, seq(even, release)
+        // LateVersionBump: claim index, a, b, CAS slot odd, release fence, seq(even, release)
+        // RelaxedPublish:  correct order, final store relaxed
+        let late = self.mutant == Some(SeqlockMutant::LateVersionBump);
+        match self.pc {
+            0 => {
+                // relaxed claim of a globally unique index
+                let (old, _) = ctx.rmw(self.ring.head, MOrd::Relaxed, |v| Some(v + 1));
+                self.index = old;
+                self.pc = 1;
+                Step::Ready
+            }
+            1 => {
+                let s = slot(self.index);
+                if late {
+                    ctx.store(self.ring.pay_a[s], 100 + self.index, MOrd::Relaxed);
+                } else {
+                    let w = seq_writing(self.index);
+                    let (_, claimed) =
+                        ctx.rmw(self.ring.seq[s], MOrd::Acquire, |cur| (cur % 2 == 0).then_some(w));
+                    if !claimed {
+                        return Step::Done; // slot owned: event shed
+                    }
+                }
+                self.pc = 2;
+                Step::Ready
+            }
+            2 => {
+                let s = slot(self.index);
+                if late {
+                    ctx.store(self.ring.pay_b[s], 200 + self.index, MOrd::Relaxed);
+                } else {
+                    ctx.fence(MOrd::Release);
+                }
+                self.pc = 3;
+                Step::Ready
+            }
+            3 => {
+                let s = slot(self.index);
+                if late {
+                    let w = seq_writing(self.index);
+                    let (_, claimed) =
+                        ctx.rmw(self.ring.seq[s], MOrd::Acquire, |cur| (cur % 2 == 0).then_some(w));
+                    if !claimed {
+                        return Step::Done; // shed — but the payload is already scribbled
+                    }
+                } else {
+                    ctx.store(self.ring.pay_a[s], 100 + self.index, MOrd::Relaxed);
+                }
+                self.pc = 4;
+                Step::Ready
+            }
+            4 => {
+                let s = slot(self.index);
+                if late {
+                    ctx.fence(MOrd::Release);
+                } else {
+                    ctx.store(self.ring.pay_b[s], 200 + self.index, MOrd::Relaxed);
+                }
+                self.pc = 5;
+                Step::Ready
+            }
+            _ => {
+                let s = slot(self.index);
+                let ord = if self.mutant == Some(SeqlockMutant::RelaxedPublish) {
+                    MOrd::Relaxed
+                } else {
+                    MOrd::Release
+                };
+                ctx.store(self.ring.seq[s], seq_complete(self.index), ord);
+                Step::Done
+            }
+        }
+    }
+}
+
+/// Snapshot reader: one seqlock-validated read per retained index.
+struct Reader {
+    ring: std::rc::Rc<Ring>,
+    pc: u8,
+    head: u64,
+    index: u64,
+    q1: u64,
+    a: u64,
+    b: u64,
+    last_accepted: Option<u64>,
+}
+
+impl Reader {
+    fn advance(&mut self) -> Step {
+        self.index += 1;
+        if self.index >= self.head {
+            return Step::Done;
+        }
+        self.pc = 1;
+        Step::Ready
+    }
+}
+
+impl ModelThread for Reader {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        match self.pc {
+            0 => {
+                // relaxed head read; a stale head only narrows the
+                // snapshot window (mirrors TraceBuffer::snapshot).
+                self.head = ctx.load(self.ring.head, MOrd::Relaxed);
+                self.index = self.head.saturating_sub(CAPACITY);
+                if self.index >= self.head {
+                    return Step::Done;
+                }
+                self.pc = 1;
+                Step::Ready
+            }
+            1 => {
+                let s = slot(self.index);
+                self.q1 = ctx.load(self.ring.seq[s], MOrd::Acquire);
+                if self.q1 != seq_complete(self.index) {
+                    return self.advance();
+                }
+                self.pc = 2;
+                Step::Ready
+            }
+            2 => {
+                self.a = ctx.load(self.ring.pay_a[slot(self.index)], MOrd::Relaxed);
+                self.pc = 3;
+                Step::Ready
+            }
+            3 => {
+                self.b = ctx.load(self.ring.pay_b[slot(self.index)], MOrd::Relaxed);
+                self.pc = 4;
+                Step::Ready
+            }
+            4 => {
+                ctx.fence(MOrd::Acquire);
+                self.pc = 5;
+                Step::Ready
+            }
+            _ => {
+                let s = slot(self.index);
+                let q2 = ctx.load(self.ring.seq[s], MOrd::Relaxed);
+                if q2 != self.q1 {
+                    return self.advance();
+                }
+                // Accepted: the payload must belong exactly to this
+                // index — anything else is a torn read.
+                if self.a != 100 + self.index || self.b != 200 + self.index {
+                    ctx.fail(format!(
+                        "torn event accepted for index {}: payload ({}, {}), expected ({}, {})",
+                        self.index,
+                        self.a,
+                        self.b,
+                        100 + self.index,
+                        200 + self.index
+                    ));
+                    return Step::Done;
+                }
+                if let Some(prev) = self.last_accepted {
+                    if self.index <= prev {
+                        ctx.fail(format!(
+                            "snapshot order violated: index {} after {}",
+                            self.index, prev
+                        ));
+                        return Step::Done;
+                    }
+                }
+                self.last_accepted = Some(self.index);
+                self.advance()
+            }
+        }
+    }
+}
+
+/// Builds the seqlock model instance (optionally with a seeded bug).
+pub fn instance(world: &mut World, mutant: Option<SeqlockMutant>) -> Instance {
+    let ring = std::rc::Rc::new(Ring {
+        head: world.alloc("head", 0),
+        seq: (0..CAPACITY).map(|_| world.alloc("seq", 0)).collect(),
+        pay_a: (0..CAPACITY).map(|_| world.alloc("pay_a", 0)).collect(),
+        pay_b: (0..CAPACITY).map(|_| world.alloc("pay_b", 0)).collect(),
+    });
+    let mut threads: Vec<Box<dyn ModelThread>> = Vec::new();
+    for _ in 0..WRITERS {
+        threads.push(Box::new(Writer { ring: std::rc::Rc::clone(&ring), mutant, pc: 0, index: 0 }));
+    }
+    threads.push(Box::new(Reader {
+        ring,
+        pc: 0,
+        head: 0,
+        index: 0,
+        q1: 0,
+        a: 0,
+        b: 0,
+        last_accepted: None,
+    }));
+    Instance { threads, final_check: Box::new(|_| Ok(())) }
+}

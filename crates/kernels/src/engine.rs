@@ -196,9 +196,12 @@ impl ExecEngine {
             // the payload is re-raised.
             let t0 = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| task(0)));
+            // indexing-ok: the constructor clamps `nthreads` to ≥ 1,
+            // so the `seconds` vec always has a lane 0.
             seconds[0] = t0.elapsed().as_secs_f64();
             let wall = t_wall.elapsed().as_secs_f64();
             if publish_ns != 0 {
+                // indexing-ok: lane 0 exists (see above).
                 trace.record(EventKind::Task, 0, "", publish_ns, dur_ns(seconds[0]), 0);
                 trace.record(EventKind::Dispatch, 0, "", publish_ns, dur_ns(wall), 0);
             }
@@ -238,6 +241,7 @@ impl ExecEngine {
             st.job = None;
             st.panicked
         };
+        // indexing-ok: lane 0 exists — `nthreads` is clamped to ≥ 1.
         seconds[0] = caller_seconds;
 
         // Telemetry lands before any panic is re-raised, so every exit

@@ -354,7 +354,7 @@ fn finish_build<'a>(
     variant: KernelVariant,
 ) -> BuiltKernel<'a> {
     let prep_seconds = t0.elapsed().as_secs_f64();
-    spmv_telemetry::metrics::preprocessing().record(prep_seconds);
+    spmv_telemetry::metrics::preprocessing().add(prep_seconds);
     BuiltKernel { kernel, prep_seconds, variant }
 }
 

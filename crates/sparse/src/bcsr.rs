@@ -13,6 +13,7 @@
 
 use crate::csr::Csr;
 use crate::error::SparseError;
+use crate::index_u32;
 use crate::Result;
 
 /// A sparse matrix in BCSR format with `r x c` dense blocks.
@@ -58,7 +59,7 @@ impl Bcsr {
             let mut bcols: Vec<u32> = Vec::new();
             for i in row_lo..row_hi {
                 for &col in a.row(i).0 {
-                    bcols.push(col / c as u32);
+                    bcols.push(col / index_u32(c));
                 }
             }
             bcols.sort_unstable();
@@ -74,7 +75,7 @@ impl Bcsr {
                 let (cols, vals) = a.row(i);
                 let local_r = i - row_lo;
                 for (k, &col) in cols.iter().enumerate() {
-                    let bc = col / c as u32;
+                    let bc = col / index_u32(c);
                     let block = slot[&bc];
                     let local_c = (col as usize) % c;
                     values[block * r * c + local_r * c + local_c] = vals[k];

@@ -6,6 +6,7 @@
 //! summed during conversion, matching the MatrixMarket convention.
 
 use crate::error::SparseError;
+use crate::index_u32;
 use crate::Result;
 
 /// A sparse matrix in coordinate (triplet) format.
@@ -103,8 +104,8 @@ impl Coo {
                 ncols: self.ncols,
             });
         }
-        self.rows.push(row as u32);
-        self.cols.push(col as u32);
+        self.rows.push(index_u32(row));
+        self.cols.push(index_u32(col));
         self.values.push(value);
         Ok(())
     }

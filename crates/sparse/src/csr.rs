@@ -7,6 +7,7 @@
 
 use crate::coo::Coo;
 use crate::error::SparseError;
+use crate::index_u32;
 use crate::Result;
 
 /// A sparse matrix in Compressed Sparse Row format with `f64` values
@@ -133,7 +134,7 @@ impl Csr {
             let mut next = counts.clone();
             let rows = coo.row_indices();
             for (k, &r) in rows.iter().enumerate() {
-                order[next[r as usize]] = k as u32;
+                order[next[r as usize]] = index_u32(k);
                 next[r as usize] += 1;
             }
         }
@@ -175,7 +176,7 @@ impl Csr {
             nrows: n,
             ncols: n,
             rowptr: (0..=n).collect(),
-            colind: (0..n as u32).collect(),
+            colind: (0..index_u32(n)).collect(),
             values: vec![1.0; n],
         }
     }
@@ -278,7 +279,7 @@ impl Csr {
                 let c = self.colind[j] as usize;
                 let dst = next[c];
                 next[c] += 1;
-                colind_t[dst] = i as u32;
+                colind_t[dst] = index_u32(i);
                 values_t[dst] = self.values[j];
             }
         }
@@ -298,7 +299,7 @@ impl Csr {
     pub fn to_coo(&self) -> Coo {
         let mut rows = Vec::with_capacity(self.nnz());
         for i in 0..self.nrows {
-            rows.extend(std::iter::repeat_n(i as u32, self.row_nnz(i)));
+            rows.extend(std::iter::repeat_n(index_u32(i), self.row_nnz(i)));
         }
         Coo::from_triplets(self.nrows, self.ncols, rows, self.colind.clone(), self.values.clone())
             .expect("CSR invariants imply valid COO")
@@ -310,7 +311,7 @@ impl Csr {
         let mut d = vec![0.0; n];
         for (i, item) in d.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
-            if let Ok(k) = cols.binary_search(&(i as u32)) {
+            if let Ok(k) = cols.binary_search(&index_u32(i)) {
                 *item = vals[k];
             }
         }
@@ -320,7 +321,7 @@ impl Csr {
     /// Value at `(row, col)`, or 0.0 when not stored.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         let (cols, vals) = self.row(row);
-        match cols.binary_search(&(col as u32)) {
+        match cols.binary_search(&index_u32(col)) {
             Ok(k) => vals[k],
             Err(_) => 0.0,
         }

@@ -19,6 +19,7 @@
 
 use crate::csr::Csr;
 use crate::error::SparseError;
+use crate::index_u32;
 use crate::Result;
 
 /// One long (dense) row extracted from the matrix.
@@ -68,7 +69,7 @@ impl DecomposedCsr {
                 let start = long_colind.len();
                 long_colind.extend_from_slice(cols);
                 long_values.extend_from_slice(vals);
-                long_rows.push(LongRow { row: i as u32, start, end: long_colind.len() });
+                long_rows.push(LongRow { row: index_u32(i), start, end: long_colind.len() });
             } else {
                 colind.extend_from_slice(cols);
                 values.extend_from_slice(vals);

@@ -36,8 +36,8 @@ impl DeltaWidth {
     #[inline]
     pub fn max_inline(self) -> u32 {
         match self {
-            DeltaWidth::U8 => u8::MAX as u32 - 1,
-            DeltaWidth::U16 => u16::MAX as u32 - 1,
+            DeltaWidth::U8 => u32::from(u8::MAX) - 1,
+            DeltaWidth::U16 => u32::from(u16::MAX) - 1,
         }
     }
 }
@@ -139,8 +139,8 @@ impl DeltaCsr {
             Ok(())
         };
         let sentinel = match width {
-            DeltaWidth::U8 => u8::MAX as u32,
-            DeltaWidth::U16 => u16::MAX as u32,
+            DeltaWidth::U8 => u32::from(u8::MAX),
+            DeltaWidth::U16 => u32::from(u16::MAX),
         };
         let cursor = |n: usize| {
             u32::try_from(n)
@@ -259,9 +259,11 @@ impl DeltaCsr {
     /// the parallel kernel in `spmv-kernels`).
     pub fn spmv_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
         match &self.deltas {
-            Deltas::U8(d) => self.spmv_rows_impl(rows, x, y, d, u8::MAX as u32, |v| u32::from(*v)),
+            Deltas::U8(d) => {
+                self.spmv_rows_impl(rows, x, y, d, u32::from(u8::MAX), |v| u32::from(*v))
+            }
             Deltas::U16(d) => {
-                self.spmv_rows_impl(rows, x, y, d, u16::MAX as u32, |v| u32::from(*v))
+                self.spmv_rows_impl(rows, x, y, d, u32::from(u16::MAX), |v| u32::from(*v))
             }
         }
     }
@@ -277,8 +279,8 @@ impl DeltaCsr {
         assert_eq!(out.len(), rows.len(), "output slice length");
         let start = rows.start;
         match &self.deltas {
-            Deltas::U8(d) => self.spmv_rows_into_impl(rows, x, out, start, d, u8::MAX as u32),
-            Deltas::U16(d) => self.spmv_rows_into_impl(rows, x, out, start, d, u16::MAX as u32),
+            Deltas::U8(d) => self.spmv_rows_into_impl(rows, x, out, start, d, u32::from(u8::MAX)),
+            Deltas::U16(d) => self.spmv_rows_into_impl(rows, x, out, start, d, u32::from(u16::MAX)),
         }
     }
 
@@ -339,11 +341,11 @@ impl DeltaCsr {
         match &self.deltas {
             // SAFETY: forwarded contract; sentinel matches the stream width.
             Deltas::U8(d) => unsafe {
-                self.spmv_rows_into_unchecked_impl(rows, x, out, d, u8::MAX as u32)
+                self.spmv_rows_into_unchecked_impl(rows, x, out, d, u32::from(u8::MAX))
             },
             // SAFETY: forwarded contract; sentinel matches the stream width.
             Deltas::U16(d) => unsafe {
-                self.spmv_rows_into_unchecked_impl(rows, x, out, d, u16::MAX as u32)
+                self.spmv_rows_into_unchecked_impl(rows, x, out, d, u32::from(u16::MAX))
             },
         }
     }
@@ -447,8 +449,12 @@ impl DeltaCsr {
     pub fn to_csr(&self) -> Result<Csr> {
         let mut colind = Vec::with_capacity(self.nnz());
         match &self.deltas {
-            Deltas::U8(d) => self.decode_into(&mut colind, d, u8::MAX as u32, |v| u32::from(*v)),
-            Deltas::U16(d) => self.decode_into(&mut colind, d, u16::MAX as u32, |v| u32::from(*v)),
+            Deltas::U8(d) => {
+                self.decode_into(&mut colind, d, u32::from(u8::MAX), |v| u32::from(*v))
+            }
+            Deltas::U16(d) => {
+                self.decode_into(&mut colind, d, u32::from(u16::MAX), |v| u32::from(*v))
+            }
         }
         Csr::from_raw(self.nrows, self.ncols, self.rowptr.clone(), colind, self.values.clone())
     }
@@ -595,8 +601,8 @@ impl crate::validate::ValidateFormat for DeltaCsr {
             )));
         }
         match &self.deltas {
-            Deltas::U8(d) => self.validate_decode(d, u8::MAX as u32),
-            Deltas::U16(d) => self.validate_decode(d, u16::MAX as u32),
+            Deltas::U8(d) => self.validate_decode(d, u32::from(u8::MAX)),
+            Deltas::U16(d) => self.validate_decode(d, u32::from(u16::MAX)),
         }
     }
 }

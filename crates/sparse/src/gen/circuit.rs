@@ -8,6 +8,7 @@
 //! thread under row partitioning (`IMB`) and their long streaming
 //! inner loops are compute-limited (`CMP`).
 
+use crate::index_u32;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,8 +103,8 @@ pub fn circuit(
                         (i + off).min(n - 1)
                     }
                 };
-                if c != i && !buf.contains(&(c as u32)) {
-                    buf.push(c as u32);
+                if c != i && !buf.contains(&index_u32(c)) {
+                    buf.push(index_u32(c));
                     let v = super::random_value(&mut rng);
                     row_abs += v.abs();
                     coo.push(i, c, v)?;

@@ -37,6 +37,7 @@ pub use rmat::{rmat, RmatParams};
 pub use stencil::{stencil_2d, stencil_3d};
 pub use suite::{corpus, Archetype, SuiteMatrix, SUITE};
 
+use crate::index_u32;
 use rand::Rng;
 
 /// Draws `k` distinct column indices from `0..ncols` into `buf`
@@ -44,7 +45,7 @@ use rand::Rng;
 pub(crate) fn sample_distinct<R: Rng>(rng: &mut R, ncols: usize, k: usize, buf: &mut Vec<u32>) {
     buf.clear();
     if k >= ncols {
-        buf.extend(0..ncols as u32);
+        buf.extend(0..index_u32(ncols));
         return;
     }
     // Rejection sampling is fine for the sparse case (k << ncols);
@@ -54,16 +55,16 @@ pub(crate) fn sample_distinct<R: Rng>(rng: &mut R, ncols: usize, k: usize, buf: 
         let p = k as f64 / ncols as f64;
         for c in 0..ncols {
             if rng.gen_bool(p.min(1.0)) {
-                buf.push(c as u32);
+                buf.push(index_u32(c));
             }
         }
         if buf.is_empty() {
-            buf.push(rng.gen_range(0..ncols) as u32);
+            buf.push(index_u32(rng.gen_range(0..ncols)));
         }
         return;
     }
     while buf.len() < k {
-        let c = rng.gen_range(0..ncols) as u32;
+        let c = index_u32(rng.gen_range(0..ncols));
         buf.push(c);
         if buf.len() == k {
             buf.sort_unstable();
@@ -74,7 +75,7 @@ pub(crate) fn sample_distinct<R: Rng>(rng: &mut R, ncols: usize, k: usize, buf: 
     buf.dedup();
     // Top up after dedup (rarely loops more than once when k << ncols).
     while buf.len() < k {
-        let c = rng.gen_range(0..ncols) as u32;
+        let c = index_u32(rng.gen_range(0..ncols));
         if buf.binary_search(&c).is_err() {
             let pos = buf.partition_point(|&x| x < c);
             buf.insert(pos, c);

@@ -9,6 +9,7 @@
 //! irregular one while preserving its spectrum and row-length
 //! distribution.
 
+use crate::index_u32;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +23,7 @@ use crate::Result;
 /// sliding window. `window = 0` yields the identity; `window >= n`
 /// yields a full shuffle.
 pub fn jittered_permutation(n: usize, window: usize, seed: u64) -> Vec<u32> {
-    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut perm: Vec<u32> = (0..index_u32(n)).collect();
     if window == 0 || n < 2 {
         return perm;
     }

@@ -6,6 +6,7 @@
 //! skewed toward popular vertices. The combination produces both
 //! irregular `x` accesses (`ML`) and thread imbalance (`IMB`).
 
+use crate::index_u32;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,7 +80,7 @@ pub fn powerlaw(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Result<Csr> 
             } else {
                 rng.gen_range(0..n)
             };
-            buf.push(c as u32);
+            buf.push(index_u32(c));
             if buf.len() == deg {
                 buf.sort_unstable();
                 buf.dedup();

@@ -57,3 +57,13 @@ pub use validate::{MaybeValidated, ValidateFormat, Validated};
 
 /// Result alias for fallible sparse-matrix operations.
 pub type Result<T> = std::result::Result<T, SparseError>;
+
+/// Converts a row/column index (or count) to the `u32` the storage
+/// formats use, panicking with a descriptive message instead of
+/// silently truncating. Every format in this crate stores indices as
+/// `u32`; a matrix dimension past that range cannot be represented,
+/// and a wrapped index would be data corruption, not an error.
+#[inline]
+pub fn index_u32(i: usize) -> u32 {
+    u32::try_from(i).unwrap_or_else(|_| panic!("index {i} exceeds the u32 index space"))
+}

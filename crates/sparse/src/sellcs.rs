@@ -11,6 +11,7 @@
 
 use crate::csr::Csr;
 use crate::error::SparseError;
+use crate::index_u32;
 use crate::Result;
 
 /// Column sentinel marking a padding slot.
@@ -56,7 +57,7 @@ impl SellCs {
         }
         let nrows = a.nrows();
         // Sort rows by descending length within sigma windows.
-        let mut perm: Vec<u32> = (0..nrows as u32).collect();
+        let mut perm: Vec<u32> = (0..index_u32(nrows)).collect();
         for window in perm.chunks_mut(sigma) {
             window.sort_by_key(|&i| std::cmp::Reverse(a.row_nnz(i as usize)));
         }
@@ -69,7 +70,7 @@ impl SellCs {
         for ci in 0..nchunks {
             let rows = &perm[ci * chunk..((ci + 1) * chunk).min(nrows)];
             let width = rows.iter().map(|&r| a.row_nnz(r as usize)).max().unwrap_or(0);
-            chunk_width.push(width as u32);
+            chunk_width.push(index_u32(width));
             let base = colind.len();
             colind.resize(base + width * chunk, SELL_PAD);
             values.resize(base + width * chunk, 0.0);

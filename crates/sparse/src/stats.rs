@@ -6,6 +6,7 @@
 //! baseline.
 
 use crate::csr::Csr;
+use crate::index_u32;
 
 /// Summary statistics (min/max/mean/standard deviation) of a per-row
 /// quantity.
@@ -88,7 +89,7 @@ impl RowStats {
         let mut clustering = Vec::with_capacity(n);
         let mut misses = Vec::with_capacity(n);
         for (_, cols, _) in a.rows() {
-            let k = cols.len() as u32;
+            let k = index_u32(cols.len());
             nnz.push(k);
             if cols.is_empty() {
                 bw.push(0);

@@ -39,8 +39,8 @@ impl TimeCounter {
         TimeCounter { count: AtomicU64::new(0), ns: AtomicU64::new(0) }
     }
 
-    /// Records one event of `seconds` duration.
-    pub fn record(&self, seconds: f64) {
+    /// Adds one event of `seconds` duration to the totals.
+    pub fn add(&self, seconds: f64) {
         // relaxed-ok: independent monotonic totals; no other memory
         // access is ordered against these cells and readers only ever
         // see aggregate sums.
@@ -48,13 +48,13 @@ impl TimeCounter {
         self.ns.fetch_add(to_ns(seconds), Ordering::Relaxed); // relaxed-ok: as above.
     }
 
-    /// Events recorded so far.
+    /// Events added so far.
     pub fn count(&self) -> u64 {
         // relaxed-ok: aggregate read, no ordering dependency.
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Total recorded seconds.
+    /// Total accumulated seconds.
     pub fn seconds(&self) -> f64 {
         // relaxed-ok: aggregate read, no ordering dependency.
         self.ns.load(Ordering::Relaxed) as f64 * 1e-9
@@ -213,8 +213,8 @@ mod tests {
     #[test]
     fn time_counter_accumulates() {
         let c = TimeCounter::new();
-        c.record(0.5);
-        c.record(1.5);
+        c.add(0.5);
+        c.add(1.5);
         assert_eq!(c.count(), 2);
         assert!((c.seconds() - 2.0).abs() < 1e-6);
         c.reset();
@@ -225,8 +225,8 @@ mod tests {
     #[test]
     fn negative_and_zero_durations_clamp() {
         let c = TimeCounter::new();
-        c.record(-1.0);
-        c.record(0.0);
+        c.add(-1.0);
+        c.add(0.0);
         assert_eq!(c.count(), 2);
         assert_eq!(c.seconds(), 0.0);
     }

@@ -226,6 +226,12 @@ impl MetricsRegistry {
             t.dropped() as f64,
         );
         reg.push(
+            "spmv_trace_events_shed_total",
+            "Trace events shed at claim time because the slot was owned by a concurrent writer.",
+            MetricKind::Counter,
+            t.shed() as f64,
+        );
+        reg.push(
             "spmv_trace_capacity_events",
             "Trace ring-buffer capacity in events.",
             MetricKind::Gauge,
@@ -423,6 +429,7 @@ mod tests {
             "spmv_profiling_seconds_total",
             "spmv_trace_events_total",
             "spmv_trace_events_dropped_total",
+            "spmv_trace_events_shed_total",
             "spmv_trace_capacity_events",
             "spmv_trace_enabled",
         ] {

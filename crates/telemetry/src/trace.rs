@@ -145,9 +145,13 @@ fn pack_name(name: &str) -> [u64; NAME_BYTES / 8] {
         cut -= 1;
     }
     let mut bytes = [0u8; NAME_BYTES];
+    // indexing-ok: `cut <= NAME_BYTES` and `cut <= name.len()` by
+    // construction above, so both slices are in bounds.
     bytes[..cut].copy_from_slice(&name.as_bytes()[..cut]);
     let mut words = [0u64; NAME_BYTES / 8];
     for (w, chunk) in words.iter_mut().zip(bytes.chunks_exact(8)) {
+        // panic-ok: `chunks_exact(8)` yields 8-byte chunks only, so
+        // the conversion to `[u8; 8]` cannot fail.
         *w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
     }
     words
@@ -172,6 +176,9 @@ pub struct TraceBuffer {
     slots: Box<[Slot]>,
     /// Total events ever claimed; `head % capacity` is the next slot.
     head: AtomicU64,
+    /// Events dropped at claim time because the target slot was owned
+    /// by a concurrent writer (see [`TraceBuffer::record`]).
+    shed: AtomicU64,
     enabled: AtomicBool,
     /// Zero point of every `*_ns` timestamp in this buffer.
     epoch: Instant,
@@ -195,6 +202,7 @@ impl TraceBuffer {
         TraceBuffer {
             slots: (0..capacity).map(|_| Slot::new()).collect(),
             head: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
         }
@@ -240,8 +248,21 @@ impl TraceBuffer {
         self.recorded().saturating_sub(self.slots.len() as u64)
     }
 
+    /// Events dropped at claim time because their slot was owned by a
+    /// concurrent writer — the ring sheds an event rather than let
+    /// two writers interleave payload stores in one slot. Bounded by
+    /// the number of times a writer lapped a full capacity behind the
+    /// head mid-record; 0 in any single-threaded use.
+    pub fn shed(&self) -> u64 {
+        // relaxed-ok: monotonic loss counter, read for reporting.
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// Records one event if the tracer is enabled. Lock-free: one
-    /// `fetch_add` plus a handful of relaxed stores.
+    /// `fetch_add`, one slot-claim CAS, and a handful of relaxed
+    /// stores; if the claimed slot is still owned by a writer that
+    /// lagged a full capacity behind, the event is shed (counted by
+    /// [`TraceBuffer::shed`]) instead of torn.
     pub fn record(
         &self,
         kind: EventKind,
@@ -257,12 +278,53 @@ impl TraceBuffer {
         // relaxed-ok: the claim counter only hands out unique
         // indices; publication ordering is the seqlock's job.
         let index = self.head.fetch_add(1, Ordering::Relaxed);
+        // indexing-ok: the index is reduced modulo `slots.len()`,
+        // which `new` clamps to ≥ 1.
         let slot = &self.slots[(index % self.slots.len() as u64) as usize];
 
-        // relaxed-ok: the release fence below orders this marker
-        // before the payload stores for any reader that observes the
-        // payload with acquire semantics; readers skip odd sequences.
-        slot.seq.store(seq_writing(index), Ordering::Relaxed);
+        // Claim the slot or drop the event. A plain `seq_writing`
+        // store here has two torn-read holes, both found by the
+        // `seqlock` model in `spmv-check` (see DESIGN.md §10): a
+        // wrapping writer's marker can be masked by the previous
+        // writer's later `seq_complete` store, and a straggling old
+        // writer's late payload store can land modification-order
+        // after the new writer's payload — in either case a reader
+        // validates q1 == q2 while holding a mix of two writers'
+        // cells. The CAS makes same-slot payload episodes mutually
+        // exclusive: only one writer owns a slot between its claim
+        // and its `seq_complete` publication, and a writer that
+        // finds the slot odd (owned) or loses the race drops the
+        // event instead of corrupting the ring.
+        //
+        // relaxed-ok: the pre-check is advisory; the CAS decides.
+        let cur = slot.seq.load(Ordering::Relaxed);
+        if cur & 1 == 1
+            || slot
+                .seq
+                .compare_exchange(
+                    cur,
+                    seq_writing(index),
+                    // acquire-ok (success): synchronizes with the
+                    // previous owner's `seq_complete` release store
+                    // so that episode's payload stores happen-before
+                    // ours, keeping each cell's modification order
+                    // aligned with episode order — the q1 acquire
+                    // load then excludes stale cells entirely.
+                    Ordering::Acquire,
+                    // relaxed-ok (failure): a lost race only drops
+                    // the event.
+                    Ordering::Relaxed,
+                )
+                .is_err()
+        {
+            // relaxed-ok: monotonic loss counter, read for reporting.
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // release-ok: pairs with the reader's acquire fence before
+        // its q2 recheck — any reader that observes a payload store
+        // below also observes at least `seq_writing(index)`, so a
+        // mid-write slot never validates.
         fence(Ordering::Release);
         let name_words = pack_name(name);
         // relaxed-ok (all payload stores): published by the final
@@ -276,6 +338,8 @@ impl TraceBuffer {
         for (cell, w) in slot.name.iter().zip(name_words) {
             cell.store(w, Ordering::Relaxed); // relaxed-ok: as above.
         }
+        // release-ok: publishes the payload stores above to the q1
+        // acquire load of any reader that sees this sequence value.
         slot.seq.store(seq_complete(index), Ordering::Release);
     }
 
@@ -283,6 +347,9 @@ impl TraceBuffer {
     /// slot was overwritten, is mid-write, or was never written.
     fn read_slot(&self, index: u64) -> Option<TraceEvent> {
         let slot = &self.slots[(index % self.slots.len() as u64) as usize];
+        // acquire-ok: synchronizes with the writer's `seq_complete`
+        // release store, ordering the payload loads below after the
+        // writer's payload stores.
         let q1 = slot.seq.load(Ordering::Acquire);
         if q1 != seq_complete(index) {
             return None;
@@ -299,6 +366,10 @@ impl TraceBuffer {
         for (w, cell) in name_words.iter_mut().zip(slot.name.iter()) {
             *w = cell.load(Ordering::Relaxed); // relaxed-ok: as above.
         }
+        // acquire-ok: pairs with the writer's release fence after its
+        // slot claim — if any payload load above saw a later
+        // episode's store, the q2 recheck below sees that episode's
+        // odd sequence word and discards the read.
         fence(Ordering::Acquire);
         // relaxed-ok: the acquire fence above orders the payload
         // loads before this recheck; a changed sequence means a
@@ -333,6 +404,7 @@ impl TraceBuffer {
     pub fn clear(&self) {
         // relaxed-ok: reset is a quiescent-state affordance.
         self.head.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed); // relaxed-ok: as above.
         for slot in self.slots.iter() {
             slot.seq.store(0, Ordering::Relaxed); // relaxed-ok: as above.
         }
@@ -402,6 +474,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
 /// path.
 pub fn tracer() -> &'static TraceBuffer {
     static TRACER: AtomicPtr<TraceBuffer> = AtomicPtr::new(std::ptr::null_mut());
+    // acquire-ok: synchronizes with the publishing CAS below so the
+    // buffer's construction happens-before any use through `p`.
     let p = TRACER.load(Ordering::Acquire);
     if !p.is_null() {
         // SAFETY: a non-null pointer was published exactly once below
@@ -410,6 +484,10 @@ pub fn tracer() -> &'static TraceBuffer {
         return unsafe { &*p };
     }
     let fresh = Box::into_raw(Box::new(TraceBuffer::new(DEFAULT_CAPACITY)));
+    // acqrel-ok: release publishes the freshly built buffer to other
+    // threads' acquire loads; the acquire half (and the acquire-ok
+    // failure ordering) makes the winner's construction visible when
+    // this thread loses and returns the winning pointer.
     match TRACER.compare_exchange(std::ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire)
     {
         // SAFETY: we won the publication race; `fresh` is leaked and

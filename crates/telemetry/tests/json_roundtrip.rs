@@ -1,0 +1,167 @@
+//! Property-based round-trip coverage for the hand-rolled JSON
+//! writer/parser pair.
+//!
+//! The parser canonicalizes numbers on the way in: fraction-free
+//! text lands in `Int` (then `UInt` past `i64::MAX`), so e.g.
+//! `UInt(5)` renders as `5` and parses back as `Int(5)`, and
+//! `Num(2.0)` renders as `2` and parses back as `Int(2)`. Two
+//! properties capture correctness despite that:
+//!
+//! 1. **Exact round-trip** over *canonical* values — the subset the
+//!    parser itself produces: `parse(render(v)) == v`.
+//! 2. **Idempotence** over arbitrary values — one parse/render trip
+//!    reaches a fixpoint: `parse(render(v))` succeeds, and the
+//!    result survives a second trip unchanged.
+//!
+//! A third property bounds parse-error offsets for truncated input.
+//!
+//! The vendored proptest subset has no `prop_oneof`/`prop_recursive`,
+//! so the document generator is a hand-written [`Strategy`] that
+//! recurses with an explicit depth budget.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use spmv_telemetry::JsonValue;
+
+/// Characters worth stressing: every writer escape class (quote,
+/// backslash, named escapes, `\uXXXX` controls), non-ASCII BMP,
+/// astral plane, and plain ASCII filler.
+const STRING_ALPHABET: &[char] =
+    &['"', '\\', '\n', '\r', '\t', '\u{7}', '\u{1f}', '\u{e9}', '\u{1F600}', 'a', 'Z', '0', ' '];
+
+fn sample_string(rng: &mut TestRng) -> String {
+    let len = (0usize..10).sample(rng);
+    (0..len).map(|_| STRING_ALPHABET[(0usize..STRING_ALPHABET.len()).sample(rng)]).collect()
+}
+
+/// A float whose `Display` form keeps a decimal point, so the parser
+/// reads it back as `Num` instead of collapsing it to `Int`.
+fn sample_fractional(rng: &mut TestRng) -> f64 {
+    loop {
+        let f = (-1.0e12f64..1.0e12).sample(rng);
+        if format!("{f}").contains('.') {
+            return f;
+        }
+    }
+}
+
+/// Recursive JSON document generator. With `canonical` set it only
+/// produces values the parser itself can yield (exact round-trip);
+/// without it, it also produces values the writer normalizes away:
+/// arbitrary float bit patterns (NaN/infinity render as `null`),
+/// whole-number floats and small `UInt`s (parse back as `Int`).
+struct ArbJson {
+    canonical: bool,
+    depth: usize,
+}
+
+fn sample_value(rng: &mut TestRng, depth: usize, canonical: bool) -> JsonValue {
+    // Leaves only at the depth limit; containers get a 2-in-8 chance
+    // otherwise, which keeps documents small but reliably nested.
+    let choice = if depth == 0 { (0usize..6).sample(rng) } else { (0usize..8).sample(rng) };
+    match choice {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool((0u64..2).sample(rng) == 1),
+        2 => JsonValue::Int(
+            i64::from_ne_bytes(rng.next_u64().to_ne_bytes()), // full-range i64
+        ),
+        3 => {
+            if canonical {
+                // Only values past i64::MAX stay UInt through a parse.
+                JsonValue::UInt(((i64::MAX as u64 + 1)..=u64::MAX).sample(rng))
+            } else {
+                JsonValue::UInt(rng.next_u64())
+            }
+        }
+        4 => {
+            if canonical {
+                JsonValue::Num(sample_fractional(rng))
+            } else {
+                // Arbitrary bit patterns: NaN, infinities, subnormals,
+                // negative zero, whole numbers.
+                JsonValue::Num(f64::from_bits(rng.next_u64()))
+            }
+        }
+        5 => JsonValue::Str(sample_string(rng)),
+        6 => {
+            let n = (0usize..4).sample(rng);
+            JsonValue::Arr((0..n).map(|_| sample_value(rng, depth - 1, canonical)).collect())
+        }
+        _ => {
+            let n = (0usize..4).sample(rng);
+            JsonValue::Obj(
+                (0..n)
+                    .map(|_| (sample_string(rng), sample_value(rng, depth - 1, canonical)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+impl Strategy for ArbJson {
+    type Value = JsonValue;
+
+    fn sample(&self, rng: &mut TestRng) -> JsonValue {
+        sample_value(rng, self.depth, self.canonical)
+    }
+}
+
+fn canonical_value() -> ArbJson {
+    ArbJson { canonical: true, depth: 4 }
+}
+
+fn any_value() -> ArbJson {
+    ArbJson { canonical: false, depth: 4 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Canonical values survive a render/parse trip bit-exactly.
+    #[test]
+    fn canonical_roundtrip_is_exact(v in canonical_value()) {
+        let text = v.render();
+        let back = JsonValue::parse(&text)
+            .unwrap_or_else(|e| panic!("rendered `{text}` failed to parse: {e}"));
+        prop_assert_eq!(back, v);
+    }
+
+    /// One trip canonicalizes; a second trip is the identity.
+    #[test]
+    fn parse_render_reaches_a_fixpoint(v in any_value()) {
+        let once = JsonValue::parse(&v.render()).expect("first render must parse");
+        let text = once.render();
+        let twice = JsonValue::parse(&text).expect("canonical render must parse");
+        prop_assert_eq!(&twice, &once);
+        prop_assert_eq!(twice.render(), text);
+    }
+
+    /// Pretty-printing only inserts whitespace: it parses to the same
+    /// document as the compact form.
+    #[test]
+    fn pretty_and_compact_agree(v in canonical_value(), indent in 0usize..5) {
+        let compact = JsonValue::parse(&v.render()).expect("compact parses");
+        let pretty = JsonValue::parse(&v.render_pretty(indent)).expect("pretty parses");
+        prop_assert_eq!(pretty, compact);
+    }
+
+    /// Truncating a document at any char boundary either still parses
+    /// (e.g. `12` from `123`) or reports an offset within the prefix.
+    #[test]
+    fn truncated_input_errors_stay_in_bounds(v in canonical_value(), cut in 0usize..64) {
+        let text = v.render();
+        let boundaries: Vec<usize> =
+            text.char_indices().map(|(i, _)| i).chain([text.len()]).collect();
+        let end = boundaries[cut % boundaries.len()];
+        let prefix = &text[..end];
+        if let Err(e) = JsonValue::parse(prefix) {
+            prop_assert!(
+                e.offset <= prefix.len(),
+                "offset {} past prefix length {} for `{}`",
+                e.offset,
+                prefix.len(),
+                prefix
+            );
+        }
+    }
+}

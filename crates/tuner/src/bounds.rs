@@ -131,7 +131,7 @@ impl HostSource {
             .time("bound:P_CMP", || time_no_index_kernel(a, &x, &mut y, self.nthreads, self.reps));
         let p_cmp = flops / t_cmp / 1e9;
 
-        spmv_telemetry::metrics::profiling_runs().record(spans.total_seconds("bound:"));
+        spmv_telemetry::metrics::profiling_runs().add(spans.total_seconds("bound:"));
 
         // Analytic bounds.
         let ws = working_set_bytes(a);

@@ -1,0 +1,17 @@
+//! Audit fixture: `Ordering::Acquire` in (virtual) telemetry code
+//! with no `acquire-ok` marker comment. Must trigger only the
+//! `ordering-justification` policy; the `release-ok`-marked store in
+//! the same file must stay quiet.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn validate(seq: &AtomicU64) -> u64 {
+    seq.load(Ordering::Acquire)
+}
+
+fn publish(seq: &AtomicU64, version: u64) {
+    // release-ok: pairs with the validating Acquire load; publishes
+    // every payload store sequenced before it.
+    seq.store(version, Ordering::Release);
+}

@@ -1,0 +1,24 @@
+//! Audit fixture: a narrowing `as u32` on an index value in
+//! (virtual) sparse-builder code. Scanned under crates/sparse/src/
+//! it must trigger only the `cast-narrowing` policy — the unmarked
+//! cast in `pack_col` — while the `cast-ok`-marked site and the
+//! `#[cfg(test)]` module stay quiet. Scanned anywhere outside the
+//! sparse tree it must be clean.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+fn pack_col(col: usize) -> u32 {
+    col as u32
+}
+
+fn pack_checked(col: usize) -> u32 {
+    // cast-ok: the caller bounds-checked `col` against u32::MAX, so
+    // the cast cannot truncate.
+    col as u32
+}
+
+#[cfg(test)]
+mod tests {
+    fn shrink(x: usize) -> u16 {
+        x as u16
+    }
+}

@@ -1,0 +1,17 @@
+//! Audit fixture: a safe method named `add` called outside any
+//! unsafe context. Before the item-level parse, the `.add(` token
+//! alone tripped the unchecked-allowlist policy and forced safe
+//! accumulators into workaround names; this file must scan clean.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+struct Counter(u64);
+
+impl Counter {
+    fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+}
+
+fn bump(c: &mut Counter) {
+    c.add(3);
+}

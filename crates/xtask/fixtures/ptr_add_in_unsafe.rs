@@ -1,0 +1,11 @@
+//! Audit fixture: raw-pointer `.add(` inside a SAFETY-commented
+//! `unsafe` block, outside the allowlisted kernel modules. The
+//! safety comment satisfies policy 1, so the only finding must be
+//! policy 2's unchecked-allowlist violation on the pointer offset.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+fn second(values: &[f64]) -> f64 {
+    let p = values.as_ptr();
+    // SAFETY: `values` has at least two elements by construction.
+    unsafe { *p.add(1) }
+}

@@ -1,7 +1,7 @@
 //! Audit fixture: `Ordering::Relaxed` in (virtual) engine code with
 //! no `relaxed-ok` marker comment. Must trigger the
-//! `relaxed-ordering` policy (and nothing else — the self-test scans
-//! this file as if it were crates/kernels/src/engine.rs).
+//! `ordering-justification` policy (and nothing else — the self-test
+//! scans this file as if it were crates/kernels/src/engine.rs).
 //! Not compiled — scanned only by `cargo xtask audit`'s self-test.
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,30 +1,41 @@
 //! Workspace task runner.
 //!
-//! * `cargo xtask audit` — the line/token-level safety analyzer for
-//!   the workspace's `unsafe` SpMV fast paths (see DESIGN.md,
-//!   "Safety & invariants").
+//! * `cargo xtask audit [--root DIR]` — the item-level semantic
+//!   analyzer for the workspace's `unsafe` SpMV fast paths (see
+//!   DESIGN.md, "Safety & invariants" and "Model checking & semantic
+//!   audit").
+//! * `cargo xtask check [--model NAME] [--demo-mutant PROTO/MUTANT]`
+//!   — exhaustively model-checks the lock-free protocols under every
+//!   interleaving and weak-memory read the bounded-preemption cut
+//!   admits (crates/check), and proves the checker's teeth by
+//!   flagging every seeded mutant.
 //! * `cargo xtask bench [-- --scale small|full]` — builds the
 //!   `bench_trajectory` binary in release mode and writes
 //!   `BENCH_spmv.json` at the repo root (see DESIGN.md, "Telemetry &
 //!   the benchmark trajectory").
 //!
-//! The audit enforces six policies over every `.rs` file
+//! The audit enforces eight policies over every `.rs` file
 //! in the repository (vendored deps and build output excluded):
 //!
 //! 1. **SAFETY comments** — every `unsafe` occurrence (block, fn,
 //!    impl) is immediately preceded by a `// SAFETY:` comment or a
 //!    `# Safety` doc section naming the invariant it relies on.
 //! 2. **Unchecked-access containment** — `get_unchecked`,
-//!    `from_raw_parts`, and raw-pointer arithmetic (`.add(`) appear
-//!    only in the allowlisted kernel/format modules whose fast paths
-//!    are gated by `spmv_sparse::Validated` witnesses.
+//!    `from_raw_parts`, and raw-pointer arithmetic (`.add(` inside an
+//!    `unsafe` context) appear only in the allowlisted kernel/format
+//!    modules whose fast paths are gated by `spmv_sparse::Validated`
+//!    witnesses. Safe methods named `add` are recognized as such by
+//!    the item-level parse and never flagged.
 //! 3. **Thread containment** — `thread::spawn` / `thread::scope`
 //!    appear only in the execution engine (`crates/kernels/src/
 //!    engine.rs`); all other parallelism goes through `ExecEngine`.
-//! 4. **Relaxed-ordering discipline** — `Ordering::Relaxed` inside
-//!    the engine modules *and the telemetry crate* must carry a
-//!    `relaxed-ok` marker comment explaining why relaxed ordering
-//!    cannot break the dispatch handshake (test modules are exempt).
+//! 4. **Ordering justification** — every non-SeqCst atomic ordering
+//!    (`Relaxed`, `Acquire`, `Release`, `AcqRel`) inside the engine
+//!    modules *and the telemetry crate* must carry its marker comment
+//!    (`relaxed-ok`, `acquire-ok`, `release-ok`, `acqrel-ok`) — on
+//!    the use site or in the enclosing function's doc block —
+//!    justifying it against the dispatch handshake. Findings resolve
+//!    to the enclosing item; `#[cfg(test)]` spans are exempt.
 //! 5. **Telemetry lock-freedom** — `crates/telemetry` must never
 //!    take a lock or block (`Mutex`, `RwLock`, `Condvar`, `Barrier`,
 //!    `mpsc`): its hot-path counters ride inside kernel dispatch,
@@ -35,31 +46,182 @@
 //!    exporter module (`crates/telemetry/src/exposition.rs`); no
 //!    other code opens or accepts connections, so the workspace's
 //!    entire network surface is one auditable file.
+//! 7. **Panic safety** — the dispatch and telemetry hot paths (the
+//!    functions in [`HOT_PATHS`]) must not `unwrap`, `expect`, or
+//!    index without a `panic-ok` / `indexing-ok` marker: a panic
+//!    mid-dispatch poisons the engine's handshake for every lane.
+//! 8. **Cast narrowing** — `as u8`/`as u16`/`as u32` on index-typed
+//!    values in `crates/sparse/src` must go through checked helpers
+//!    (`try_from`, `index_u32`) or carry a `cast-ok` marker naming
+//!    the bound; silent truncation on a >4G-nonzero matrix corrupts
+//!    the format, not the error path. Test spans are exempt.
 //!
 //! The audit first runs a self-test over `crates/xtask/fixtures/`:
-//! deliberately violating snippets it must flag, plus a clean file it
+//! deliberately violating snippets it must flag, plus clean files it
 //! must not. A scanner regression therefore fails the audit itself.
 //!
-//! No external dependencies: the scanner is a hand-rolled lexer that
-//! strips string literals and separates comments from code while
-//! preserving line numbers, so audit patterns never match themselves.
+//! No external dependencies beyond the in-tree `spmv-check`: the
+//! scanner is a hand-rolled lexer that strips string literals and
+//! separates comments from code while preserving line numbers (so
+//! audit patterns never match themselves), plus a brace-matching
+//! item parser ([`parse`]) that recovers fn/mod/impl spans, test
+//! gating, and unsafe contexts.
+
+mod parse;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use parse::{parse_items, Items};
+
+const USAGE: &str = "usage: cargo xtask <audit|check|bench>";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("audit") => run_audit(),
+        Some("audit") => run_audit(&args[1..]),
+        Some("check") => run_check(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
         Some(other) => {
-            eprintln!("unknown task `{other}`\n\nusage: cargo xtask <audit|bench>");
+            eprintln!("unknown task `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <audit|bench>");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `cargo xtask check` — runs the concurrency model checker over
+/// every extracted protocol: the real implementations must pass
+/// exhaustively, and every seeded mutant must be flagged with an
+/// interleaving trace. `--model NAME` restricts to one protocol;
+/// `--demo-mutant PROTO/MUTANT` explores a single mutant and prints
+/// its counterexample trace (exiting nonzero, since a failure was
+/// found — useful for demos and for exercising the trace renderer).
+fn run_check(args: &[String]) -> ExitCode {
+    use spmv_check::{explore, models, Config, Outcome};
+
+    let mut only_model: Option<&str> = None;
+    let mut demo_mutant: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => match it.next() {
+                Some(name) => only_model = Some(name),
+                None => {
+                    eprintln!("check: --model requires a protocol name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--demo-mutant" => match it.next() {
+                Some(spec) => demo_mutant = Some(spec),
+                None => {
+                    eprintln!("check: --demo-mutant requires PROTOCOL/MUTANT");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("check: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cfg = Config::new();
+
+    if let Some(spec) = demo_mutant {
+        let Some((proto_name, mutant_name)) = spec.split_once('/') else {
+            eprintln!("check: --demo-mutant takes PROTOCOL/MUTANT, got `{spec}`");
+            return ExitCode::FAILURE;
+        };
+        let Some(proto) = models::find(proto_name) else {
+            eprintln!("check: unknown protocol `{proto_name}`");
+            return ExitCode::FAILURE;
+        };
+        let Some(mutant) = proto.mutants.iter().find(|m| m.name == mutant_name) else {
+            eprintln!("check: protocol `{proto_name}` has no mutant `{mutant_name}`");
+            return ExitCode::FAILURE;
+        };
+        eprintln!("demo: {}/{} — {}", proto.name, mutant.name, mutant.about);
+        return match explore(&mutant.build, cfg) {
+            Outcome::Fail(f) => {
+                eprint!("{}", f.render());
+                // A counterexample was found, which is the point of
+                // the demo — but the exit code still reports it.
+                ExitCode::FAILURE
+            }
+            other => {
+                eprintln!("check: mutant unexpectedly survived: {other:?}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let selected: Vec<_> =
+        models::protocols().iter().filter(|p| only_model.is_none_or(|m| m == p.name)).collect();
+    if selected.is_empty() {
+        let names: Vec<&str> = models::protocols().iter().map(|p| p.name).collect();
+        eprintln!(
+            "check: unknown model `{}`; available: {}",
+            only_model.unwrap_or(""),
+            names.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let started = std::time::Instant::now();
+    let mut failed = false;
+    for proto in &selected {
+        match explore(&proto.build, cfg) {
+            Outcome::Pass(stats) => {
+                println!(
+                    "check OK: {} — {} executions, {} steps, depth {}",
+                    proto.name, stats.executions, stats.total_steps, stats.max_depth
+                );
+            }
+            Outcome::Fail(f) => {
+                eprintln!("check FAILED: {} (real implementation model)", proto.name);
+                eprint!("{}", f.render());
+                failed = true;
+            }
+            Outcome::BudgetExhausted(stats) => {
+                eprintln!(
+                    "check FAILED: {} — execution budget exhausted after {} executions",
+                    proto.name, stats.executions
+                );
+                failed = true;
+            }
+        }
+        for mutant in proto.mutants {
+            match explore(&mutant.build, cfg) {
+                Outcome::Fail(f) => {
+                    println!(
+                        "check OK: {}/{} flagged ({:?} after {} executions)",
+                        proto.name, mutant.name, f.kind, f.stats.executions
+                    );
+                }
+                other => {
+                    eprintln!(
+                        "check FAILED: seeded mutant {}/{} was NOT flagged: {other:?}",
+                        proto.name, mutant.name
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    if failed {
+        eprintln!("check FAILED ({elapsed:.2?})");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "check OK: {} protocol(s) exhausted, all mutants flagged ({elapsed:.2?})",
+            selected.len()
+        );
+        ExitCode::SUCCESS
     }
 }
 
@@ -105,20 +267,41 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn run_audit() -> ExitCode {
-    let root = repo_root();
-    if let Err(e) = self_test(&root) {
+/// `cargo xtask audit [--root DIR]` — self-tests the scanner against
+/// the fixtures (always from this crate's own tree), then scans every
+/// workspace `.rs` file under `DIR` (default: the repo root).
+/// Findings go to stderr; the success summary goes to stdout.
+fn run_audit(args: &[String]) -> ExitCode {
+    let mut scan_root = repo_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => scan_root = PathBuf::from(p),
+                None => {
+                    eprintln!("audit: --root requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("audit: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Err(e) = self_test(&repo_root()) {
         eprintln!("audit self-test FAILED: {e}");
         return ExitCode::FAILURE;
     }
 
     let mut files = Vec::new();
-    collect_rs_files(&root, &root, &mut files);
+    collect_rs_files(&scan_root, &scan_root, &mut files);
     files.sort();
 
     let mut findings = Vec::new();
     for file in &files {
-        let text = match std::fs::read_to_string(root.join(file)) {
+        let text = match std::fs::read_to_string(scan_root.join(file)) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("audit: cannot read {file}: {e}");
@@ -133,9 +316,9 @@ fn run_audit() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         for f in &findings {
-            println!("{}", f.render());
+            eprintln!("{}", f.render());
         }
-        println!("audit FAILED: {} finding(s) in {} files scanned", findings.len(), files.len());
+        eprintln!("audit FAILED: {} finding(s) in {} files scanned", findings.len(), files.len());
         ExitCode::FAILURE
     }
 }
@@ -189,9 +372,11 @@ impl Finding {
 const POLICY_SAFETY: &str = "safety-comment";
 const POLICY_UNCHECKED: &str = "unchecked-allowlist";
 const POLICY_THREADS: &str = "thread-containment";
-const POLICY_RELAXED: &str = "relaxed-ordering";
+const POLICY_ORDERING: &str = "ordering-justification";
 const POLICY_TELEMETRY: &str = "telemetry-lock-free";
 const POLICY_SOCKETS: &str = "socket-containment";
+const POLICY_PANIC: &str = "panic-safety";
+const POLICY_CAST: &str = "cast-narrowing";
 
 /// Modules allowed to contain unchecked-access tokens (policy 2):
 /// the validated-format fast paths in `spmv-sparse` and the kernel
@@ -211,10 +396,39 @@ const UNCHECKED_ALLOWLIST: &[&str] = &[
 /// The only module allowed to create threads (policy 3).
 const THREAD_ALLOWLIST: &[&str] = &["crates/kernels/src/engine.rs"];
 
-/// Modules whose `Ordering::Relaxed` uses require a `relaxed-ok`
-/// marker (policy 4): the engine and its scheduling primitives. The
+/// Modules whose non-SeqCst atomic orderings require justification
+/// markers (policy 4): the engine and its scheduling primitives. The
 /// telemetry crate (see [`in_telemetry`]) is in scope as a whole.
-const RELAXED_SCOPE: &[&str] = &["crates/kernels/src/engine.rs", "crates/kernels/src/schedule.rs"];
+const ORDERING_SCOPE: &[&str] = &["crates/kernels/src/engine.rs", "crates/kernels/src/schedule.rs"];
+
+/// Each auditable ordering token and the marker that justifies it
+/// (policy 4). `SeqCst` needs no marker: it is the conservative
+/// default, never a claim that a weaker ordering suffices.
+const ORDERINGS: &[(&str, &str)] = &[
+    ("Ordering::Relaxed", "relaxed-ok"),
+    ("Ordering::Acquire", "acquire-ok"),
+    ("Ordering::Release", "release-ok"),
+    ("Ordering::AcqRel", "acqrel-ok"),
+];
+
+/// Dispatch and telemetry hot paths (policy 7): functions that run
+/// on every engine dispatch or every trace record, where a panic
+/// poisons the worker handshake for all lanes. Each entry is a file
+/// suffix plus the names of its hot functions; the item parser maps
+/// findings to their enclosing `fn`.
+const HOT_PATHS: &[(&str, &[&str])] = &[
+    ("crates/kernels/src/engine.rs", &["run", "worker_loop", "traced_claim"]),
+    ("crates/telemetry/src/trace.rs", &["record", "pack_name"]),
+];
+
+/// Path prefix in scope for the cast-narrowing policy (policy 8):
+/// the sparse-format builders, where a silently truncated index is
+/// data corruption rather than an error.
+const CAST_SCOPE: &str = "crates/sparse/src/";
+
+/// Narrowing casts policy 8 refuses without a checked helper or a
+/// `cast-ok` marker.
+const NARROWING_CASTS: &[&str] = &["as u8", "as u16", "as u32"];
 
 /// Path fragment identifying telemetry sources (policies 4 and 5):
 /// the whole crate is hot-path-adjacent, so every file is in scope.
@@ -239,12 +453,12 @@ fn in_telemetry(file: &str) -> bool {
 /// literal *contents* blanked (delimiters kept), so token scans never
 /// match inside literals — including the audit's own pattern strings.
 /// `comments[i]` holds the text of any comment on line `i`.
-struct Scrubbed {
-    code: Vec<String>,
-    comments: Vec<String>,
+pub(crate) struct Scrubbed {
+    pub(crate) code: Vec<String>,
+    pub(crate) comments: Vec<String>,
 }
 
-fn scrub(text: &str) -> Scrubbed {
+pub(crate) fn scrub(text: &str) -> Scrubbed {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -343,6 +557,13 @@ fn scrub(text: &str) -> Scrubbed {
             }
             State::Str => {
                 if c == '\\' {
+                    // An escaped newline (string line-continuation)
+                    // still ends a source line — keep the channels in
+                    // sync or every later finding drifts by one.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        code.push(String::new());
+                        comments.push(String::new());
+                    }
                     i += 2; // skip the escaped character
                 } else if c == '"' {
                     line_code.push('"');
@@ -417,14 +638,13 @@ fn has_token(line: &str, token: &str) -> bool {
 /// Runs every policy over one file.
 fn scan_source(file: &str, text: &str) -> Vec<Finding> {
     let s = scrub(text);
+    let items = parse_items(&s);
     let nlines = s.code.len();
     let mut findings = Vec::new();
 
-    // The trailing `#[cfg(test)]` module (attribute at column 0, the
-    // workspace convention) relaxes policy 4: test-only atomics are
-    // not part of any dispatch protocol.
-    let test_cutoff =
-        text.lines().position(|l| l.starts_with("#[cfg(test)]")).unwrap_or(usize::MAX);
+    // Hot functions of this file, if it hosts any (policy 7).
+    let hot_fns: &[&str] =
+        HOT_PATHS.iter().find(|(suffix, _)| file.ends_with(suffix)).map_or(&[], |(_, fns)| fns);
 
     for i in 0..nlines {
         let code = &s.code[i];
@@ -459,13 +679,17 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
                     });
                 }
             }
-            if code.contains(".add(") {
+            // `.add(` is only pointer arithmetic when it sits in an
+            // unsafe context; a safe method named `add` is fine. The
+            // item-level parse makes the distinction, so safe
+            // counters no longer have to dodge the name.
+            if code.contains(".add(") && items.in_unsafe(i) {
                 findings.push(Finding {
                     file: file.to_string(),
                     line: line_no,
                     policy: POLICY_UNCHECKED,
-                    message: "raw-pointer arithmetic (`.add(`) outside the allowlisted \
-                              kernel modules"
+                    message: "raw-pointer arithmetic (`.add(` in an unsafe context) outside \
+                              the allowlisted kernel modules"
                         .to_string(),
                 });
             }
@@ -488,21 +712,26 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
             }
         }
 
-        // Policy 4: relaxed ordering in the engine or the telemetry
-        // crate needs a marker.
-        if (path_in(file, RELAXED_SCOPE) || in_telemetry(file))
-            && i < test_cutoff
-            && code.contains("Ordering::Relaxed")
-            && !has_relaxed_marker(&s, i)
-        {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line_no,
-                policy: POLICY_RELAXED,
-                message: "`Ordering::Relaxed` in the engine without a `relaxed-ok` marker \
-                          comment justifying it against the dispatch handshake"
-                    .to_string(),
-            });
+        // Policy 4: every non-SeqCst ordering in the engine or the
+        // telemetry crate needs its justification marker, at the use
+        // site or in the enclosing function's doc block.
+        if (path_in(file, ORDERING_SCOPE) || in_telemetry(file)) && !items.in_test(i) {
+            for (ordering, marker) in ORDERINGS {
+                if code.contains(ordering) && !justified(&s, &items, i, marker) {
+                    let site = items
+                        .enclosing_fn(i)
+                        .map_or_else(|| "module scope".to_string(), |f| format!("fn `{}`", f.name));
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_ORDERING,
+                        message: format!(
+                            "`{ordering}` in {site} without a `{marker}` marker comment \
+                             justifying it against the dispatch handshake"
+                        ),
+                    });
+                }
+            }
         }
 
         // Policy 5: the telemetry crate must stay lock-free — its
@@ -541,8 +770,76 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
                 }
             }
         }
+
+        // Policy 7: no panics in the dispatch/telemetry hot paths.
+        if !hot_fns.is_empty() && !items.in_test(i) {
+            if let Some(f) = items.enclosing_fn(i).filter(|f| hot_fns.contains(&f.name.as_str())) {
+                for token in [".unwrap()", ".expect("] {
+                    if code.contains(token) && !justified(&s, &items, i, "panic-ok") {
+                        findings.push(Finding {
+                            file: file.to_string(),
+                            line: line_no,
+                            policy: POLICY_PANIC,
+                            message: format!(
+                                "`{token}` in hot-path fn `{}` without a `panic-ok` marker — \
+                                 a panic mid-dispatch poisons the worker handshake",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+                if has_index_expr(code) && !justified(&s, &items, i, "indexing-ok") {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_PANIC,
+                        message: format!(
+                            "indexing in hot-path fn `{}` without an `indexing-ok` marker \
+                             naming why the index is in bounds",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Policy 8: narrowing casts in the sparse-format builders
+        // must be checked or justified.
+        if file.contains(CAST_SCOPE) && !items.in_test(i) {
+            for cast in NARROWING_CASTS {
+                if has_token(code, cast) && !justified(&s, &items, i, "cast-ok") {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_CAST,
+                        message: format!(
+                            "narrowing `{cast}` in the sparse builders without a `cast-ok` \
+                             marker — use `try_from`/`index_u32` so truncation is an error, \
+                             not corruption"
+                        ),
+                    });
+                }
+            }
+        }
     }
     findings
+}
+
+/// Whether a scrubbed code line contains an index *expression*:
+/// a `[` directly preceded by an identifier character, `)`, or `]`.
+/// Array/slice types (`[u64; 4]`, `&[f64]`), attributes (`#[...]`),
+/// and macros like `vec![` all have a non-postfix character before
+/// the bracket and do not match.
+fn has_index_expr(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    bytes.iter().enumerate().any(|(p, &b)| {
+        b == b'['
+            && p > 0
+            && (bytes[p - 1].is_ascii_alphanumeric()
+                || bytes[p - 1] == b'_'
+                || bytes[p - 1] == b')'
+                || bytes[p - 1] == b']')
+    })
 }
 
 /// Whether the contiguous run of comment, attribute, and blank lines
@@ -586,10 +883,10 @@ fn is_assignment_continuation(code: &str) -> bool {
     !matches!(rest.chars().last(), Some('=' | '<' | '>' | '!'))
 }
 
-/// Whether line `i` carries a `relaxed-ok` marker in its own comment
-/// or in the contiguous comment run directly above it.
-fn has_relaxed_marker(s: &Scrubbed, i: usize) -> bool {
-    if s.comments[i].contains("relaxed-ok") {
+/// Whether line `i` carries `marker` in its own comment or in the
+/// contiguous comment/attribute run directly above it.
+fn has_marker(s: &Scrubbed, i: usize, marker: &str) -> bool {
+    if s.comments[i].contains(marker) {
         return true;
     }
     let mut j = i;
@@ -598,14 +895,25 @@ fn has_relaxed_marker(s: &Scrubbed, i: usize) -> bool {
         let code = s.code[j].trim();
         let comment = &s.comments[j];
         if code.is_empty() && !comment.is_empty() {
-            if comment.contains("relaxed-ok") {
+            if comment.contains(marker) {
                 return true;
             }
-        } else {
+        } else if !code.starts_with("#[") {
             return false;
         }
     }
     false
+}
+
+/// Whether the use on line `i` is justified by `marker`: on the line
+/// itself, in the comment run directly above it, or — item-level —
+/// in the doc block of the enclosing function. The last form lets a
+/// function justify one protocol-wide invariant once (e.g. a seqlock
+/// writer's doc block covering its paired fence and store) instead of
+/// repeating it at every ordering site.
+fn justified(s: &Scrubbed, items: &Items, i: usize, marker: &str) -> bool {
+    has_marker(s, i, marker)
+        || items.enclosing_fn(i).is_some_and(|f| has_marker(s, f.start, marker))
 }
 
 /// Fixture files with the virtual workspace path they are scanned
@@ -615,15 +923,29 @@ const FIXTURES: &[(&str, &str, &[&str])] = &[
     ("missing_safety.rs", "crates/sim/src/fixture.rs", &[POLICY_SAFETY]),
     ("unchecked_outside_allowlist.rs", "crates/sim/src/fixture.rs", &[POLICY_UNCHECKED]),
     ("spawn_outside_engine.rs", "crates/sim/src/fixture.rs", &[POLICY_THREADS]),
-    ("relaxed_without_marker.rs", "crates/kernels/src/engine.rs", &[POLICY_RELAXED]),
+    ("relaxed_without_marker.rs", "crates/kernels/src/engine.rs", &[POLICY_ORDERING]),
     // The same unmarked-Relaxed fixture must also trip inside the
     // telemetry crate (policy 4's extended scope).
-    ("relaxed_without_marker.rs", "crates/telemetry/src/metrics.rs", &[POLICY_RELAXED]),
+    ("relaxed_without_marker.rs", "crates/telemetry/src/metrics.rs", &[POLICY_ORDERING]),
+    // Policy 4 covers acquire/release orderings too, not just
+    // Relaxed; marker-justified sites in the same file stay quiet.
+    ("acquire_without_marker.rs", "crates/telemetry/src/trace.rs", &[POLICY_ORDERING]),
     ("telemetry_lock.rs", "crates/telemetry/src/metrics.rs", &[POLICY_TELEMETRY]),
     // The same socket fixture must trip everywhere except under the
     // exposition module's own path (policy 6's single allowlist entry).
     ("socket_outside_exposition.rs", "crates/sim/src/fixture.rs", &[POLICY_SOCKETS]),
     ("socket_outside_exposition.rs", "crates/telemetry/src/exposition.rs", &[]),
+    // Policy 7 fires only inside the named hot functions of a hot
+    // file; the same source is fine anywhere else.
+    ("panic_in_hot_path.rs", "crates/kernels/src/engine.rs", &[POLICY_PANIC]),
+    ("panic_in_hot_path.rs", "crates/kernels/src/schedule.rs", &[]),
+    // Policy 8 fires only under crates/sparse/src/.
+    ("cast_narrowing.rs", "crates/sparse/src/csr.rs", &[POLICY_CAST]),
+    ("cast_narrowing.rs", "crates/sim/src/fixture.rs", &[]),
+    // `.add(` is pointer arithmetic only inside an unsafe context
+    // (policy 2); a safe method named `add` no longer needs a dodge.
+    ("ptr_add_in_unsafe.rs", "crates/sim/src/fixture.rs", &[POLICY_UNCHECKED]),
+    ("method_add_safe.rs", "crates/sim/src/fixture.rs", &[]),
     ("clean.rs", "crates/kernels/src/engine.rs", &[]),
 ];
 
@@ -665,6 +987,13 @@ mod tests {
     }
 
     #[test]
+    fn scrubber_keeps_line_sync_across_string_continuations() {
+        let s = scrub("let m = \"first \\\nsecond\";\nunsafe {}\n");
+        assert_eq!(s.code.len(), 4, "{:?}", s.code);
+        assert!(has_token(&s.code[2], "unsafe"), "{:?}", s.code);
+    }
+
+    #[test]
     fn scrubber_handles_lifetimes_and_chars() {
         let s = scrub("fn f<'a>(x: &'a str) -> char { 'x' }\n");
         assert!(s.code[0].contains("fn f<'a>"));
@@ -691,6 +1020,61 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].policy, POLICY_SAFETY);
         assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn ordering_justification_accepts_item_level_markers() {
+        // The marker lives in the fn's doc block, not at the use
+        // site: one justification covers the whole protocol step.
+        let text = "/// Claims the slot.\n///\n/// acquire-ok: chains to the previous owner's Release.\nfn claim(seq: &AtomicU64) -> u64 {\n    seq.load(Ordering::Acquire)\n}\n";
+        let findings = scan_source("crates/telemetry/src/trace.rs", text);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn ordering_findings_name_the_enclosing_item() {
+        let text = "fn claim(seq: &AtomicU64) -> u64 {\n    seq.load(Ordering::Acquire)\n}\n";
+        let findings = scan_source("crates/telemetry/src/trace.rs", text);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].policy, POLICY_ORDERING);
+        assert!(findings[0].message.contains("fn `claim`"), "{}", findings[0].message);
+        assert!(findings[0].message.contains("acquire-ok"), "{}", findings[0].message);
+    }
+
+    #[test]
+    fn ordering_exemption_is_span_based() {
+        // An indented #[cfg(test)] module is still exempt — the old
+        // column-0 cutoff heuristic would have flagged this.
+        let text = "mod outer {\n    #[cfg(test)]\n    mod tests {\n        fn f(x: &AtomicU64) -> u64 {\n            x.load(Ordering::Relaxed)\n        }\n    }\n}\n";
+        let findings = scan_source("crates/kernels/src/engine.rs", text);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn panic_policy_only_fires_in_hot_fns() {
+        let text = "fn run(xs: &[u64]) -> u64 {\n    xs.first().copied().unwrap_or(0) + xs.iter().next().unwrap()\n}\nfn setup(xs: &[u64]) -> u64 {\n    xs[0]\n}\n";
+        let findings = scan_source("crates/kernels/src/engine.rs", text);
+        // `.unwrap_or(` must not match; the bare `.unwrap()` in `run`
+        // must; the indexing in the cold fn `setup` must not.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].policy, POLICY_PANIC);
+        assert!(findings[0].message.contains("fn `run`"));
+    }
+
+    #[test]
+    fn index_expression_detection() {
+        assert!(has_index_expr("seconds[t] += 1.0;"));
+        assert!(has_index_expr("xs(0)[1]"));
+        assert!(!has_index_expr("let x: [u64; 4] = y;"));
+        assert!(!has_index_expr("#[inline]"));
+        assert!(!has_index_expr("vec![0; n]"));
+        assert!(!has_index_expr("fn f(xs: &[f64]) {"));
+    }
+
+    #[test]
+    fn safe_method_add_is_not_pointer_arithmetic() {
+        let findings = scan_source("crates/sim/src/x.rs", "fn f(c: &mut Counter) { c.add(1); }\n");
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

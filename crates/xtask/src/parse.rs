@@ -1,0 +1,338 @@
+//! Item-level parse of scrubbed Rust source.
+//!
+//! The audit's policies need more structure than a token stream: the
+//! enclosing function of a finding (to report it and to accept
+//! item-level justifications), whether a line sits in `#[cfg(test)]`
+//! code (policy exemptions), and whether it sits inside an `unsafe`
+//! context (so raw-pointer `.add(` can be told apart from an
+//! ordinary safe method named `add`). This module derives exactly
+//! that from the [`Scrubbed`] channels — no expression parsing, just
+//! brace-matched item spans:
+//!
+//! * `fn` / `mod` / `impl` items with their names, line spans, and
+//!   whether a `#[cfg(test)]`-family attribute gates them;
+//! * `unsafe` spans: `unsafe { … }` blocks and the bodies of
+//!   `unsafe fn`s (`unsafe impl` is a marker, not a context, and is
+//!   ignored).
+//!
+//! The parser works on scrubbed code, so braces and keywords inside
+//! strings, chars, and comments are already gone. It is intentionally
+//! conservative where Rust gets exotic (braces inside const-generic
+//! signature expressions would confuse the span tracker), but the
+//! workspace's own idiom — which is all the audit scans — stays well
+//! inside what it handles, and the fixture self-test plus the unit
+//! tests below pin the behaviour.
+
+use crate::Scrubbed;
+
+/// What kind of item a span is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Mod,
+    Impl,
+}
+
+/// One brace-delimited item span (0-based line numbers, inclusive).
+#[derive(Debug)]
+pub struct ItemSpan {
+    pub kind: ItemKind,
+    pub name: String,
+    pub start: usize,
+    pub end: usize,
+    /// A `#[cfg(test)]`-family attribute sits directly above the
+    /// item.
+    pub cfg_test: bool,
+}
+
+/// All structure derived from one file.
+#[derive(Debug, Default)]
+pub struct Items {
+    pub items: Vec<ItemSpan>,
+    /// `unsafe` contexts as (start, end) line spans, inclusive.
+    pub unsafe_spans: Vec<(usize, usize)>,
+}
+
+impl Items {
+    /// The innermost `fn` whose span contains `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&ItemSpan> {
+        self.items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Fn && it.start <= line && line <= it.end)
+            .min_by_key(|it| it.end - it.start)
+    }
+
+    /// Whether `line` is inside any `#[cfg(test)]`-gated item.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.items.iter().any(|it| it.cfg_test && it.start <= line && line <= it.end)
+    }
+
+    /// Whether `line` is inside an `unsafe` block or `unsafe fn`
+    /// body.
+    pub fn in_unsafe(&self, line: usize) -> bool {
+        self.unsafe_spans.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+/// A token of scrubbed code: words plus the structural symbols the
+/// span tracker needs. `(` is kept only to tell `fn name(` item
+/// declarations apart from `fn(...)` pointer types.
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    LBrace,
+    RBrace,
+    LParen,
+    Semi,
+}
+
+fn tokenize(s: &Scrubbed) -> Vec<(usize, Tok)> {
+    let mut out = Vec::new();
+    // A `;` inside `[...]` is an array-length separator (`[u64; 4]`,
+    // possibly in a return type before the item's `{`), not a
+    // statement end — suppress it so it cannot cancel a pending item.
+    let mut bracket_depth = 0usize;
+    for (line_no, line) in s.code.iter().enumerate() {
+        let mut word = String::new();
+        for c in line.chars() {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+                continue;
+            }
+            if !word.is_empty() {
+                out.push((line_no, Tok::Word(std::mem::take(&mut word))));
+            }
+            match c {
+                '{' => out.push((line_no, Tok::LBrace)),
+                '}' => out.push((line_no, Tok::RBrace)),
+                '(' => out.push((line_no, Tok::LParen)),
+                '[' => bracket_depth += 1,
+                ']' => bracket_depth = bracket_depth.saturating_sub(1),
+                ';' if bracket_depth == 0 => out.push((line_no, Tok::Semi)),
+                _ => {}
+            }
+        }
+        if !word.is_empty() {
+            out.push((line_no, Tok::Word(word)));
+        }
+    }
+    out
+}
+
+/// Whether the contiguous attribute/comment/blank run directly above
+/// `line` carries a `cfg(test)`-family gate (`#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`, `#[test]`).
+fn gated_by_test(s: &Scrubbed, line: usize) -> bool {
+    let mut j = line;
+    while j > 0 {
+        j -= 1;
+        let code = s.code[j].trim();
+        let comment = &s.comments[j];
+        if code.starts_with("#[") {
+            if code.contains("cfg(test)") || code.contains("cfg(all(test") || code == "#[test]" {
+                return true;
+            }
+        } else if !code.is_empty() {
+            return false;
+        } else if comment.is_empty() {
+            // blank line: attributes may sit above doc comments etc.
+        }
+        // comment-only and blank lines: keep walking
+    }
+    false
+}
+
+/// Parses item and unsafe-context spans out of scrubbed source.
+pub fn parse_items(s: &Scrubbed) -> Items {
+    let toks = tokenize(s);
+    let mut items = Items::default();
+
+    /// What closing the matching `}` finalizes.
+    enum Open {
+        /// Index into `items.items`.
+        Item(usize),
+        /// Index into `items.unsafe_spans`.
+        Unsafe(usize),
+        /// `unsafe fn`: both spans close together.
+        ItemUnsafe(usize, usize),
+        Anon,
+    }
+    let mut stack: Vec<Open> = Vec::new();
+    // Item keyword seen, its `{` not yet: (kind, name, line, unsafe).
+    let mut pending: Option<(ItemKind, String, usize, bool)> = None;
+    // `unsafe` seen, not yet resolved into a block/fn/impl.
+    let mut unsafe_at: Option<usize> = None;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let (line, tok) = &toks[i];
+        match tok {
+            Tok::Word(w) => match w.as_str() {
+                "unsafe" => unsafe_at = Some(*line),
+                "fn" => {
+                    // `fn name(` declares an item; `fn(` is a pointer
+                    // type and `Fn(..)` bounds tokenize differently.
+                    if let Some((_, Tok::Word(name))) = toks.get(i + 1) {
+                        let is_unsafe_fn = unsafe_at.take().is_some();
+                        pending = Some((ItemKind::Fn, name.clone(), *line, is_unsafe_fn));
+                        i += 1; // skip the name
+                    }
+                }
+                "mod" => {
+                    if let Some((_, Tok::Word(name))) = toks.get(i + 1) {
+                        pending = Some((ItemKind::Mod, name.clone(), *line, false));
+                        unsafe_at = None;
+                        i += 1;
+                    }
+                }
+                "impl" => {
+                    // Not inside a signature (`-> impl Trait`): an
+                    // `impl` block only begins where no item is
+                    // already pending.
+                    if pending.is_none() {
+                        pending = Some((ItemKind::Impl, String::from("impl"), *line, false));
+                    }
+                    // `unsafe impl` is a marker, not a context.
+                    unsafe_at = None;
+                }
+                _ => {}
+            },
+            Tok::LBrace => {
+                if let Some((kind, name, start, is_unsafe_fn)) = pending.take() {
+                    let idx = items.items.len();
+                    items.items.push(ItemSpan {
+                        kind,
+                        name,
+                        start,
+                        end: usize::MAX,
+                        cfg_test: gated_by_test(s, start),
+                    });
+                    if is_unsafe_fn {
+                        items.unsafe_spans.push((start, usize::MAX));
+                        stack.push(Open::ItemUnsafe(idx, items.unsafe_spans.len() - 1));
+                    } else {
+                        stack.push(Open::Item(idx));
+                    }
+                } else if let Some(us) = unsafe_at.take() {
+                    items.unsafe_spans.push((us, usize::MAX));
+                    stack.push(Open::Unsafe(items.unsafe_spans.len() - 1));
+                } else {
+                    stack.push(Open::Anon);
+                }
+            }
+            Tok::RBrace => match stack.pop() {
+                Some(Open::Item(idx)) => items.items[idx].end = *line,
+                Some(Open::Unsafe(si)) => items.unsafe_spans[si].1 = *line,
+                Some(Open::ItemUnsafe(idx, si)) => {
+                    items.items[idx].end = *line;
+                    items.unsafe_spans[si].1 = *line;
+                }
+                Some(Open::Anon) | None => {}
+            },
+            Tok::LParen => {}
+            Tok::Semi => {
+                // `fn f();` in a trait, `mod m;`: no span.
+                pending = None;
+                unsafe_at = None;
+            }
+        }
+        i += 1;
+    }
+
+    // Unclosed spans (truncated input): extend to EOF.
+    let eof = s.code.len().saturating_sub(1);
+    for it in &mut items.items {
+        if it.end == usize::MAX {
+            it.end = eof;
+        }
+    }
+    for span in &mut items.unsafe_spans {
+        if span.1 == usize::MAX {
+            span.1 = eof;
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub;
+
+    fn parse(text: &str) -> Items {
+        parse_items(&scrub(text))
+    }
+
+    #[test]
+    fn fn_mod_impl_spans_with_names() {
+        let text = "mod outer {\n    impl Foo {\n        fn bar(&self) {\n            body();\n        }\n    }\n}\n";
+        let items = parse(text);
+        let kinds: Vec<_> = items.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![(ItemKind::Mod, "outer"), (ItemKind::Impl, "impl"), (ItemKind::Fn, "bar")]
+        );
+        let f = items.enclosing_fn(3).expect("body line inside fn");
+        assert_eq!(f.name, "bar");
+        assert_eq!((f.start, f.end), (2, 4));
+    }
+
+    #[test]
+    fn cfg_test_gating_is_span_based_not_column_based() {
+        let text = "fn real() {\n    work();\n}\n\n    #[cfg(test)]\n    mod tests {\n        fn helper() {\n            x();\n        }\n    }\n";
+        let items = parse(text);
+        assert!(!items.in_test(1), "real fn body is not test code");
+        assert!(items.in_test(7), "indented #[cfg(test)] mod still gates its span");
+    }
+
+    #[test]
+    fn unsafe_blocks_and_unsafe_fns_are_contexts_but_unsafe_impl_is_not() {
+        let text = "fn f() {\n    unsafe {\n        p.add(1);\n    }\n    q.add(2);\n}\nunsafe fn g() {\n    r();\n}\nunsafe impl Send for X {\n    \n}\n";
+        let items = parse(text);
+        assert!(items.in_unsafe(2), "inside unsafe block");
+        assert!(!items.in_unsafe(4), "after the block closes");
+        assert!(items.in_unsafe(7), "unsafe fn body");
+        assert!(!items.in_unsafe(10), "unsafe impl is a marker, not a context");
+    }
+
+    #[test]
+    fn fn_pointer_types_and_impl_trait_returns_are_not_items() {
+        let text = "struct S {\n    build: fn(&mut W) -> I,\n}\nfn mk() -> impl Iterator<Item = u32> {\n    it()\n}\n";
+        let items = parse(text);
+        let fns: Vec<_> = items
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| i.name.as_str())
+            .collect();
+        assert_eq!(fns, vec!["mk"], "{:?}", items.items);
+    }
+
+    #[test]
+    fn trait_method_signatures_produce_no_spans() {
+        let text = "trait T {\n    fn a(&self);\n    fn b(&self) {\n        default();\n    }\n}\n";
+        let items = parse(text);
+        let fns: Vec<_> = items
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| i.name.as_str())
+            .collect();
+        assert_eq!(fns, vec!["b"]);
+    }
+
+    #[test]
+    fn array_type_semicolons_do_not_cancel_a_pending_fn() {
+        let text = "fn pack(name: &str) -> [u64; 3] {\n    body();\n}\n";
+        let items = parse(text);
+        assert_eq!(items.enclosing_fn(1).expect("fn with array return type").name, "pack");
+    }
+
+    #[test]
+    fn nested_fn_resolution_picks_innermost() {
+        let text = "fn outer() {\n    fn inner() {\n        x();\n    }\n    y();\n}\n";
+        let items = parse(text);
+        assert_eq!(items.enclosing_fn(2).expect("inner").name, "inner");
+        assert_eq!(items.enclosing_fn(4).expect("outer").name, "outer");
+    }
+}

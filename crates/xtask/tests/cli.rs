@@ -1,0 +1,117 @@
+//! CLI-level coverage of `cargo xtask audit` and `cargo xtask check`:
+//! exit codes and the policy/protocol names surfaced on stderr, in
+//! the same style as the workspace's `cli_explain` tests.
+
+use std::path::Path;
+use std::process::Command;
+
+fn xtask(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask")).args(args).output().expect("spawn xtask")
+}
+
+/// Writes a tiny violating "workspace" into a fresh temp directory
+/// and returns its path. The file sits under a path the thread-
+/// containment policy has no allowlist entry for.
+fn violating_tree(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask-cli-{tag}-{}", std::process::id()));
+    let src = dir.join("crates/sim/src");
+    std::fs::create_dir_all(&src).expect("create temp tree");
+    std::fs::write(src.join("offender.rs"), "fn f() {\n    std::thread::spawn(|| {});\n}\n")
+        .expect("write offender");
+    dir
+}
+
+#[test]
+fn audit_clean_tree_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("xtask-cli-clean-{}", std::process::id()));
+    let src = dir.join("crates/sim/src");
+    std::fs::create_dir_all(&src).expect("create temp tree");
+    std::fs::write(src.join("fine.rs"), "fn f() -> u32 {\n    1\n}\n").expect("write clean file");
+    let out = xtask(&["audit", "--root", dir.to_str().expect("utf-8 temp path")]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("audit OK"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_violations_exit_nonzero_with_policy_on_stderr() {
+    let dir = violating_tree("viol");
+    let out = xtask(&["audit", "--root", dir.to_str().expect("utf-8 temp path")]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("thread-containment"), "policy name missing from stderr: {err}");
+    assert!(err.contains("offender.rs"), "{err}");
+    assert!(err.contains("audit FAILED"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_real_tree_is_clean() {
+    // The shipped tree must satisfy its own audit — the same gate CI
+    // runs. Uses the default root (two levels above the manifest).
+    let out = xtask(&["audit"]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn check_single_model_passes() {
+    // One protocol keeps the test fast; the full sweep runs in
+    // `check_all_protocols` below and in CI.
+    let out = xtask(&["check", "--model", "publish"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("check OK: publish"), "{text}");
+    assert!(text.contains("all mutants flagged"), "{text}");
+}
+
+#[test]
+fn check_unknown_model_exits_nonzero() {
+    let out = xtask(&["check", "--model", "no-such-protocol"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown model"), "{err}");
+    // The error lists what IS available.
+    assert!(err.contains("seqlock"), "{err}");
+}
+
+#[test]
+fn check_demo_mutant_renders_a_trace_and_exits_nonzero() {
+    let out = xtask(&["check", "--demo-mutant", "seqlock/relaxed-publish"]);
+    assert!(!out.status.success(), "a demo counterexample must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("interleaving"), "no rendered trace on stderr: {err}");
+    assert!(err.contains("execution(s)"), "{err}");
+}
+
+#[test]
+fn check_demo_mutant_rejects_unknown_spec() {
+    let out = xtask(&["check", "--demo-mutant", "seqlock/no-such-mutant"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no mutant"), "{err}");
+}
+
+#[test]
+fn fixtures_directory_matches_the_fixture_table() {
+    // Every fixture file referenced by the self-test exists; a rename
+    // that orphans one shows up here rather than at audit time.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    for name in [
+        "clean.rs",
+        "missing_safety.rs",
+        "relaxed_without_marker.rs",
+        "acquire_without_marker.rs",
+        "panic_in_hot_path.rs",
+        "cast_narrowing.rs",
+        "ptr_add_in_unsafe.rs",
+        "method_add_safe.rs",
+    ] {
+        assert!(dir.join(name).is_file(), "missing fixture {name}");
+    }
+}
