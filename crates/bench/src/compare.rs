@@ -272,6 +272,23 @@ fn compare_host(
             });
         }
     }
+    // The menu-search decision: a different selected microkernel is an
+    // intentional re-tune (hardware or menu changed), so it is a note;
+    // only the measured throughput gates, with the host threshold.
+    if let (Some(old_menu), Some(new_menu)) = (old_h.get("menu"), new_h.get("menu")) {
+        let (old_sel, new_sel) = (text(old_menu, "selected"), text(new_menu, "selected"));
+        if old_sel != new_sel {
+            report.notes.push(format!("{matrix}: menu selection changed {old_sel} -> {new_sel}"));
+        }
+        if let (Some(o), Some(n)) = (num(old_menu, "gflops"), num(new_menu, "gflops")) {
+            report.deltas.push(Delta {
+                metric: format!("host menu gflops {matrix}"),
+                old: o,
+                new: n,
+                regressed: n < o * (1.0 - opts.host_tol),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,8 +297,19 @@ mod tests {
     use crate::trajectory::SCHEMA;
 
     /// A minimal one-matrix trajectory with the given simulated and
-    /// host GFLOP/s.
+    /// host GFLOP/s; the host menu section selects `csr/avx2-a2` at
+    /// 1.5× the baseline host throughput.
     fn traj(sim_gflops: f64, host_gflops: f64, selected: &str) -> JsonValue {
+        traj_with_menu(sim_gflops, host_gflops, selected, "csr/avx2-a2", host_gflops * 1.5)
+    }
+
+    fn traj_with_menu(
+        sim_gflops: f64,
+        host_gflops: f64,
+        selected: &str,
+        menu_selected: &str,
+        menu_gflops: f64,
+    ) -> JsonValue {
         let platform = JsonValue::obj()
             .with("platform", "KNC")
             .with("selected_variant", selected)
@@ -293,12 +321,22 @@ mod tests {
                     JsonValue::obj().with("variant", selected).with("gflops", sim_gflops * 1.2),
                 ]),
             );
-        let host = JsonValue::obj().with("nthreads", 1u64).with(
-            "variants",
-            JsonValue::Arr(vec![JsonValue::obj()
-                .with("variant", "baseline")
-                .with("gflops", host_gflops)]),
-        );
+        let host = JsonValue::obj()
+            .with("nthreads", 1u64)
+            .with(
+                "variants",
+                JsonValue::Arr(vec![JsonValue::obj()
+                    .with("variant", "baseline")
+                    .with("gflops", host_gflops)]),
+            )
+            .with(
+                "menu",
+                JsonValue::obj()
+                    .with("selected", menu_selected)
+                    .with("gflops", menu_gflops)
+                    .with("search_seconds", 0.01)
+                    .with("cached", false),
+            );
         JsonValue::obj().with("schema", SCHEMA).with("scale", 0.05).with("nthreads", 1u64).with(
             "matrices",
             JsonValue::Arr(vec![JsonValue::obj()
@@ -368,6 +406,36 @@ mod tests {
         let report = compare(&old, &new, &CompareOptions::default()).expect("compare");
         assert!(!report.regressed(), "{}", report.render());
         assert!(report.notes.iter().any(|n| n.contains("selected variant changed")));
+    }
+
+    #[test]
+    fn changed_menu_selection_is_a_note_not_a_regression() {
+        let old = traj_with_menu(10.0, 5.0, "inner-vect", "csr/avx2-a2", 7.5);
+        let new = traj_with_menu(10.0, 5.0, "inner-vect", "csr/avx512-a4", 7.6);
+        let report = compare(&old, &new, &CompareOptions::default()).expect("compare");
+        assert!(!report.regressed(), "{}", report.render());
+        assert!(
+            report.notes.iter().any(|n| n.contains("menu selection changed")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn degraded_menu_gflops_gate_with_host_threshold() {
+        let old = traj_with_menu(10.0, 5.0, "inner-vect", "csr/avx2-a2", 10.0);
+        // -20%: within the loose host threshold.
+        let noisy = traj_with_menu(10.0, 5.0, "inner-vect", "csr/avx2-a2", 8.0);
+        let opts = CompareOptions::default();
+        assert!(!compare(&old, &noisy, &opts).expect("compare").regressed());
+        // -40%: a genuine menu regression.
+        let bad = traj_with_menu(10.0, 5.0, "inner-vect", "csr/avx2-a2", 6.0);
+        let report = compare(&old, &bad, &opts).expect("compare");
+        assert!(report.regressed());
+        assert!(report.regressions().iter().any(|d| d.metric.contains("host menu gflops")));
+        // --sim-only skips the menu metrics with the rest of host.
+        let sim_only = CompareOptions { sim_only: true, ..opts };
+        assert!(!compare(&old, &bad, &sim_only).expect("compare").regressed());
     }
 
     #[test]

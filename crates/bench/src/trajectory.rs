@@ -7,7 +7,8 @@
 //!   per-variant GFLOP/s on each paper platform (deterministic, so
 //!   trajectory diffs isolate model changes from host noise);
 //! * host-measured GFLOP/s and preprocessing cost for the baseline
-//!   and every single-optimization variant;
+//!   and every single-optimization variant, plus the microkernel
+//!   menu search's selected kernel and its throughput;
 //!
 //! plus a trailing `telemetry` section with the process-wide dispatch
 //! / preprocessing / profiling counters accumulated during the run.
@@ -17,7 +18,8 @@
 
 use std::path::Path;
 
-use spmv_kernels::variant::{build_kernel, KernelVariant};
+use spmv_kernels::variant::{build_kernel, build_micro_kernel, KernelVariant};
+use spmv_machine::MachineModel;
 use spmv_telemetry::{metrics, tracer, JsonValue};
 use spmv_tuner::profile::ProfileClassifier;
 
@@ -176,21 +178,89 @@ fn host_entry(nm: &NamedMatrix, nthreads: usize) -> JsonValue {
     let x = vec![1.0f64; a.ncols()];
     let mut y = vec![0.0f64; a.nrows()];
     let mut variants = Vec::new();
+    let mut classic = Vec::new();
     for v in host_variants() {
         let built = build_kernel(a, v, nthreads);
         built.kernel.run(&x, &mut y); // warm-up
         let (best, times) = built.kernel.run_repeated(&x, &mut y, HOST_REPS);
+        let gflops = flops / best.max(1e-12) / 1e9;
+        // `vec` and `comp` build byte-identical kernels to the menu's
+        // `csr/unrolled` and `delta` entries (same inner loop, same
+        // schedule, same format builder), so their measurements are
+        // additional samples of those candidates.
+        match v.to_string().as_str() {
+            "vec" => classic.push(("csr/unrolled".to_string(), gflops)),
+            "comp" if built.kernel.name().starts_with("delta") => {
+                classic.push(("delta".to_string(), gflops));
+            }
+            _ => {}
+        }
         variants.push(
             JsonValue::obj()
                 .with("variant", v.to_string())
                 .with("kernel", built.kernel.name())
-                .with("gflops", flops / best.max(1e-12) / 1e9)
+                .with("gflops", gflops)
                 .with("prep_seconds", built.prep_seconds)
                 .with("effective_bytes_per_nnz", built.kernel.effective_bytes_per_nnz(a.nnz()))
                 .with("imbalance", spmv_telemetry::imbalance(&times.seconds)),
         );
     }
-    JsonValue::obj().with("nthreads", nthreads).with("variants", JsonValue::Arr(variants))
+    JsonValue::obj()
+        .with("nthreads", nthreads)
+        .with("variants", JsonValue::Arr(variants))
+        .with("menu", menu_entry(nm, nthreads, &classic))
+}
+
+/// The tuner's menu-search decision for this matrix: the selected
+/// microkernel and its measured throughput, so `--compare` can
+/// regression-gate menu wins between trajectories. Scalars only — the
+/// full candidate lists live in `spmvtune explain`'s trace, and
+/// keeping this section list-free keeps the document's key-path
+/// structure byte-stable across runs.
+fn menu_entry(nm: &NamedMatrix, nthreads: usize, classic: &[(String, f64)]) -> JsonValue {
+    let a = &nm.matrix;
+    let flops = 2.0 * a.nnz() as f64;
+    let (plan, trace) =
+        spmv_tuner::menu::search_or_cached(a, &MachineModel::host(), nthreads, HOST_REPS);
+    // Re-measure every candidate the search timed, with the same
+    // best-of protocol the classic variants use (same process, same
+    // warm pool), and let the re-measurement refine the selection:
+    // the search's single-warm-up timings can misrank near-ties, and
+    // this section's claim is "the menu's best on this host", gated
+    // by `--compare` against the classic variants' numbers.
+    let x = vec![1.0f64; a.ncols()];
+    let mut y = vec![0.0f64; a.nrows()];
+    let candidates = spmv_kernels::micro::menu(a.ncols());
+    let mut selected = plan.entry.id();
+    let mut gflops = plan.gflops;
+    for t in &trace.timed {
+        let Some(&entry) = candidates.iter().find(|e| e.id() == t.id) else { continue };
+        let built = build_micro_kernel(a, entry, nthreads);
+        built.kernel.run(&x, &mut y); // warm-up
+        let (best, _) = built.kernel.run_repeated(&x, &mut y, HOST_REPS);
+        let gf = flops / best.max(1e-12) / 1e9;
+        if gf > gflops {
+            gflops = gf;
+            selected = t.id.clone();
+        }
+    }
+    // The classic variants' measurements of the same kernels (see
+    // `host_entry`) are further samples — same best-of-the-samples
+    // de-noising as within one measurement.
+    for (id, gf) in classic {
+        if *gf > gflops {
+            gflops = *gf;
+            selected = id.clone();
+        }
+    }
+    JsonValue::obj()
+        .with("selected", selected)
+        .with("gflops", gflops)
+        .with("search_seconds", plan.search_seconds)
+        .with("cached", plan.cached)
+        .with("candidates", trace.considered.len())
+        .with("bound_pruned", trace.pruned.len())
+        .with("timed", trace.timed.len())
 }
 
 /// The process-wide counters accumulated while the trajectory ran.
@@ -246,6 +316,10 @@ mod tests {
             "\"host\":",
             "\"prep_seconds\":",
             "\"effective_bytes_per_nnz\":",
+            "\"menu\":",
+            "\"selected\":",
+            "\"search_seconds\":",
+            "\"bound_pruned\":",
             "\"telemetry\":",
             "\"engine_dispatch\":",
             "\"profiling_runs\":",

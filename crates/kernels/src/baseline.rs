@@ -10,6 +10,7 @@ use std::ops::Range;
 use spmv_sparse::{Csr, MaybeValidated};
 
 use crate::engine::Plan;
+use crate::micro::MicroSpec;
 use crate::prefetch::PREFETCH_DIST;
 use crate::prefetch::{
     row_sum_prefetch, row_sum_prefetch_unchecked, row_sum_unrolled_prefetch,
@@ -30,6 +31,10 @@ pub enum InnerLoop {
     Prefetch,
     /// Unrolled + prefetch.
     UnrolledPrefetch,
+    /// Explicit microkernel from the menu (see [`crate::micro`]):
+    /// either `core::arch` SIMD (proven available at spec
+    /// construction) or its bitwise-identical scalar model.
+    Micro(MicroSpec),
 }
 
 impl InnerLoop {
@@ -51,6 +56,7 @@ impl InnerLoop {
             InnerLoop::Unrolled => row_sum_unrolled(cols, vals, x),
             InnerLoop::Prefetch => row_sum_prefetch(cols, vals, x, PREFETCH_DIST),
             InnerLoop::UnrolledPrefetch => row_sum_unrolled_prefetch(cols, vals, x, PREFETCH_DIST),
+            InnerLoop::Micro(spec) => spec.row_sum(cols, vals, x),
         }
     }
 
@@ -60,6 +66,9 @@ impl InnerLoop {
     /// `cols.len() == vals.len()` and every entry of `cols` indexes in
     /// bounds of `x` — guaranteed when the row comes from a
     /// [`spmv_sparse::Validated`] CSR witness and `x.len() == ncols`.
+    /// For a SIMD [`InnerLoop::Micro`] flavor, columns must
+    /// additionally fit in `i32` (see [`crate::micro::gather_compatible`];
+    /// enforced by [`CsrKernel::micro`] at construction).
     #[inline(always)]
     pub unsafe fn row_sum_unchecked(self, cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
         // SAFETY: each arm forwards the caller's contract unchanged.
@@ -71,6 +80,7 @@ impl InnerLoop {
                 InnerLoop::UnrolledPrefetch => {
                     row_sum_unrolled_prefetch_unchecked(cols, vals, x, PREFETCH_DIST)
                 }
+                InnerLoop::Micro(spec) => spec.row_sum_unchecked(cols, vals, x),
             }
         }
     }
@@ -119,6 +129,10 @@ pub struct CsrKernel<'a> {
     a: MaybeValidated<&'a Csr>,
     plan: Plan,
     flavor: InnerLoop,
+    /// Dispatch label threaded into the engine's trace events (empty
+    /// for the classic flavors, `micro:<id>` for menu kernels;
+    /// crate-visible so the menu builder can tag non-micro entries).
+    pub(crate) label: String,
 }
 
 impl<'a> CsrKernel<'a> {
@@ -143,7 +157,25 @@ impl<'a> CsrKernel<'a> {
             MaybeValidated::Validated(v) => Plan::new(schedule, v.rowptr(), nthreads),
             MaybeValidated::Unvalidated(_) => Plan::new(schedule, &[0], nthreads),
         };
-        CsrKernel { a, plan, flavor }
+        CsrKernel { a, plan, flavor, label: String::new() }
+    }
+
+    /// Creates a kernel running a menu microkernel (see
+    /// [`crate::micro`]). A SIMD spec whose gather cannot address the
+    /// matrix's columns (`ncols > i32::MAX`) is downgraded to its
+    /// bitwise-identical scalar fallback, preserving the unchecked
+    /// contract of [`InnerLoop::row_sum_unchecked`].
+    pub fn micro(
+        a: &'a Csr,
+        nthreads: usize,
+        schedule: Schedule,
+        spec: MicroSpec,
+    ) -> CsrKernel<'a> {
+        let spec =
+            if crate::micro::gather_compatible(a.ncols()) { spec } else { spec.scalar_fallback() };
+        let mut k = CsrKernel::with_options(a, nthreads, schedule, InnerLoop::Micro(spec));
+        k.label = format!("micro:{}", spec.id());
+        k
     }
 
     /// Scheduling policy.
@@ -189,7 +221,7 @@ impl SpmvKernel for CsrKernel<'_> {
             MaybeValidated::Validated(v) => {
                 let a = *v.get();
                 let yp = YPtr(y.as_mut_ptr());
-                self.plan.execute(|range| {
+                self.plan.execute_labeled(&self.label, |range| {
                     self.worker(a, range, x, yp);
                 })
             }

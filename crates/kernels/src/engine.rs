@@ -179,6 +179,16 @@ impl ExecEngine {
     /// panics, the panic is re-raised here after the whole team has
     /// finished — the pool itself survives.
     pub fn run(&self, task: &(dyn Fn(usize) + Sync)) -> ThreadTimes {
+        self.run_labeled("", task)
+    }
+
+    /// [`ExecEngine::run`] with a dispatch label: the caller-side
+    /// Task/Dispatch trace events carry `label` as their name, so a
+    /// capture shows *which* kernel (e.g. the tuner-selected
+    /// `micro:<id>`) each dispatch executed. The label stays out of
+    /// the worker-side hot path — workers record their events
+    /// unnamed, exactly as before.
+    pub fn run_labeled(&self, label: &str, task: &(dyn Fn(usize) + Sync)) -> ThreadTimes {
         let n = self.nthreads;
         let mut seconds = vec![0.0f64; n];
         // Dispatch telemetry: wall time of the whole run (publish →
@@ -202,8 +212,8 @@ impl ExecEngine {
             let wall = t_wall.elapsed().as_secs_f64();
             if publish_ns != 0 {
                 // indexing-ok: lane 0 exists (see above).
-                trace.record(EventKind::Task, 0, "", publish_ns, dur_ns(seconds[0]), 0);
-                trace.record(EventKind::Dispatch, 0, "", publish_ns, dur_ns(wall), 0);
+                trace.record(EventKind::Task, 0, label, publish_ns, dur_ns(seconds[0]), 0);
+                trace.record(EventKind::Dispatch, 0, label, publish_ns, dur_ns(wall), 0);
             }
             spmv_telemetry::metrics::engine_dispatch().record(wall, &seconds);
             if let Err(payload) = outcome {
@@ -249,8 +259,8 @@ impl ExecEngine {
         // leaves balanced trace events and recorded dispatch stats.
         let wall = t_wall.elapsed().as_secs_f64();
         if publish_ns != 0 {
-            trace.record(EventKind::Task, 0, "", caller_start_ns, dur_ns(caller_seconds), epoch);
-            trace.record(EventKind::Dispatch, 0, "", publish_ns, dur_ns(wall), epoch);
+            trace.record(EventKind::Task, 0, label, caller_start_ns, dur_ns(caller_seconds), epoch);
+            trace.record(EventKind::Dispatch, 0, label, publish_ns, dur_ns(wall), epoch);
         }
         spmv_telemetry::metrics::engine_dispatch().record(wall, &seconds);
 
@@ -430,9 +440,19 @@ impl Plan {
     where
         F: Fn(Range<usize>) + Sync,
     {
+        self.execute_labeled("", worker)
+    }
+
+    /// [`Plan::execute`] with a dispatch label forwarded to
+    /// [`ExecEngine::run_labeled`] — the name under which this
+    /// dispatch appears in trace captures (empty = unnamed).
+    pub fn execute_labeled<F>(&self, label: &str, worker: F) -> ThreadTimes
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
         let nthreads = self.engine.nthreads();
         match (&self.parts, self.schedule) {
-            (Some(parts), _) => self.engine.run(&|t| {
+            (Some(parts), _) => self.engine.run_labeled(label, &|t| {
                 if let Some(part) = parts.get(t) {
                     if !part.is_empty() {
                         worker(part.clone());
@@ -447,7 +467,7 @@ impl Plan {
                 // claim; a capture toggled mid-run waits a dispatch.
                 let trace = self.engine.tracer;
                 let tracing = trace.enabled();
-                self.engine.run(&|t| loop {
+                self.engine.run_labeled(label, &|t| loop {
                     // relaxed-ok: the claim counter is not part of the
                     // engine's dispatch handshake (that protocol is
                     // mutex-guarded); claims need atomicity only, and
@@ -466,7 +486,7 @@ impl Plan {
                 let next = AtomicUsize::new(0);
                 let trace = self.engine.tracer;
                 let tracing = trace.enabled();
-                self.engine.run(&|t| {
+                self.engine.run_labeled(label, &|t| {
                     while let Some(range) = claim_guided(&next, nrows, nthreads) {
                         traced_claim(trace, tracing, t, range, &worker);
                     }

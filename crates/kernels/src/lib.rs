@@ -11,6 +11,11 @@
 //! | `IMB` | long-row decomposition / `auto` scheduling | [`decomposed`], [`schedule`] |
 //! | `CMP` | inner-loop unrolling + vectorization | [`vectorized`] |
 //!
+//! [`micro`] extends the `CMP` pool with a menu of explicitly
+//! vectorized row kernels (`core::arch` AVX2/AVX-512 behind runtime
+//! detection, each with a bitwise-identical scalar fallback) that the
+//! tuner's menu search selects from per matrix.
+//!
 //! A [`variant::KernelVariant`] names a set of optimizations plus a
 //! scheduling policy; [`variant::build_kernel`] lowers it onto a
 //! concrete kernel object (performing any required format conversion
@@ -30,6 +35,7 @@ pub mod blocked;
 pub mod compressed;
 pub mod decomposed;
 pub mod engine;
+pub mod micro;
 pub mod prefetch;
 pub mod schedule;
 pub mod sliced;
@@ -37,5 +43,8 @@ pub mod variant;
 pub mod vectorized;
 
 pub use engine::{ExecEngine, Plan};
+pub use micro::{MenuEntry, MicroSpec};
 pub use schedule::{Schedule, ThreadTimes};
-pub use variant::{build_kernel, BuiltKernel, KernelVariant, Optimization, SpmvKernel};
+pub use variant::{
+    build_kernel, build_micro_kernel, BuiltKernel, KernelVariant, Optimization, SpmvKernel,
+};

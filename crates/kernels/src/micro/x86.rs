@@ -1,0 +1,180 @@
+//! Explicit x86-64 implementations of the microkernel menu.
+//!
+//! Each function transcribes [`super::model_body`] into intrinsics —
+//! same lane striping, same accumulator combine order, same
+//! split-halves reduction — so results are bitwise identical to the
+//! scalar model (see the module docs in [`super`] for the argument).
+//!
+//! Layout: const-generic `#[inline(always)]` bodies hold the actual
+//! loop, and a monomorphic `#[target_feature]` wrapper per menu
+//! configuration inlines its body with the ISA enabled. No vector
+//! type crosses a function boundary; the wrappers take and return
+//! only slices and `f64`.
+
+use core::arch::x86_64::{
+    __m128i, __m256d, __m256i, _mm256_add_pd, _mm256_castpd256_pd128, _mm256_extractf128_pd,
+    _mm256_fmadd_pd, _mm256_i32gather_pd, _mm256_loadu_pd, _mm256_loadu_si256, _mm256_setzero_pd,
+    _mm512_add_pd, _mm512_castpd512_pd256, _mm512_extractf64x4_pd, _mm512_fmadd_pd,
+    _mm512_i32gather_pd, _mm512_loadu_pd, _mm512_setzero_pd, _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64,
+    _mm_loadu_si128, _mm_unpackhi_pd,
+};
+
+/// 4-lane (AVX2) body with `A` independent accumulator vectors.
+///
+/// # Safety
+/// Caller contract of [`super::MicroSpec::row_sum_unchecked`]
+/// (lengths equal, columns in bounds of `x` and `< i32::MAX`), plus:
+/// must only be inlined into a caller compiled with `avx2` and `fma`
+/// enabled after runtime detection.
+#[inline(always)]
+unsafe fn avx2_body<const A: usize>(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    const W: usize = 4;
+    let n = cols.len();
+    let block = W * A;
+    let nblocks = n / block;
+    let cp = cols.as_ptr();
+    let vp = vals.as_ptr();
+    let xp = x.as_ptr();
+    // SAFETY: setzero has no memory operands; the enclosing wrapper
+    // enables AVX2 after runtime detection.
+    let mut acc: [__m256d; A] = [unsafe { _mm256_setzero_pd() }; A];
+    for k in 0..nblocks {
+        let b = k * block;
+        for (j, accv) in acc.iter_mut().enumerate() {
+            let p = b + j * W;
+            // SAFETY: p + 3 < block * nblocks <= n, so the 4-wide
+            // column/value loads stay in bounds; every gathered
+            // column is validated `< x.len()` and fits in i32 per
+            // the caller contract, so `x + 8 * col` is in bounds.
+            unsafe {
+                let idx = _mm_loadu_si128(cp.add(p) as *const __m128i);
+                let xv = _mm256_i32gather_pd::<8>(xp, idx);
+                let av = _mm256_loadu_pd(vp.add(p));
+                *accv = _mm256_fmadd_pd(av, xv, *accv);
+            }
+        }
+    }
+    let mut total = acc[0];
+    for accv in &acc[1..] {
+        // SAFETY: register-only lane-wise add (AVX enabled by wrapper).
+        total = unsafe { _mm256_add_pd(total, *accv) };
+    }
+    // SAFETY: register-only extracts/adds; transcribes the scalar
+    // split-halves reduction (l0 + l2) + (l1 + l3).
+    let mut sum = unsafe {
+        let lo = _mm256_castpd256_pd128(total);
+        let hi = _mm256_extractf128_pd::<1>(total);
+        let pair = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)))
+    };
+    for p in block * nblocks..n {
+        // SAFETY: p < n; the validated column is < x.len().
+        sum = unsafe {
+            vals.get_unchecked(p).mul_add(*x.get_unchecked(*cols.get_unchecked(p) as usize), sum)
+        };
+    }
+    sum
+}
+
+/// 8-lane (AVX-512F) body with `A` independent accumulator vectors.
+///
+/// # Safety
+/// Caller contract of [`super::MicroSpec::row_sum_unchecked`]
+/// (lengths equal, columns in bounds of `x` and `< i32::MAX`), plus:
+/// must only be inlined into a caller compiled with `avx512f`
+/// enabled after runtime detection.
+#[inline(always)]
+unsafe fn avx512_body<const A: usize>(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    const W: usize = 8;
+    let n = cols.len();
+    let block = W * A;
+    let nblocks = n / block;
+    let cp = cols.as_ptr();
+    let vp = vals.as_ptr();
+    let xp = x.as_ptr();
+    // SAFETY: setzero has no memory operands; the enclosing wrapper
+    // enables AVX-512F after runtime detection.
+    let mut acc = [unsafe { _mm512_setzero_pd() }; A];
+    for k in 0..nblocks {
+        let b = k * block;
+        for (j, accv) in acc.iter_mut().enumerate() {
+            let p = b + j * W;
+            // SAFETY: p + 7 < block * nblocks <= n, so the 8-wide
+            // column/value loads stay in bounds; every gathered
+            // column is validated `< x.len()` and fits in i32 per
+            // the caller contract, so `x + 8 * col` is in bounds.
+            unsafe {
+                let idx: __m256i = _mm256_loadu_si256(cp.add(p) as *const __m256i);
+                let xv = _mm512_i32gather_pd::<8>(idx, xp);
+                let av = _mm512_loadu_pd(vp.add(p));
+                *accv = _mm512_fmadd_pd(av, xv, *accv);
+            }
+        }
+    }
+    let mut total = acc[0];
+    for accv in &acc[1..] {
+        // SAFETY: register-only lane-wise add (AVX-512F enabled by
+        // wrapper).
+        total = unsafe { _mm512_add_pd(total, *accv) };
+    }
+    // SAFETY: register-only extracts/adds; transcribes the scalar
+    // reduction q[i] = l[i] + l[i+4] then (q0 + q2) + (q1 + q3).
+    let mut sum = unsafe {
+        let lo256 = _mm512_castpd512_pd256(total);
+        let hi256 = _mm512_extractf64x4_pd::<1>(total);
+        let quad = _mm256_add_pd(lo256, hi256);
+        let lo = _mm256_castpd256_pd128(quad);
+        let hi = _mm256_extractf128_pd::<1>(quad);
+        let pair = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)))
+    };
+    for p in block * nblocks..n {
+        // SAFETY: p < n; the validated column is < x.len().
+        sum = unsafe {
+            vals.get_unchecked(p).mul_add(*x.get_unchecked(*cols.get_unchecked(p) as usize), sum)
+        };
+    }
+    sum
+}
+
+macro_rules! avx2_wrapper {
+    ($name:ident, $accs:literal) => {
+        /// Monomorphic AVX2 entry point for the menu dispatch.
+        ///
+        /// # Safety
+        /// Caller contract of [`super::MicroSpec::row_sum_unchecked`];
+        /// `avx2` and `fma` must have been runtime-detected.
+        #[target_feature(enable = "avx2", enable = "fma")]
+        pub(super) unsafe fn $name(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+            // SAFETY: contract forwarded unchanged; features enabled
+            // on this function.
+            unsafe { avx2_body::<$accs>(cols, vals, x) }
+        }
+    };
+}
+
+macro_rules! avx512_wrapper {
+    ($name:ident, $accs:literal) => {
+        /// Monomorphic AVX-512 entry point for the menu dispatch.
+        ///
+        /// # Safety
+        /// Caller contract of [`super::MicroSpec::row_sum_unchecked`];
+        /// `avx512f` (plus `avx2`/`fma` for the tail) must have been
+        /// runtime-detected.
+        #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+        pub(super) unsafe fn $name(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+            // SAFETY: contract forwarded unchanged; features enabled
+            // on this function.
+            unsafe { avx512_body::<$accs>(cols, vals, x) }
+        }
+    };
+}
+
+avx2_wrapper!(row_sum_avx2_a1, 1);
+avx2_wrapper!(row_sum_avx2_a2, 2);
+avx2_wrapper!(row_sum_avx2_a4, 4);
+avx512_wrapper!(row_sum_avx512_a1, 1);
+avx512_wrapper!(row_sum_avx512_a2, 2);
+avx512_wrapper!(row_sum_avx512_a4, 4);

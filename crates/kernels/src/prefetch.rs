@@ -11,6 +11,10 @@ pub const PREFETCH_DIST: usize = 8;
 
 /// Issues a prefetch-to-L1 hint for `x[col]` on x86-64; a no-op on
 /// other architectures.
+///
+/// simd-ok: a bare cache hint with no lane arithmetic — there is no
+/// scalar twin for the micro/ identity tests to compare against, so
+/// the intrinsic stays with the traversal it serves.
 #[inline(always)]
 pub fn prefetch_x(x: &[f64], col: usize) {
     #[cfg(target_arch = "x86_64")]

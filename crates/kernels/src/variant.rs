@@ -17,6 +17,7 @@ use crate::baseline::{CsrKernel, InnerLoop};
 use crate::blocked::BcsrKernel;
 use crate::compressed::DeltaKernel;
 use crate::decomposed::DecomposedKernel;
+use crate::micro::MenuEntry;
 use crate::schedule::{Schedule, ThreadTimes};
 use crate::sliced::SellKernel;
 
@@ -342,6 +343,49 @@ pub fn build_kernel<'a>(a: &'a Csr, variant: KernelVariant, nthreads: usize) -> 
     }
     let kernel = Box::new(CsrKernel::with_options(a, nthreads, schedule, flavor));
     finish_build(kernel, t0, variant)
+}
+
+/// Lowers one tuner menu candidate (see [`crate::micro::menu`]) onto
+/// an executable kernel for `a`.
+///
+/// Unlike [`build_kernel`], which lowers a bottleneck-class
+/// optimization *set*, this lowers a single concrete configuration
+/// from the microkernel menu: a CSR traversal with an explicit micro
+/// row kernel, a SELL-C-σ slice height (σ = 32 × C), or
+/// delta-compressed indices. The reported `variant` maps the entry
+/// back onto the closest classic optimization label so downstream
+/// reporting (bench trajectory, amortization) stays comparable. A
+/// delta encoding failure falls back to the scalar CSR baseline.
+pub fn build_micro_kernel<'a>(a: &'a Csr, entry: MenuEntry, nthreads: usize) -> BuiltKernel<'a> {
+    let t0 = Instant::now();
+    match entry {
+        MenuEntry::Csr(spec) => {
+            let kernel = Box::new(CsrKernel::micro(a, nthreads, Schedule::NnzBalanced, spec));
+            finish_build(kernel, t0, KernelVariant::single(Optimization::Vectorize))
+        }
+        MenuEntry::Unrolled => {
+            let mut k =
+                CsrKernel::with_options(a, nthreads, Schedule::NnzBalanced, InnerLoop::Unrolled);
+            k.label = format!("micro:{}", entry.id());
+            finish_build(Box::new(k), t0, KernelVariant::single(Optimization::Vectorize))
+        }
+        MenuEntry::Sell { chunk } => {
+            let chunk = chunk.max(1);
+            let s = SellCs::from_csr(a, chunk, 32 * chunk).expect("sigma >= chunk");
+            let kernel = Box::new(SellKernel::new(s, nthreads, Schedule::NnzBalanced));
+            finish_build(kernel, t0, KernelVariant::single(Optimization::SlicedEll))
+        }
+        MenuEntry::Delta => match DeltaCsr::from_csr(a) {
+            Ok(d) => {
+                let kernel = Box::new(DeltaKernel::new(d, nthreads, Schedule::NnzBalanced));
+                finish_build(kernel, t0, KernelVariant::single(Optimization::Compress))
+            }
+            Err(_) => {
+                let kernel = Box::new(CsrKernel::baseline(a, nthreads));
+                finish_build(kernel, t0, KernelVariant::BASELINE)
+            }
+        },
+    }
 }
 
 /// Stamps the preprocessing time of a finished build and feeds the

@@ -187,6 +187,103 @@ impl DispatchSnapshot {
     }
 }
 
+/// The tuner's menu-selection gauge: which microkernel the menu
+/// search last picked, plus search/cache-hit counts.
+///
+/// The selected id is packed into two atomic `u64` words (16 ASCII
+/// bytes, NUL-padded; longer ids truncate) so recording stays within
+/// the hot-path telemetry rules — no locks, no allocation. The two
+/// words are written independently, so a reader racing a writer can
+/// observe a torn id; that is acceptable for a diagnostic gauge with
+/// a single writer in practice (the tuner's search path), and the
+/// counters themselves never tear.
+#[derive(Debug, Default)]
+pub struct SelectionGauge {
+    words: [AtomicU64; 2],
+    searches: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl SelectionGauge {
+    /// Creates an empty gauge (const, so it can back a `static`).
+    pub const fn new() -> SelectionGauge {
+        SelectionGauge {
+            words: [AtomicU64::new(0), AtomicU64::new(0)],
+            searches: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn store_id(&self, id: &str) {
+        let bytes = id.as_bytes();
+        let mut packed = [0u64; 2];
+        for (i, &b) in bytes.iter().take(16).enumerate() {
+            packed[i / 8] |= (b as u64) << ((i % 8) * 8);
+        }
+        // relaxed-ok: diagnostic gauge; the two words are independent
+        // and tearing between them is documented and tolerated.
+        self.words[0].store(packed[0], Ordering::Relaxed);
+        self.words[1].store(packed[1], Ordering::Relaxed); // relaxed-ok: as above.
+    }
+
+    /// Records a full menu search that selected `id`.
+    pub fn record_search(&self, id: &str) {
+        // relaxed-ok: independent monotonic total.
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.store_id(id);
+    }
+
+    /// Records a plan-cache hit whose cached plan selected `id`.
+    pub fn record_cache_hit(&self, id: &str) {
+        // relaxed-ok: independent monotonic total.
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.store_id(id);
+    }
+
+    /// The last selected microkernel id (empty before any search).
+    pub fn selected(&self) -> String {
+        // relaxed-ok: aggregate read, tearing documented above.
+        let packed = [self.words[0].load(Ordering::Relaxed), self.words[1].load(Ordering::Relaxed)]; // relaxed-ok: as above.
+        let mut out = String::new();
+        for i in 0..16 {
+            let b = ((packed[i / 8] >> ((i % 8) * 8)) & 0xff) as u8;
+            if b == 0 {
+                break;
+            }
+            out.push(b as char);
+        }
+        out
+    }
+
+    /// Menu searches recorded.
+    pub fn searches(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.searches.load(Ordering::Relaxed)
+    }
+
+    /// Plan-cache hits recorded.
+    pub fn cache_hits(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge (tests and bench isolation).
+    pub fn reset(&self) {
+        // relaxed-ok: reset is a test/bench affordance.
+        self.words[0].store(0, Ordering::Relaxed);
+        self.words[1].store(0, Ordering::Relaxed); // relaxed-ok: as above.
+        self.searches.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+        self.cache_hits.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+    }
+}
+
+/// Process-wide menu-selection gauge (fed by the tuner's menu
+/// search, exported by the metrics registry).
+pub fn menu_selection() -> &'static SelectionGauge {
+    static GAUGE: SelectionGauge = SelectionGauge::new();
+    &GAUGE
+}
+
 /// Process-wide stats of the engine's pooled dispatch path.
 pub fn engine_dispatch() -> &'static DispatchStats {
     static STATS: DispatchStats = DispatchStats::new();
@@ -271,5 +368,24 @@ mod tests {
         let b = preprocessing() as *const _ as usize;
         let c = profiling_runs() as *const _ as usize;
         assert!(a != b && b != c);
+    }
+
+    #[test]
+    fn selection_gauge_round_trips_ids() {
+        let g = SelectionGauge::new();
+        assert_eq!(g.selected(), "");
+        g.record_search("csr/avx512-a4");
+        assert_eq!(g.selected(), "csr/avx512-a4");
+        assert_eq!(g.searches(), 1);
+        assert_eq!(g.cache_hits(), 0);
+        g.record_cache_hit("sell/c8");
+        assert_eq!(g.selected(), "sell/c8");
+        assert_eq!(g.cache_hits(), 1);
+        // Longer than 16 bytes truncates rather than corrupting.
+        g.record_search("a-very-long-kernel-identifier");
+        assert_eq!(g.selected(), "a-very-long-kern");
+        g.reset();
+        assert_eq!(g.selected(), "");
+        assert_eq!(g.searches(), 0);
     }
 }

@@ -18,7 +18,7 @@
 //! * span timings share one metric, `spmv_span_seconds_total`, with
 //!   the span name as the `span` label.
 
-use crate::metrics::{engine_dispatch, preprocessing, profiling_runs};
+use crate::metrics::{engine_dispatch, menu_selection, preprocessing, profiling_runs};
 use crate::span::SpanSet;
 use crate::trace::tracer;
 
@@ -212,6 +212,29 @@ impl MetricsRegistry {
             MetricKind::Counter,
             prof.seconds(),
         );
+        let menu = menu_selection();
+        reg.push(
+            "spmv_menu_searches_total",
+            "Microkernel menu searches performed by the tuner.",
+            MetricKind::Counter,
+            menu.searches() as f64,
+        );
+        reg.push(
+            "spmv_menu_cache_hits_total",
+            "Menu plan-cache hits (searches skipped entirely).",
+            MetricKind::Counter,
+            menu.cache_hits() as f64,
+        );
+        let selected = menu.selected();
+        if !selected.is_empty() {
+            reg.push_labeled(
+                "spmv_menu_selected",
+                "Last microkernel selected by the menu search (1 = current).",
+                MetricKind::Gauge,
+                &[("kernel", &selected)],
+                1.0,
+            );
+        }
         let t = tracer();
         reg.push(
             "spmv_trace_events_total",

@@ -21,7 +21,11 @@
 //!   feature-guided, oracle and the two trivial sweeps, producing
 //!   runnable kernels via `spmv-kernels`;
 //! * [`amortize`] — the solver-iteration amortization model of §IV-D
-//!   (`N_iters,min = t_pre / (t_MKL − t_optimizer)`);
+//!   (`N_iters,min = t_pre / (t_MKL − t_optimizer)`), extended with
+//!   [`amortize::TuneCost`] so menu-search time is charged too;
+//! * [`menu`] — the microkernel menu search: bound-pruned candidate
+//!   timing over `spmv_kernels::micro`'s explicit-SIMD menu, with
+//!   per-matrix cached winning [`menu::KernelPlan`]s;
 //! * [`pool`] — the class→optimization mapping as a configurable
 //!   value, demonstrating the plug-and-play extension property.
 
@@ -30,6 +34,7 @@ pub mod bounds;
 pub mod class;
 pub mod dtree;
 pub mod featclf;
+pub mod menu;
 pub mod optimizer;
 pub mod partitioned;
 pub mod pool;
@@ -37,6 +42,7 @@ pub mod profile;
 
 pub use class::{Bottleneck, ClassSet};
 pub use featclf::FeatureGuidedClassifier;
+pub use menu::{KernelPlan, MenuTrace};
 pub use optimizer::{Optimizer, TunedSpmv};
 pub use partitioned::PartitionedMlDetector;
 pub use pool::OptimizationPool;

@@ -19,10 +19,13 @@
 
 use std::time::Instant;
 
-use spmv_kernels::variant::{build_kernel, BuiltKernel, KernelVariant, SpmvKernel};
+use spmv_kernels::variant::{
+    build_kernel, build_micro_kernel, BuiltKernel, KernelVariant, SpmvKernel,
+};
 use spmv_machine::MachineModel;
 use spmv_sparse::{Csr, FeatureVector};
 
+use crate::amortize::TuneCost;
 use crate::bounds::{BoundsSource, HostSource};
 use crate::class::ClassSet;
 use crate::featclf::{heuristic_classify, FeatureGuidedClassifier};
@@ -41,6 +44,9 @@ pub enum Strategy {
     TrivialSingle,
     /// Time all 15 singles + pairs, keep the best.
     TrivialCombined,
+    /// Bound-pruned search over the explicit-SIMD microkernel menu
+    /// (see [`crate::menu`]), with per-matrix cached winning plans.
+    MenuSearch,
 }
 
 /// A matrix- and architecture-adaptive SpMV optimizer.
@@ -92,6 +98,11 @@ impl Optimizer {
     /// Trivial sweep over singles and pairs.
     pub fn trivial_combined(machine: &MachineModel) -> Optimizer {
         Self::base(machine, Strategy::TrivialCombined)
+    }
+
+    /// Microkernel menu search (bound-pruned, plan-cached).
+    pub fn menu_search(machine: &MachineModel) -> Optimizer {
+        Self::base(machine, Strategy::MenuSearch)
     }
 
     /// Installs a trained feature-guided classifier.
@@ -158,11 +169,31 @@ impl Optimizer {
                 };
                 self.sweep(a, candidates, t0)
             }
+            Strategy::MenuSearch => {
+                let (plan, _trace) = crate::menu::search_or_cached(
+                    a,
+                    &self.machine,
+                    self.nthreads,
+                    self.profiling_reps,
+                );
+                let built = build_micro_kernel(a, plan.entry, self.nthreads);
+                TunedSpmv {
+                    classes: ClassSet::EMPTY,
+                    built,
+                    prep_seconds: t0.elapsed().as_secs_f64(),
+                    search_seconds: plan.search_seconds,
+                }
+            }
             _ => {
                 let classes = self.classify(a);
                 let variant = classes.to_variant(&self.features(a));
                 let built = build_kernel(a, variant, self.nthreads);
-                TunedSpmv { classes, built, prep_seconds: t0.elapsed().as_secs_f64() }
+                TunedSpmv {
+                    classes,
+                    built,
+                    prep_seconds: t0.elapsed().as_secs_f64(),
+                    search_seconds: 0.0,
+                }
             }
         }
     }
@@ -194,7 +225,12 @@ impl Optimizer {
         }
         let (_, variant) = best.expect("candidate list is non-empty");
         let built = build_kernel(a, variant, self.nthreads);
-        TunedSpmv { classes: ClassSet::EMPTY, built, prep_seconds: t0.elapsed().as_secs_f64() }
+        TunedSpmv {
+            classes: ClassSet::EMPTY,
+            built,
+            prep_seconds: t0.elapsed().as_secs_f64(),
+            search_seconds: 0.0,
+        }
     }
 }
 
@@ -206,6 +242,10 @@ pub struct TunedSpmv<'a> {
     /// Seconds spent deciding and building (classification,
     /// profiling/sweeping, format conversion, codegen).
     pub prep_seconds: f64,
+    /// Seconds of [`prep_seconds`](TunedSpmv::prep_seconds) spent in
+    /// the menu search specifically (zero for the other strategies
+    /// and for plan-cache hits).
+    search_seconds: f64,
 }
 
 impl<'a> TunedSpmv<'a> {
@@ -222,6 +262,16 @@ impl<'a> TunedSpmv<'a> {
     /// The optimization set that was applied.
     pub fn variant(&self) -> KernelVariant {
         self.built.variant
+    }
+
+    /// The full one-off tuning cost, split so amortization charges
+    /// search time separately from conversion (cache hits report a
+    /// pure-conversion cost).
+    pub fn tune_cost(&self) -> TuneCost {
+        TuneCost {
+            prep_seconds: (self.prep_seconds - self.search_seconds).max(0.0),
+            search_seconds: self.search_seconds,
+        }
     }
 }
 
@@ -294,5 +344,24 @@ mod tests {
         assert_eq!(Optimizer::oracle(&m).strategy(), Strategy::Oracle);
         assert_eq!(Optimizer::profile_guided(&m).strategy(), Strategy::ProfileGuided);
         assert_eq!(Optimizer::trivial_combined(&m).strategy(), Strategy::TrivialCombined);
+        assert_eq!(Optimizer::menu_search(&m).strategy(), Strategy::MenuSearch);
+    }
+
+    #[test]
+    fn menu_search_produces_correct_kernel_and_tuning_cost() {
+        crate::menu::clear_plan_cache();
+        let a = gen::banded(3_000, 6, 1.0, 13).unwrap();
+        let opt = Optimizer::menu_search(&MachineModel::host()).with_threads(2);
+        let tuned = opt.optimize(&a);
+        check_correct(&tuned, &a);
+        assert!(tuned.classes().is_empty());
+        let cost = tuned.tune_cost();
+        assert!(cost.search_seconds > 0.0, "first tuning must pay search time");
+        assert!((cost.total() - tuned.prep_seconds).abs() < 1e-9);
+        // Second tuning of the same matrix hits the plan cache.
+        let tuned2 = opt.optimize(&a);
+        check_correct(&tuned2, &a);
+        assert_eq!(tuned2.tune_cost().search_seconds, 0.0);
+        crate::menu::clear_plan_cache();
     }
 }

@@ -1,0 +1,22 @@
+//! Audit fixture: explicit SIMD (`core::arch`, `target_feature`,
+//! feature detection) outside the microkernel menu module. Must
+//! trigger the `simd-containment` policy (and nothing else — the
+//! self-test also scans this file under the micro/ path, where the
+//! same source is containment, not a violation).
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+use core::arch::x86_64::{__m256d, _mm256_add_pd};
+
+/// Adds two lanes-of-four.
+///
+/// # Safety
+/// Caller proves AVX is available on the running CPU.
+#[target_feature(enable = "avx")]
+unsafe fn add4(a: __m256d, b: __m256d) -> __m256d {
+    // SAFETY: AVX is available per the function's contract.
+    unsafe { _mm256_add_pd(a, b) }
+}
+
+fn have_avx() -> bool {
+    is_x86_feature_detected!("avx")
+}

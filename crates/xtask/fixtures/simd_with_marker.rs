@@ -1,0 +1,17 @@
+//! Audit fixture: a `core::arch` use outside the micro/ module that
+//! is justified by a `simd-ok` marker in the enclosing function's doc
+//! block. Must scan clean.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+/// Issues a software prefetch for the next chunk of the column
+/// stream.
+///
+/// simd-ok: a bare cache hint with no lane arithmetic — nothing for
+/// the microkernel menu's scalar-twin identity tests to check, so it
+/// stays with the traversal it serves.
+fn prefetch(p: *const f64) {
+    // SAFETY: prefetch has no architectural effect on any address.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<0>(p.cast::<i8>());
+    }
+}

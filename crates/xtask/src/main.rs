@@ -14,7 +14,7 @@
 //!   `BENCH_spmv.json` at the repo root (see DESIGN.md, "Telemetry &
 //!   the benchmark trajectory").
 //!
-//! The audit enforces eight policies over every `.rs` file
+//! The audit enforces nine policies over every `.rs` file
 //! in the repository (vendored deps and build output excluded):
 //!
 //! 1. **SAFETY comments** — every `unsafe` occurrence (block, fn,
@@ -55,6 +55,12 @@
 //!    (`try_from`, `index_u32`) or carry a `cast-ok` marker naming
 //!    the bound; silent truncation on a >4G-nonzero matrix corrupts
 //!    the format, not the error path. Test spans are exempt.
+//! 9. **SIMD containment** — explicit SIMD (`core::arch`,
+//!    `target_feature`, `is_x86_feature_detected`) appears only in
+//!    the microkernel menu module (`crates/kernels/src/micro/`),
+//!    where every intrinsic is paired with its bitwise-identical
+//!    scalar twin; elsewhere a `simd-ok` marker must name why the
+//!    site cannot live behind the menu (e.g. a bare prefetch hint).
 //!
 //! The audit first runs a self-test over `crates/xtask/fixtures/`:
 //! deliberately violating snippets it must flag, plus clean files it
@@ -377,6 +383,7 @@ const POLICY_TELEMETRY: &str = "telemetry-lock-free";
 const POLICY_SOCKETS: &str = "socket-containment";
 const POLICY_PANIC: &str = "panic-safety";
 const POLICY_CAST: &str = "cast-narrowing";
+const POLICY_SIMD: &str = "simd-containment";
 
 /// Modules allowed to contain unchecked-access tokens (policy 2):
 /// the validated-format fast paths in `spmv-sparse` and the kernel
@@ -391,6 +398,8 @@ const UNCHECKED_ALLOWLIST: &[&str] = &[
     "crates/kernels/src/prefetch.rs",
     "crates/kernels/src/schedule.rs",
     "crates/kernels/src/engine.rs",
+    "crates/kernels/src/micro/mod.rs",
+    "crates/kernels/src/micro/x86.rs",
 ];
 
 /// The only module allowed to create threads (policy 3).
@@ -417,7 +426,7 @@ const ORDERINGS: &[(&str, &str)] = &[
 /// suffix plus the names of its hot functions; the item parser maps
 /// findings to their enclosing `fn`.
 const HOT_PATHS: &[(&str, &[&str])] = &[
-    ("crates/kernels/src/engine.rs", &["run", "worker_loop", "traced_claim"]),
+    ("crates/kernels/src/engine.rs", &["run", "run_labeled", "worker_loop", "traced_claim"]),
     ("crates/telemetry/src/trace.rs", &["record", "pack_name"]),
 ];
 
@@ -433,6 +442,15 @@ const NARROWING_CASTS: &[&str] = &["as u8", "as u16", "as u32"];
 /// Path fragment identifying telemetry sources (policies 4 and 5):
 /// the whole crate is hot-path-adjacent, so every file is in scope.
 const TELEMETRY_PREFIX: &str = "crates/telemetry/src/";
+
+/// The only module allowed explicit SIMD (policy 9): the microkernel
+/// menu, whose intrinsics are paired with bitwise-identical scalar
+/// twins and gated behind runtime feature detection.
+const SIMD_PREFIX: &str = "crates/kernels/src/micro/";
+
+/// Tokens policy 9 contains to the microkernel menu module. Matched
+/// on the code channel only, so doc references stay legal.
+const SIMD_TOKENS: &[&str] = &["core::arch", "target_feature", "is_x86_feature_detected"];
 
 /// The only module allowed to touch sockets (policy 6): the
 /// Prometheus/trace exposition endpoint. Everything else reaches the
@@ -821,6 +839,27 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
                 }
             }
         }
+
+        // Policy 9: explicit SIMD only in the microkernel menu
+        // module, where every intrinsic has a scalar twin and a
+        // bitwise-identity test. A `simd-ok` marker names the rare
+        // exception (e.g. a bare prefetch hint with no lane math).
+        if !file.contains(SIMD_PREFIX) {
+            for token in SIMD_TOKENS {
+                if has_token(code, token) && !justified(&s, &items, i, "simd-ok") {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: line_no,
+                        policy: POLICY_SIMD,
+                        message: format!(
+                            "`{token}` outside crates/kernels/src/micro/ — explicit SIMD \
+                             lives in the microkernel menu (with its scalar twin) or \
+                             carries a `simd-ok` marker naming why it cannot"
+                        ),
+                    });
+                }
+            }
+        }
     }
     findings
 }
@@ -946,6 +985,12 @@ const FIXTURES: &[(&str, &str, &[&str])] = &[
     // (policy 2); a safe method named `add` no longer needs a dodge.
     ("ptr_add_in_unsafe.rs", "crates/sim/src/fixture.rs", &[POLICY_UNCHECKED]),
     ("method_add_safe.rs", "crates/sim/src/fixture.rs", &[]),
+    // Policy 9 fires outside crates/kernels/src/micro/; the same
+    // source under the micro path is containment, not a violation,
+    // and a `simd-ok` marker justifies the rare exception elsewhere.
+    ("simd_outside_micro.rs", "crates/sim/src/fixture.rs", &[POLICY_SIMD]),
+    ("simd_outside_micro.rs", "crates/kernels/src/micro/x86.rs", &[]),
+    ("simd_with_marker.rs", "crates/sim/src/fixture.rs", &[]),
     ("clean.rs", "crates/kernels/src/engine.rs", &[]),
 ];
 

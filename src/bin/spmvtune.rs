@@ -231,6 +231,15 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     let traced_classes = trace.get("classes").and_then(|v| v.as_str()).unwrap_or("?");
     println!("\nbottleneck classes: {traced_classes}");
     println!("selected optimizations: {}", classes.to_variant(&fv));
+
+    // Microkernel menu search (DESIGN.md §11): which explicit-SIMD
+    // row kernel the auto-tuner picks for this matrix — candidates
+    // bound-pruned with the selected machine model, survivors timed
+    // on this host's thread pool.
+    let nthreads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let (_, menu) = spmv_tune::tuner::menu::search_or_cached(&a, &machine, nthreads, 3);
+    println!("\nmicrokernel menu for {name} ({nthreads} threads):");
+    print!("{}", menu.render_text());
     Ok(())
 }
 

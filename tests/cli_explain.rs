@@ -31,6 +31,41 @@ fn explain_renders_the_decision_table() {
 }
 
 #[test]
+fn explain_renders_the_menu_search_trace() {
+    let out = spmvtune(&["explain", "preset:rajat30:0.02", "--machine", "knc"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    // The menu section header and its accounting line.
+    assert!(text.contains("microkernel menu for"), "{text}");
+    assert!(text.contains("menu search:"), "{text}");
+    assert!(text.contains("candidates"), "{text}");
+    assert!(text.contains("bound-pruned"), "{text}");
+    // The scalar CSR baseline is always timed (it is the pruning
+    // floor), and a winner is always declared.
+    assert!(text.contains("timed  csr/scalar4-a1"), "{text}");
+    assert!(text.contains("<- winner"), "{text}");
+    assert!(text.contains("winner:"), "{text}");
+    assert!(text.contains("GF/s, search"), "{text}");
+}
+
+#[test]
+fn explain_menu_trace_respects_forced_scalar() {
+    // Under SPMV_FORCE_SCALAR the menu must not select (or even
+    // consider) an explicit-SIMD candidate — the CI scalar job runs
+    // the whole suite this way.
+    let out = Command::new(env!("CARGO_BIN_EXE_spmvtune"))
+        .args(["explain", "preset:rajat30:0.02", "--machine", "knc"])
+        .env("SPMV_FORCE_SCALAR", "1")
+        .output()
+        .expect("spawn spmvtune");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("menu search:"), "{text}");
+    assert!(!text.contains("csr/avx2"), "{text}");
+    assert!(!text.contains("csr/avx512"), "{text}");
+}
+
+#[test]
 fn explain_rejects_unknown_input() {
     let out = spmvtune(&["explain", "preset:no-such-matrix"]);
     assert!(!out.status.success());
