@@ -299,6 +299,13 @@ impl Drop for ExecEngine {
     }
 }
 
+/// The persistent worker body: park, claim the published job, run it,
+/// report the busy time into the dispatcher's slot.
+///
+/// witness-ok: the one unsafe write goes to per-thread slot `tid` of
+/// the dispatcher's times buffer — governed by the dispatch handshake
+/// (`tid < nthreads` by construction, buffer alive while the
+/// dispatcher blocks), not by matrix validation.
 fn worker_loop(shared: &Shared, tid: usize, trace: &'static TraceBuffer) {
     let mut seen_epoch = 0u64;
     loop {

@@ -153,6 +153,10 @@ impl MicroSpec {
     /// Computes the dot product of one sparse row with `x`, fully
     /// checked: panics on an out-of-bounds column or (for SIMD specs)
     /// mismatched slice lengths.
+    ///
+    /// witness-ok: the length and column-bound asserts below
+    /// re-establish the entire `Validated` invariant locally before
+    /// the unchecked path is entered.
     pub fn row_sum(self, cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
         assert_eq!(cols.len(), vals.len(), "cols/vals length mismatch");
         if self.simd {
@@ -266,6 +270,9 @@ unsafe fn dispatch_model_unchecked(
 /// Split-halves horizontal reduction: the scalar transcription of the
 /// SIMD extract/add ladder, so both sides reduce in the same order.
 /// `lanes.len()` must be 4 or 8.
+///
+/// indexing-ok: every index is below the lane count its `match` arm
+/// just established; `q` is a fixed `[f64; 4]`.
 #[inline(always)]
 fn hreduce(lanes: &[f64]) -> f64 {
     match lanes.len() {
@@ -300,6 +307,11 @@ fn hreduce(lanes: &[f64]) -> f64 {
 ///   extract-high/add ladder);
 /// * the tail (fewer than `W * A` elements) appends sequential
 ///   `mul_add`s to the reduced sum.
+///
+/// indexing-ok: this is the *checked* model — `vals[p]`/`x[cols[p]]`
+/// deliberately keep their bounds checks (panicking beats corrupting
+/// on a bad column); `acc`/`lanes` are fixed-size arrays indexed
+/// below `W`/`A`.
 #[inline(always)]
 fn model_body<const W: usize, const A: usize>(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
     debug_assert_eq!(cols.len(), vals.len());
@@ -330,6 +342,10 @@ fn model_body<const W: usize, const A: usize>(cols: &[u32], vals: &[f64], x: &[f
 }
 
 /// [`model_body`] with bounds checks elided.
+///
+/// indexing-ok: the remaining indexed accesses (`acc[0]`,
+/// `acc[1..]`, `accv[l]`) hit fixed-size `[[f64; W]; A]` accumulators
+/// below their const bounds.
 ///
 /// # Safety
 /// `cols.len() == vals.len()` and every entry of `cols` indexes in

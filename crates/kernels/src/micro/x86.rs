@@ -21,6 +21,9 @@ use core::arch::x86_64::{
 
 /// 4-lane (AVX2) body with `A` independent accumulator vectors.
 ///
+/// indexing-ok: `acc[0]`/`acc[1..]` hit a fixed `[__m256d; A]` with
+/// `A >= 1` by monomorphization.
+///
 /// # Safety
 /// Caller contract of [`super::MicroSpec::row_sum_unchecked`]
 /// (lengths equal, columns in bounds of `x` and `< i32::MAX`), plus:
@@ -78,6 +81,9 @@ unsafe fn avx2_body<const A: usize>(cols: &[u32], vals: &[f64], x: &[f64]) -> f6
 }
 
 /// 8-lane (AVX-512F) body with `A` independent accumulator vectors.
+///
+/// indexing-ok: `acc[0]`/`acc[1..]` hit a fixed `[__m512d; A]` with
+/// `A >= 1` by monomorphization.
 ///
 /// # Safety
 /// Caller contract of [`super::MicroSpec::row_sum_unchecked`]

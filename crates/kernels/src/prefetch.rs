@@ -15,6 +15,10 @@ pub const PREFETCH_DIST: usize = 8;
 /// simd-ok: a bare cache hint with no lane arithmetic — there is no
 /// scalar twin for the micro/ identity tests to compare against, so
 /// the intrinsic stays with the traversal it serves.
+///
+/// witness-ok: the `col < x.len()` guard below re-establishes the
+/// pointer bound locally; no witness is needed for a hint that never
+/// dereferences.
 #[inline(always)]
 pub fn prefetch_x(x: &[f64], col: usize) {
     #[cfg(target_arch = "x86_64")]
@@ -78,6 +82,9 @@ pub fn row_sum_unrolled_prefetch(cols: &[u32], vals: &[f64], x: &[f64], dist: us
 /// stream (the prefetch hint keeps its cheap guard — a misdirected
 /// hint is harmless but a wild one is not worth reasoning about).
 ///
+/// indexing-ok: the only checked indexing left is `cols[j + dist]`
+/// behind its explicit `j + dist < n` guard.
+///
 /// # Safety
 /// `cols.len() == vals.len()` and every entry of `cols` indexes in
 /// bounds of `x` — guaranteed when the row comes from a
@@ -105,6 +112,9 @@ pub unsafe fn row_sum_prefetch_unchecked(
 
 /// [`row_sum_unrolled_prefetch`] with bounds checks elided on the
 /// compute stream.
+///
+/// indexing-ok: `cols[b + dist]` sits behind its `b + dist < n`
+/// guard; `acc` is a fixed `[f64; 4]`.
 ///
 /// # Safety
 /// Same contract as [`row_sum_prefetch_unchecked`].

@@ -140,6 +140,11 @@ impl YPtr {
 
     /// Reconstructs the exclusive sub-slice `[start, start + len)`.
     ///
+    /// witness-ok: the bounds come from the [`Plan`]'s partition of
+    /// `rowptr` (disjoint per-worker ranges by construction), not
+    /// from matrix validation — there is no `Validated` witness to
+    /// thread through here.
+    ///
     /// # Safety
     /// The range must be in bounds, disjoint from every other
     /// worker's range, and the buffer must outlive the dispatch.

@@ -56,6 +56,9 @@ pub fn row_sum_unrolled8(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
 /// [`row_sum_unrolled`] with bounds checks elided — the `CMP`-class
 /// fast path.
 ///
+/// indexing-ok: the reduction reads a fixed `[f64; 4]` at constant
+/// indices.
+///
 /// # Safety
 /// `cols.len() == vals.len()` and every entry of `cols` indexes in
 /// bounds of `x` — guaranteed when the row comes from a

@@ -53,6 +53,8 @@ impl SpanSet {
 
     /// Records an externally measured duration.
     pub fn record(&mut self, name: &str, seconds: f64) {
+        // alloc-ok: one entry per labeled *phase* of a run (cold
+        // path), never per dispatch or per row.
         self.spans.push(Span { name: name.to_string(), seconds });
     }
 

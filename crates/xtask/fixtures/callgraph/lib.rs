@@ -1,0 +1,32 @@
+//! Golden-file fixture for the call-graph extractor. Scanned as
+//! crates/demo/src/lib.rs together with worker.rs; the resolved edge
+//! set is pinned in edges.golden.
+//! Not compiled — scanned only by xtask's own tests.
+
+pub struct Pipeline;
+
+impl Pipeline {
+    pub fn run(&self) {
+        prepare();
+        self.step();
+        worker::execute();
+    }
+
+    fn step(&self) {
+        Self::finish(3);
+    }
+
+    fn finish(x: u64) {
+        double(x);
+    }
+}
+
+fn prepare() {}
+
+fn double(x: u64) -> u64 {
+    x * 2
+}
+
+/// Dispatches through a table the resolver cannot see.
+/// callgraph-edge: Wk::poll
+fn via_pointer() {}

@@ -1,0 +1,20 @@
+//! Second file of the call-graph golden fixture, scanned as
+//! crates/demo/src/worker.rs.
+//! Not compiled — scanned only by xtask's own tests.
+
+pub struct Wk;
+
+impl Wk {
+    pub fn poll(&self) -> u64 {
+        helper()
+    }
+}
+
+pub fn execute() -> u64 {
+    let w = Wk;
+    w.poll()
+}
+
+fn helper() -> u64 {
+    7
+}

@@ -1,0 +1,10 @@
+//! Audit fixture: the same allocation as flow_alloc_in_root.rs, but
+//! justified with an `alloc-ok` marker — `hot-path-alloc` must stay
+//! quiet. Not compiled — scanned only by `cargo xtask audit`'s
+//! self-test.
+
+fn run_labeled(ids: &[u64]) -> Vec<u64> {
+    // alloc-ok: fixture — the per-call result buffer is part of the
+    // API contract, not telemetry overhead.
+    ids.iter().copied().collect()
+}

@@ -1,0 +1,17 @@
+//! Audit fixture: allocation transitively reachable from a dispatch
+//! root. Scanned as crates/kernels/src/engine.rs, `traced_claim` is
+//! a root and the `push`/`to_string`/`format!` in `describe` must
+//! trigger only `hot-path-alloc`.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+fn traced_claim(names: &[&str]) -> String {
+    describe(names)
+}
+
+fn describe(names: &[&str]) -> String {
+    let mut all = Vec::new();
+    for n in names {
+        all.push(n.to_string());
+    }
+    format!("{} lanes", all.len())
+}

@@ -1,0 +1,14 @@
+//! Audit fixture: a `callgraph-ok` marker severs the edge from the
+//! root to `risky`, so its sinks are unreachable and `panic-flow`
+//! must stay quiet. Not compiled — scanned only by `cargo xtask
+//! audit`'s self-test.
+
+fn worker_loop(times: &[f64]) -> f64 {
+    // callgraph-ok: fixture — resolved at runtime to a panic-free
+    // implementation that is audited separately.
+    risky(times)
+}
+
+fn risky(times: &[f64]) -> f64 {
+    times.first().unwrap() + times[0]
+}

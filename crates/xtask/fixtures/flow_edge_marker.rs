@@ -1,0 +1,20 @@
+//! Audit fixture: the root dispatches through a function pointer the
+//! resolver cannot see; a `callgraph-edge` marker declares the edge
+//! explicitly, so the `unwrap` in `hidden_job` must trigger
+//! `panic-flow`. Not compiled — scanned only by `cargo xtask
+//! audit`'s self-test.
+
+/// Dispatches jobs through function pointers.
+/// callgraph-edge: hidden_job
+fn worker_loop(jobs: &[fn() -> u64]) -> u64 {
+    dispatch_all(jobs)
+}
+
+fn dispatch_all(jobs: &[fn() -> u64]) -> u64 {
+    jobs.iter().map(|j| j()).sum()
+}
+
+fn hidden_job() -> u64 {
+    let v: Option<u64> = None;
+    v.unwrap()
+}

@@ -1,0 +1,21 @@
+//! Audit fixture: the same reachable sinks as
+//! flow_panic_reachable.rs, but every site carries its
+//! `panic-ok`/`indexing-ok` justification — `panic-flow` must stay
+//! quiet. Not compiled — scanned only by `cargo xtask audit`'s
+//! self-test.
+
+fn worker_loop(times: &[f64]) -> f64 {
+    lane_sum(times) + deeper(times)
+}
+
+fn lane_sum(times: &[f64]) -> f64 {
+    // panic-ok: fixture — the engine guarantees a non-empty lane set.
+    times.first().unwrap()
+}
+
+/// Reads lane zero.
+///
+/// indexing-ok: fixture — lane 0 exists per the dispatch contract.
+fn deeper(times: &[f64]) -> f64 {
+    times[0]
+}

@@ -1,0 +1,19 @@
+//! Audit fixture: the panic sink sits behind *method* dispatch from
+//! a trace-path root. Scanned as crates/telemetry/src/trace.rs,
+//! `record` is a root; the unmarked indexing in `cell_at` must
+//! trigger only `panic-flow`.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+pub struct TraceBuf {
+    cells: Vec<u64>,
+}
+
+impl TraceBuf {
+    fn record(&self, slot: usize) -> u64 {
+        self.cell_at(slot)
+    }
+
+    fn cell_at(&self, slot: usize) -> u64 {
+        self.cells[slot]
+    }
+}

@@ -1,0 +1,24 @@
+//! Audit fixture: a public safe entry point reaching an unchecked
+//! fast path through a helper chain with no witness anywhere on the
+//! path. Scanned as crates/kernels/src/baseline.rs (allowlisted, so
+//! policy 2 stays quiet) this must trigger only `witness-flow`.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+/// Public API with no witness on the path to the unchecked read.
+pub fn row_sum_api(vals: &[f64]) -> f64 {
+    helper(vals)
+}
+
+fn helper(vals: &[f64]) -> f64 {
+    // SAFETY: fixture — pretends the slice is non-empty.
+    unsafe { first_unchecked(vals) }
+}
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `vals` must be non-empty.
+unsafe fn first_unchecked(vals: &[f64]) -> f64 {
+    // SAFETY: forwarded caller contract.
+    unsafe { *vals.get_unchecked(0) }
+}

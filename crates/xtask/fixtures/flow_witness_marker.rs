@@ -1,0 +1,28 @@
+//! Audit fixture: no witness type on the path, but the helper
+//! re-validates its input itself and says so with a `witness-ok`
+//! item marker — `witness-flow` must stay quiet.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+/// Public API; the helper below validates before going unchecked.
+pub fn row_sum_api(vals: &[f64]) -> f64 {
+    helper(vals)
+}
+
+/// Checks emptiness, then takes the fast path.
+///
+/// witness-ok: fixture — the assert re-establishes the non-empty
+/// invariant the unchecked read relies on.
+fn helper(vals: &[f64]) -> f64 {
+    assert!(!vals.is_empty());
+    // SAFETY: checked non-empty directly above.
+    unsafe { first_unchecked(vals) }
+}
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `vals` must be non-empty.
+unsafe fn first_unchecked(vals: &[f64]) -> f64 {
+    // SAFETY: forwarded caller contract.
+    unsafe { *vals.get_unchecked(0) }
+}

@@ -1,0 +1,25 @@
+//! Audit fixture: the same shape as flow_unwitnessed.rs, but the
+//! helper takes a `Validated` witness — the path passes a witness
+//! gate, so `witness-flow` must stay quiet.
+//! Not compiled — scanned only by `cargo xtask audit`'s self-test.
+
+pub struct Validated;
+
+/// Public API; the helper it calls demands the witness.
+pub fn row_sum_api(w: &Validated, vals: &[f64]) -> f64 {
+    helper(w, vals)
+}
+
+fn helper(_w: &Validated, vals: &[f64]) -> f64 {
+    // SAFETY: fixture — the witness proves the slice is non-empty.
+    unsafe { first_unchecked(vals) }
+}
+
+/// Reads the first element without a bounds check.
+///
+/// # Safety
+/// `vals` must be non-empty.
+unsafe fn first_unchecked(vals: &[f64]) -> f64 {
+    // SAFETY: forwarded caller contract.
+    unsafe { *vals.get_unchecked(0) }
+}

@@ -14,8 +14,10 @@
 //!   `BENCH_spmv.json` at the repo root (see DESIGN.md, "Telemetry &
 //!   the benchmark trajectory").
 //!
-//! The audit enforces nine policies over every `.rs` file
-//! in the repository (vendored deps and build output excluded):
+//! The audit enforces twelve policies over every `.rs` file
+//! in the repository (vendored deps and build output excluded) —
+//! nine lexical/item-level policies here, plus three interprocedural
+//! dataflow policies over the workspace call graph in [`flow`]:
 //!
 //! 1. **SAFETY comments** — every `unsafe` occurrence (block, fn,
 //!    impl) is immediately preceded by a `// SAFETY:` comment or a
@@ -61,10 +63,27 @@
 //!    where every intrinsic is paired with its bitwise-identical
 //!    scalar twin; elsewhere a `simd-ok` marker must name why the
 //!    site cannot live behind the menu (e.g. a bare prefetch hint).
+//! 10. **witness-flow** — every call path from a public safe
+//!     function to an unchecked kernel fast path must pass a
+//!     `Validated`/`MaybeValidated` witness or a `witness-ok` item.
+//! 11. **panic-flow** — the panic-safety root set is closed under
+//!     the call graph: reachable `unwrap`/`expect`/unmarked indexing
+//!     is flagged with its full call chain.
+//! 12. **hot-path-alloc** — no allocation (`Vec::push`, `Box::new`,
+//!     `format!`, `String::from`, `to_string`, `collect`) reachable
+//!     from the dispatch roots without an `alloc-ok` marker.
 //!
 //! The audit first runs a self-test over `crates/xtask/fixtures/`:
 //! deliberately violating snippets it must flag, plus clean files it
 //! must not. A scanner regression therefore fails the audit itself.
+//!
+//! Exit codes are stable and part of the CLI contract: **0** — scan
+//! completed with no findings outside the committed baseline
+//! (`crates/xtask/audit-baseline.txt`); **1** — at least one
+//! non-baselined finding; **2** — internal error (self-test failure,
+//! unreadable file, bad usage). `--json` emits the machine-readable
+//! findings document (schema `spmv-audit/1`) on stdout; `--annotate`
+//! emits GitHub `::error file=…` workflow commands for CI.
 //!
 //! No external dependencies beyond the in-tree `spmv-check`: the
 //! scanner is a hand-rolled lexer that strips string literals and
@@ -73,12 +92,14 @@
 //! item parser ([`parse`]) that recovers fn/mod/impl spans, test
 //! gating, and unsafe contexts.
 
+mod flow;
 mod parse;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use parse::{parse_items, Items};
+use parse::{extract_calls, parse_items, CallSite, Items};
+use spmv_telemetry::JsonValue;
 
 const USAGE: &str = "usage: cargo xtask <audit|check|bench>";
 
@@ -273,12 +294,31 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// `cargo xtask audit [--root DIR]` — self-tests the scanner against
-/// the fixtures (always from this crate's own tree), then scans every
-/// workspace `.rs` file under `DIR` (default: the repo root).
-/// Findings go to stderr; the success summary goes to stdout.
+/// Audit exit codes — stable, documented, and pinned by
+/// `tests/cli.rs`: clean (or fully baselined) scan, non-baselined
+/// findings, internal error.
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_INTERNAL: u8 = 2;
+
+/// Default baseline location, relative to the scan root.
+const BASELINE_REL: &str = "crates/xtask/audit-baseline.txt";
+
+/// `cargo xtask audit [--root DIR] [--json] [--annotate]
+/// [--baseline FILE]` — self-tests the scanner against the fixtures
+/// (always from this crate's own tree), then scans every workspace
+/// `.rs` file under `DIR` (default: the repo root).
+///
+/// Human-readable findings go to stderr. `--json` writes the
+/// `spmv-audit/1` findings document to stdout; `--annotate` writes
+/// GitHub `::error` workflow commands to stdout instead. Findings
+/// whose key appears in the baseline file are reported but do not
+/// affect the exit code; exit codes are 0 (clean), 1 (non-baselined
+/// findings), 2 (internal error).
 fn run_audit(args: &[String]) -> ExitCode {
     let mut scan_root = repo_root();
+    let mut json = false;
+    let mut annotate = false;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -286,47 +326,194 @@ fn run_audit(args: &[String]) -> ExitCode {
                 Some(p) => scan_root = PathBuf::from(p),
                 None => {
                     eprintln!("audit: --root requires a directory");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_INTERNAL);
                 }
             },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("audit: --baseline requires a file");
+                    return ExitCode::from(EXIT_INTERNAL);
+                }
+            },
+            "--json" => json = true,
+            "--annotate" => annotate = true,
             other => {
                 eprintln!("audit: unknown flag `{other}`");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INTERNAL);
             }
         }
     }
 
+    if !scan_root.is_dir() {
+        eprintln!("audit: root {} is not a directory", scan_root.display());
+        return ExitCode::from(EXIT_INTERNAL);
+    }
+
     if let Err(e) = self_test(&repo_root()) {
         eprintln!("audit self-test FAILED: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_INTERNAL);
     }
 
     let mut files = Vec::new();
     collect_rs_files(&scan_root, &scan_root, &mut files);
     files.sort();
 
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for file in &files {
-        let text = match std::fs::read_to_string(scan_root.join(file)) {
-            Ok(t) => t,
+        match std::fs::read_to_string(scan_root.join(file)) {
+            Ok(t) => sources.push((file.clone(), t)),
             Err(e) => {
                 eprintln!("audit: cannot read {file}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INTERNAL);
             }
-        };
-        findings.extend(scan_source(file, &text));
+        }
+    }
+    let mut findings = audit_files(&sources);
+
+    // Baseline: suppressed finding keys, committed with justification
+    // comments. An explicitly-passed file must exist; the default
+    // location may be absent (empty baseline).
+    let (baseline_file, explicit) = match baseline_path {
+        Some(p) => (p, true),
+        None => (scan_root.join(BASELINE_REL), false),
+    };
+    let baseline = match load_baseline(&baseline_file, explicit) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    };
+    for f in &mut findings {
+        f.baselined = baseline.iter().any(|k| k == &f.key());
+    }
+    let stale: Vec<&String> =
+        baseline.iter().filter(|k| !findings.iter().any(|f| &f.key() == *k)).collect();
+    for k in &stale {
+        eprintln!("audit: stale baseline entry (no matching finding): {k}");
     }
 
-    if findings.is_empty() {
-        println!("audit OK: {} files scanned, 0 findings", files.len());
-        ExitCode::SUCCESS
-    } else {
-        for f in &findings {
+    let new_count = findings.iter().filter(|f| !f.baselined).count();
+    let baselined_count = findings.len() - new_count;
+
+    for f in &findings {
+        if !f.baselined {
             eprintln!("{}", f.render());
         }
-        eprintln!("audit FAILED: {} finding(s) in {} files scanned", findings.len(), files.len());
-        ExitCode::FAILURE
     }
+    if annotate {
+        for f in findings.iter().filter(|f| !f.baselined) {
+            // GitHub workflow command; `::` in the message would end
+            // the command prematurely, so render plain.
+            println!(
+                "::error file={},line={},title=audit {}::{}",
+                f.file,
+                f.line,
+                f.policy,
+                f.message.replace('\n', " ")
+            );
+        }
+    }
+    if json {
+        println!("{}", findings_json(&files, &findings, &stale).render_pretty(2));
+    } else if new_count == 0 {
+        println!(
+            "audit OK: {} files scanned, {} finding(s), {} baselined",
+            files.len(),
+            findings.len(),
+            baselined_count
+        );
+    }
+    if new_count == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "audit FAILED: {} non-baselined finding(s) ({} baselined) in {} files scanned",
+            new_count,
+            baselined_count,
+            files.len()
+        );
+        ExitCode::from(EXIT_FINDINGS)
+    }
+}
+
+/// Parses the baseline file: one `policy|file|item|detail` key per
+/// line, `#` comments (the required justifications) and blank lines
+/// ignored.
+fn load_baseline(path: &Path, must_exist: bool) -> Result<Vec<String>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if must_exist => {
+            return Err(format!("cannot read baseline {}: {e}", path.display()));
+        }
+        Err(_) => return Ok(Vec::new()),
+    };
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect())
+}
+
+/// Builds the `spmv-audit/1` findings document.
+fn findings_json(files: &[String], findings: &[Finding], stale: &[&String]) -> JsonValue {
+    let arr: Vec<JsonValue> = findings
+        .iter()
+        .map(|f| {
+            JsonValue::obj()
+                .with("file", f.file.as_str())
+                .with("line", f.line)
+                .with("policy", f.policy)
+                .with("item", f.item.as_str())
+                .with("message", f.message.as_str())
+                .with(
+                    "chain",
+                    f.chain.iter().map(|c| c.as_str().into()).collect::<Vec<JsonValue>>(),
+                )
+                .with("baselined", f.baselined)
+                .with("key", f.key())
+        })
+        .collect();
+    let new_count = findings.iter().filter(|f| !f.baselined).count();
+    JsonValue::obj()
+        .with("schema", "spmv-audit/1")
+        .with("files_scanned", files.len())
+        .with("findings", arr)
+        .with(
+            "summary",
+            JsonValue::obj()
+                .with("total", findings.len())
+                .with("baselined", findings.len() - new_count)
+                .with("new", new_count)
+                .with(
+                    "stale_baseline",
+                    stale.iter().map(|s| s.as_str().into()).collect::<Vec<JsonValue>>(),
+                ),
+        )
+}
+
+/// The full audit pipeline over in-memory sources: parse every file
+/// once, run the nine lexical policies per file, then the three
+/// interprocedural policies over the whole set. Findings come back
+/// in deterministic (file, line, policy) order.
+fn audit_files(sources: &[(String, String)]) -> Vec<Finding> {
+    let units: Vec<FileUnit> = sources.iter().map(|(p, t)| FileUnit::new(p, t)).collect();
+    let mut findings = Vec::new();
+    for unit in &units {
+        findings.extend(scan_unit(unit));
+    }
+    findings.extend(flow::analyze(&units));
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.policy, a.detail.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.policy,
+            b.detail.as_str(),
+        ))
+    });
+    findings
 }
 
 /// Recursively collects workspace `.rs` files as `/`-separated paths
@@ -359,19 +546,85 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
     }
 }
 
+/// One source file parsed once for every policy: scrubbed channels,
+/// item spans, and outgoing call sites.
+pub(crate) struct FileUnit {
+    pub(crate) path: String,
+    pub(crate) s: Scrubbed,
+    pub(crate) items: Items,
+    pub(crate) calls: Vec<CallSite>,
+}
+
+impl FileUnit {
+    pub(crate) fn new(path: &str, text: &str) -> FileUnit {
+        let s = scrub(text);
+        let items = parse_items(&s);
+        let calls = extract_calls(&s);
+        FileUnit { path: path.to_string(), s, items, calls }
+    }
+}
+
 /// One policy violation.
 #[derive(Debug, PartialEq)]
-struct Finding {
-    file: String,
+pub(crate) struct Finding {
+    pub(crate) file: String,
     /// 1-based line number.
-    line: usize,
-    policy: &'static str,
-    message: String,
+    pub(crate) line: usize,
+    pub(crate) policy: &'static str,
+    /// Qualified name of the enclosing item (`Owner::fn` or `fn`),
+    /// or `-` at module scope. Part of the baseline key.
+    pub(crate) item: String,
+    /// The violating token or path class. Part of the baseline key,
+    /// so keys survive unrelated line-number churn.
+    pub(crate) detail: String,
+    /// For interprocedural findings: the call chain from a root or
+    /// entry point to the flagged item.
+    pub(crate) chain: Vec<String>,
+    pub(crate) message: String,
+    /// Suppressed by the committed baseline file (set after scan).
+    pub(crate) baselined: bool,
 }
 
 impl Finding {
+    /// Baseline/suppression key: line-number independent, so the
+    /// baseline survives unrelated edits above a finding. One entry
+    /// covers every instance of the same token in the same item —
+    /// by design, since those share one justification.
+    pub(crate) fn key(&self) -> String {
+        format!("{}|{}|{}|{}", self.policy, self.file, self.item, self.detail)
+    }
+
     fn render(&self) -> String {
         format!("{}:{}: [{}] {}", self.file, self.line, self.policy, self.message)
+    }
+
+    /// A single-site (lexical) finding; the enclosing item is
+    /// resolved from the parse.
+    fn lexical(
+        file: &str,
+        line0: usize,
+        policy: &'static str,
+        items: &Items,
+        detail: &str,
+        message: String,
+    ) -> Finding {
+        let item = items
+            .enclosing_fn(line0)
+            .map(|f| match &f.owner {
+                Some(o) => format!("{o}::{}", f.name),
+                None => f.name.clone(),
+            })
+            .unwrap_or_else(|| "-".to_string());
+        Finding {
+            file: file.to_string(),
+            line: line0 + 1,
+            policy,
+            item,
+            detail: detail.to_string(),
+            chain: Vec::new(),
+            message,
+            baselined: false,
+        }
     }
 }
 
@@ -519,7 +772,7 @@ pub(crate) fn scrub(text: &str) -> Scrubbed {
                     i += 1;
                 } else if c == 'r'
                     && matches!(next, Some('"') | Some('#'))
-                    && !prev_is_ident(line_code)
+                    && raw_prefix_ok(line_code)
                 {
                     // Raw string r"..." / r#"..."#; count the hashes.
                     let mut hashes = 0;
@@ -627,11 +880,21 @@ pub(crate) fn scrub(text: &str) -> Scrubbed {
     Scrubbed { code, comments }
 }
 
-/// Whether the scrubbed code line ends in an identifier character
-/// (used to distinguish `r"..."` raw strings from identifiers ending
-/// in `r`, like `ptr` in `ptr"`-impossible but `var` in `var#`).
-fn prev_is_ident(line_code: &str) -> bool {
-    line_code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+/// Whether an `r` at the current position can start a raw string:
+/// the identifier run already emitted on this line must be empty
+/// (plain `r"..."`) or exactly a byte/C-string prefix (`br"..."`,
+/// `cr#"..."#`). Anything longer is an identifier ending in `r`
+/// (`ptr`, `attr`), not a raw-string opener — and a missed *prefix*
+/// here is worse than a missed identifier, because the fallback
+/// `Str` state applies escape processing that raw strings do not
+/// have, desyncing every later line and brace.
+fn raw_prefix_ok(line_code: &str) -> bool {
+    let mut run = line_code.chars().rev().take_while(|c| c.is_alphanumeric() || *c == '_');
+    match run.next() {
+        None => true,
+        Some('b') | Some('c') => run.next().is_none(),
+        Some(_) => false,
+    }
 }
 
 /// Whether `line` contains `token` delimited by non-identifier
@@ -653,10 +916,19 @@ fn has_token(line: &str, token: &str) -> bool {
     false
 }
 
-/// Runs every policy over one file.
+/// Runs the lexical policies (1–9) over one file. Used directly by
+/// the unit tests; the audit runs [`scan_unit`] plus
+/// [`flow::analyze`] via [`audit_files`].
+#[cfg(test)]
 fn scan_source(file: &str, text: &str) -> Vec<Finding> {
-    let s = scrub(text);
-    let items = parse_items(&s);
+    scan_unit(&FileUnit::new(file, text))
+}
+
+/// Runs the nine lexical policies over one parsed file.
+fn scan_unit(unit: &FileUnit) -> Vec<Finding> {
+    let file = unit.path.as_str();
+    let s = &unit.s;
+    let items = &unit.items;
     let nlines = s.code.len();
     let mut findings = Vec::new();
 
@@ -666,18 +938,19 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
 
     for i in 0..nlines {
         let code = &s.code[i];
-        let line_no = i + 1;
 
         // Policy 1: SAFETY-comment adjacency.
-        if has_token(code, "unsafe") && !preceded_by_safety(&s, i) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: line_no,
-                policy: POLICY_SAFETY,
-                message: "`unsafe` without an immediately preceding `// SAFETY:` comment \
-                          (or `# Safety` doc section) naming the invariant"
+        if has_token(code, "unsafe") && !preceded_by_safety(s, i) {
+            findings.push(Finding::lexical(
+                file,
+                i,
+                POLICY_SAFETY,
+                items,
+                "unsafe",
+                "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                 (or `# Safety` doc section) naming the invariant"
                     .to_string(),
-            });
+            ));
         }
 
         // Policy 2: unchecked accesses only in allowlisted modules.
@@ -686,15 +959,17 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
                 ["get_unchecked", "get_unchecked_mut", "from_raw_parts", "from_raw_parts_mut"]
             {
                 if has_token(code, token) {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_UNCHECKED,
-                        message: format!(
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_UNCHECKED,
+                        items,
+                        token,
+                        format!(
                             "`{token}` outside the allowlisted kernel modules — route the \
                              access through a `Validated<_>` fast path or a checked method"
                         ),
-                    });
+                    ));
                 }
             }
             // `.add(` is only pointer arithmetic when it sits in an
@@ -702,14 +977,16 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
             // item-level parse makes the distinction, so safe
             // counters no longer have to dodge the name.
             if code.contains(".add(") && items.in_unsafe(i) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: line_no,
-                    policy: POLICY_UNCHECKED,
-                    message: "raw-pointer arithmetic (`.add(` in an unsafe context) outside \
-                              the allowlisted kernel modules"
+                findings.push(Finding::lexical(
+                    file,
+                    i,
+                    POLICY_UNCHECKED,
+                    items,
+                    ".add(",
+                    "raw-pointer arithmetic (`.add(` in an unsafe context) outside \
+                     the allowlisted kernel modules"
                         .to_string(),
-                });
+                ));
             }
         }
 
@@ -717,15 +994,17 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         if !path_in(file, THREAD_ALLOWLIST) {
             for token in ["thread::spawn", "thread::scope"] {
                 if code.contains(token) {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_THREADS,
-                        message: format!(
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_THREADS,
+                        items,
+                        token,
+                        format!(
                             "`{token}` outside crates/kernels/src/engine.rs — all \
                              parallelism goes through ExecEngine"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -735,19 +1014,21 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         // site or in the enclosing function's doc block.
         if (path_in(file, ORDERING_SCOPE) || in_telemetry(file)) && !items.in_test(i) {
             for (ordering, marker) in ORDERINGS {
-                if code.contains(ordering) && !justified(&s, &items, i, marker) {
+                if code.contains(ordering) && !justified(s, items, i, marker) {
                     let site = items
                         .enclosing_fn(i)
                         .map_or_else(|| "module scope".to_string(), |f| format!("fn `{}`", f.name));
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_ORDERING,
-                        message: format!(
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_ORDERING,
+                        items,
+                        ordering,
+                        format!(
                             "`{ordering}` in {site} without a `{marker}` marker comment \
                              justifying it against the dispatch handshake"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -758,15 +1039,17 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         if in_telemetry(file) {
             for token in ["Mutex", "RwLock", "Condvar", "Barrier", "mpsc"] {
                 if has_token(code, token) {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_TELEMETRY,
-                        message: format!(
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_TELEMETRY,
+                        items,
+                        token,
+                        format!(
                             "`{token}` in crates/telemetry — telemetry must never block; \
                              use relaxed atomics (hot path) or owned values (cold path)"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -776,15 +1059,17 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         if !path_in(file, SOCKET_ALLOWLIST) {
             for token in ["TcpListener", "TcpStream", "UdpSocket", "UnixListener", "UnixStream"] {
                 if has_token(code, token) {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_SOCKETS,
-                        message: format!(
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_SOCKETS,
+                        items,
+                        token,
+                        format!(
                             "`{token}` outside crates/telemetry/src/exposition.rs — all \
                              network I/O goes through the metrics exposition module"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -793,30 +1078,34 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         if !hot_fns.is_empty() && !items.in_test(i) {
             if let Some(f) = items.enclosing_fn(i).filter(|f| hot_fns.contains(&f.name.as_str())) {
                 for token in [".unwrap()", ".expect("] {
-                    if code.contains(token) && !justified(&s, &items, i, "panic-ok") {
-                        findings.push(Finding {
-                            file: file.to_string(),
-                            line: line_no,
-                            policy: POLICY_PANIC,
-                            message: format!(
+                    if code.contains(token) && !justified(s, items, i, "panic-ok") {
+                        findings.push(Finding::lexical(
+                            file,
+                            i,
+                            POLICY_PANIC,
+                            items,
+                            token,
+                            format!(
                                 "`{token}` in hot-path fn `{}` without a `panic-ok` marker — \
                                  a panic mid-dispatch poisons the worker handshake",
                                 f.name
                             ),
-                        });
+                        ));
                     }
                 }
-                if has_index_expr(code) && !justified(&s, &items, i, "indexing-ok") {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_PANIC,
-                        message: format!(
+                if has_index_expr(code) && !justified(s, items, i, "indexing-ok") {
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_PANIC,
+                        items,
+                        "indexing",
+                        format!(
                             "indexing in hot-path fn `{}` without an `indexing-ok` marker \
                              naming why the index is in bounds",
                             f.name
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -825,17 +1114,19 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         // must be checked or justified.
         if file.contains(CAST_SCOPE) && !items.in_test(i) {
             for cast in NARROWING_CASTS {
-                if has_token(code, cast) && !justified(&s, &items, i, "cast-ok") {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_CAST,
-                        message: format!(
+                if has_token(code, cast) && !justified(s, items, i, "cast-ok") {
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_CAST,
+                        items,
+                        cast,
+                        format!(
                             "narrowing `{cast}` in the sparse builders without a `cast-ok` \
                              marker — use `try_from`/`index_u32` so truncation is an error, \
                              not corruption"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -846,17 +1137,19 @@ fn scan_source(file: &str, text: &str) -> Vec<Finding> {
         // exception (e.g. a bare prefetch hint with no lane math).
         if !file.contains(SIMD_PREFIX) {
             for token in SIMD_TOKENS {
-                if has_token(code, token) && !justified(&s, &items, i, "simd-ok") {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: line_no,
-                        policy: POLICY_SIMD,
-                        message: format!(
+                if has_token(code, token) && !justified(s, items, i, "simd-ok") {
+                    findings.push(Finding::lexical(
+                        file,
+                        i,
+                        POLICY_SIMD,
+                        items,
+                        token,
+                        format!(
                             "`{token}` outside crates/kernels/src/micro/ — explicit SIMD \
                              lives in the microkernel menu (with its scalar twin) or \
                              carries a `simd-ok` marker naming why it cannot"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -992,6 +1285,36 @@ const FIXTURES: &[(&str, &str, &[&str])] = &[
     ("simd_outside_micro.rs", "crates/kernels/src/micro/x86.rs", &[]),
     ("simd_with_marker.rs", "crates/sim/src/fixture.rs", &[]),
     ("clean.rs", "crates/kernels/src/engine.rs", &[]),
+    // Policy 10 (witness-flow): a public entry reaching an unchecked
+    // fast path through a helper chain, and through method dispatch;
+    // a Validated parameter or a `witness-ok` item breaks the path.
+    ("flow_unwitnessed.rs", "crates/kernels/src/baseline.rs", &[flow::POLICY_WITNESS_FLOW]),
+    (
+        "flow_method_unwitnessed.rs",
+        "crates/kernels/src/vectorized.rs",
+        &[flow::POLICY_WITNESS_FLOW],
+    ),
+    ("flow_witnessed.rs", "crates/kernels/src/baseline.rs", &[]),
+    ("flow_witness_marker.rs", "crates/kernels/src/baseline.rs", &[]),
+    // Policy 11 (panic-flow): panic sinks transitively reachable from
+    // the dispatch roots, via bare calls and via method dispatch; the
+    // same sinks marked panic-ok/indexing-ok stay quiet. Scanned as a
+    // non-root file, the same source is clean.
+    ("flow_panic_reachable.rs", "crates/kernels/src/engine.rs", &[flow::POLICY_PANIC_FLOW]),
+    ("flow_panic_method.rs", "crates/telemetry/src/trace.rs", &[flow::POLICY_PANIC_FLOW]),
+    ("flow_panic_reachable.rs", "crates/kernels/src/schedule.rs", &[]),
+    ("flow_panic_marked.rs", "crates/kernels/src/engine.rs", &[]),
+    // Policy 12 (hot-path-alloc): allocation reachable from dispatch
+    // roots — including inside the roots themselves — without an
+    // `alloc-ok` marker; marked sites stay quiet.
+    ("flow_alloc_reachable.rs", "crates/kernels/src/engine.rs", &[flow::POLICY_ALLOC]),
+    ("flow_alloc_in_root.rs", "crates/kernels/src/engine.rs", &[flow::POLICY_ALLOC]),
+    ("flow_alloc_marked.rs", "crates/kernels/src/engine.rs", &[]),
+    // Call-graph marker escape hatches: `callgraph-edge` adds an edge
+    // the heuristics cannot see (flagging its panic sink);
+    // `callgraph-ok` severs one, making the same sink unreachable.
+    ("flow_edge_marker.rs", "crates/kernels/src/engine.rs", &[flow::POLICY_PANIC_FLOW]),
+    ("flow_callgraph_ok.rs", "crates/kernels/src/engine.rs", &[]),
 ];
 
 /// Scans each fixture under its virtual path and checks the triggered
@@ -1004,8 +1327,9 @@ fn self_test(root: &Path) -> Result<(), String> {
         let path = dir.join(name);
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
+        let sources = [(virtual_path.to_string(), text)];
         let mut got: Vec<&'static str> =
-            scan_source(virtual_path, &text).into_iter().map(|f| f.policy).collect();
+            audit_files(&sources).into_iter().map(|f| f.policy).collect();
         got.sort_unstable();
         got.dedup();
         let mut want = expected.to_vec();
@@ -1043,6 +1367,60 @@ mod tests {
         let s = scrub("fn f<'a>(x: &'a str) -> char { 'x' }\n");
         assert!(s.code[0].contains("fn f<'a>"));
         assert!(!s.code[0].contains("'x'") || s.code[0].contains("' '"));
+    }
+
+    #[test]
+    fn scrubber_blanks_raw_string_braces_across_lines() {
+        // The decoy braces and `fn` inside the raw literal must not
+        // open items or skew brace tracking for the fn that follows.
+        let text = "fn f() -> &'static str {\n    r#\"{ fn decoy() {\n} }\"#\n}\nfn g() {}\n";
+        let s = scrub(text);
+        assert!(!s.code[1].contains('{'), "{:?}", s.code);
+        assert!(!s.code[2].contains('}'), "{:?}", s.code);
+        let items = parse_items(&s);
+        let names: Vec<&str> = items.items.iter().map(|it| it.name.as_str()).collect();
+        assert_eq!(names, ["f", "g"], "{:?}", items.items);
+        let f = &items.items[0];
+        assert_eq!((f.start, f.end), (0, 3), "raw-string brace leaked into the span");
+    }
+
+    #[test]
+    fn scrubber_accepts_byte_and_c_string_raw_prefixes() {
+        let s = scrub("let a = br#\"} fn no() {\"#;\nlet b = cr##\"{{\"##;\nunsafe {}\n");
+        assert!(!s.code[0].contains('}'), "{:?}", s.code);
+        assert!(!s.code[1].contains('{'), "{:?}", s.code);
+        assert!(has_token(&s.code[2], "unsafe"), "line sync lost: {:?}", s.code);
+        // An identifier merely ending in `r` (or a longer run before
+        // a `b`/`c` prefix) is not a raw-string opener.
+        assert!(raw_prefix_ok("let a = "));
+        assert!(raw_prefix_ok("x = b"));
+        assert!(raw_prefix_ok(""));
+        assert!(!raw_prefix_ok("let ab"));
+        assert!(!raw_prefix_ok("foo_c"));
+    }
+
+    #[test]
+    fn scrubber_blanks_brace_char_literals() {
+        let text =
+            "fn f() -> char {\n    let open = '{';\n    let close = '}';\n    open\n}\nfn g() {}\n";
+        let s = scrub(text);
+        assert!(!s.code[1].contains('{'), "{:?}", s.code);
+        assert!(!s.code[2].contains('}'), "{:?}", s.code);
+        let items = parse_items(&s);
+        let names: Vec<&str> = items.items.iter().map(|it| it.name.as_str()).collect();
+        assert_eq!(names, ["f", "g"], "{:?}", items.items);
+        assert_eq!(items.items[0].end, 4, "char-literal brace skewed the span");
+    }
+
+    #[test]
+    fn scrubber_tracks_nested_block_comments() {
+        let text = "/* outer { /* inner fn bogus() { */ still comment } */\nfn h() {}\n";
+        let s = scrub(text);
+        assert!(s.code[0].trim().is_empty(), "{:?}", s.code);
+        assert!(s.comments[0].contains("still comment"), "{:?}", s.comments);
+        let items = parse_items(&s);
+        let names: Vec<&str> = items.items.iter().map(|it| it.name.as_str()).collect();
+        assert_eq!(names, ["h"], "comment text parsed as items: {:?}", items.items);
     }
 
     #[test]

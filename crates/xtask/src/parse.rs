@@ -9,11 +9,20 @@
 //! that from the [`Scrubbed`] channels — no expression parsing, just
 //! brace-matched item spans:
 //!
-//! * `fn` / `mod` / `impl` items with their names, line spans, and
-//!   whether a `#[cfg(test)]`-family attribute gates them;
+//! * `fn` / `mod` / `impl` / `trait` items with their names, line
+//!   spans, visibility, and whether a `#[cfg(test)]`-family attribute
+//!   gates them; `fn` items additionally record the self type of the
+//!   enclosing `impl`/`trait` (their *owner*), which the call-graph
+//!   resolver uses to match `Type::method` paths and `.method(`
+//!   receivers;
 //! * `unsafe` spans: `unsafe { … }` blocks and the bodies of
 //!   `unsafe fn`s (`unsafe impl` is a marker, not a context, and is
-//!   ignored).
+//!   ignored);
+//! * outgoing call sites ([`extract_calls`]): every `name(` postfix
+//!   in the code channel, classified as a bare call, a method call
+//!   (`.name(`), or a qualified path call (`path::name(`), which the
+//!   interprocedural policies in [`crate::flow`] resolve against the
+//!   workspace-wide item table.
 //!
 //! The parser works on scrubbed code, so braces and keywords inside
 //! strings, chars, and comments are already gone. It is intentionally
@@ -31,6 +40,7 @@ pub enum ItemKind {
     Fn,
     Mod,
     Impl,
+    Trait,
 }
 
 /// One brace-delimited item span (0-based line numbers, inclusive).
@@ -43,6 +53,17 @@ pub struct ItemSpan {
     /// A `#[cfg(test)]`-family attribute sits directly above the
     /// item.
     pub cfg_test: bool,
+    /// For `fn` items: the self type of the innermost enclosing
+    /// `impl` (or the name of the enclosing `trait`), if any. Free
+    /// functions — including functions nested inside other functions
+    /// — have no owner.
+    pub owner: Option<String>,
+    /// Declared `pub` with unrestricted visibility. `pub(crate)` and
+    /// `pub(super)` do not count: the witness-flow policy treats only
+    /// the unrestricted surface as API entry points.
+    pub is_pub: bool,
+    /// An `unsafe fn` (its body is also recorded in `unsafe_spans`).
+    pub is_unsafe: bool,
 }
 
 /// All structure derived from one file.
@@ -56,10 +77,19 @@ pub struct Items {
 impl Items {
     /// The innermost `fn` whose span contains `line`, if any.
     pub fn enclosing_fn(&self, line: usize) -> Option<&ItemSpan> {
+        self.enclosing_fn_idx(line).map(|i| &self.items[i])
+    }
+
+    /// Index of the innermost `fn` whose span contains `line`. The
+    /// flow analysis compares indices to attribute a line to exactly
+    /// one function even when spans nest.
+    pub fn enclosing_fn_idx(&self, line: usize) -> Option<usize> {
         self.items
             .iter()
-            .filter(|it| it.kind == ItemKind::Fn && it.start <= line && line <= it.end)
-            .min_by_key(|it| it.end - it.start)
+            .enumerate()
+            .filter(|(_, it)| it.kind == ItemKind::Fn && it.start <= line && line <= it.end)
+            .min_by_key(|(_, it)| it.end - it.start)
+            .map(|(i, _)| i)
     }
 
     /// Whether `line` is inside any `#[cfg(test)]`-gated item.
@@ -76,7 +106,8 @@ impl Items {
 
 /// A token of scrubbed code: words plus the structural symbols the
 /// span tracker needs. `(` is kept only to tell `fn name(` item
-/// declarations apart from `fn(...)` pointer types.
+/// declarations apart from `fn(...)` pointer types, and to recognize
+/// restricted visibility (`pub(crate)`).
 #[derive(Debug, PartialEq)]
 enum Tok {
     Word(String),
@@ -142,6 +173,51 @@ fn gated_by_test(s: &Scrubbed, line: usize) -> bool {
     false
 }
 
+/// Extracts the self type of an `impl` whose header spans scrubbed
+/// lines `start..=brace_line`: the last path segment of the type
+/// after `for` (in `impl Trait for Type`), or of the head type
+/// otherwise, with generic argument lists skipped.
+fn impl_self_type(s: &Scrubbed, start: usize, brace_line: usize) -> String {
+    let mut text = String::new();
+    for l in start..=brace_line.min(s.code.len().saturating_sub(1)) {
+        text.push_str(&s.code[l]);
+        text.push(' ');
+    }
+    let Some(pos) = text.find("impl") else {
+        return String::from("impl");
+    };
+    let rest = &text[pos + "impl".len()..];
+    // Collect path words at angle-bracket depth 0, so generic
+    // parameters (`impl<T: Copy> Stack<T>`) and argument lists never
+    // masquerade as the self type.
+    let mut words: Vec<String> = Vec::new();
+    let mut word = String::new();
+    let mut depth = 0i32;
+    for c in rest.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth -= 1,
+            '{' => break,
+            _ if depth == 0 && (c.is_alphanumeric() || c == '_' || c == ':') => word.push(c),
+            _ if depth == 0 && !word.is_empty() => {
+                words.push(std::mem::take(&mut word));
+            }
+            _ => {}
+        }
+    }
+    if !word.is_empty() {
+        words.push(word);
+    }
+    let head = match words.iter().position(|w| w == "for") {
+        Some(p) => words.get(p + 1),
+        None => words.iter().find(|w| !matches!(w.as_str(), "dyn" | "mut" | "const")),
+    };
+    match head {
+        Some(path) => path.rsplit("::").next().unwrap_or(path).to_string(),
+        None => String::from("impl"),
+    }
+}
+
 /// Parses item and unsafe-context spans out of scrubbed source.
 pub fn parse_items(s: &Scrubbed) -> Items {
     let toks = tokenize(s);
@@ -158,10 +234,13 @@ pub fn parse_items(s: &Scrubbed) -> Items {
         Anon,
     }
     let mut stack: Vec<Open> = Vec::new();
-    // Item keyword seen, its `{` not yet: (kind, name, line, unsafe).
-    let mut pending: Option<(ItemKind, String, usize, bool)> = None;
+    // Item keyword seen, its `{` not yet:
+    // (kind, name, line, unsafe, pub).
+    let mut pending: Option<(ItemKind, String, usize, bool, bool)> = None;
     // `unsafe` seen, not yet resolved into a block/fn/impl.
     let mut unsafe_at: Option<usize> = None;
+    // Unrestricted `pub` seen, not yet consumed by an item keyword.
+    let mut pub_pending = false;
 
     let mut i = 0;
     while i < toks.len() {
@@ -169,18 +248,34 @@ pub fn parse_items(s: &Scrubbed) -> Items {
         match tok {
             Tok::Word(w) => match w.as_str() {
                 "unsafe" => unsafe_at = Some(*line),
+                "pub" => {
+                    // `pub(crate)` / `pub(super)` are restricted —
+                    // not part of the public API surface.
+                    pub_pending = !matches!(toks.get(i + 1), Some((_, Tok::LParen)));
+                }
                 "fn" => {
                     // `fn name(` declares an item; `fn(` is a pointer
                     // type and `Fn(..)` bounds tokenize differently.
                     if let Some((_, Tok::Word(name))) = toks.get(i + 1) {
                         let is_unsafe_fn = unsafe_at.take().is_some();
-                        pending = Some((ItemKind::Fn, name.clone(), *line, is_unsafe_fn));
+                        let is_pub = std::mem::take(&mut pub_pending);
+                        pending = Some((ItemKind::Fn, name.clone(), *line, is_unsafe_fn, is_pub));
                         i += 1; // skip the name
                     }
                 }
                 "mod" => {
                     if let Some((_, Tok::Word(name))) = toks.get(i + 1) {
-                        pending = Some((ItemKind::Mod, name.clone(), *line, false));
+                        let is_pub = std::mem::take(&mut pub_pending);
+                        pending = Some((ItemKind::Mod, name.clone(), *line, false, is_pub));
+                        unsafe_at = None;
+                        i += 1;
+                    }
+                }
+                "trait" => {
+                    if let Some((_, Tok::Word(name))) = toks.get(i + 1) {
+                        let is_pub = std::mem::take(&mut pub_pending);
+                        pending = Some((ItemKind::Trait, name.clone(), *line, false, is_pub));
+                        // `unsafe trait` is a marker, not a context.
                         unsafe_at = None;
                         i += 1;
                     }
@@ -190,7 +285,8 @@ pub fn parse_items(s: &Scrubbed) -> Items {
                     // `impl` block only begins where no item is
                     // already pending.
                     if pending.is_none() {
-                        pending = Some((ItemKind::Impl, String::from("impl"), *line, false));
+                        let is_pub = std::mem::take(&mut pub_pending);
+                        pending = Some((ItemKind::Impl, String::new(), *line, false, is_pub));
                     }
                     // `unsafe impl` is a marker, not a context.
                     unsafe_at = None;
@@ -198,7 +294,31 @@ pub fn parse_items(s: &Scrubbed) -> Items {
                 _ => {}
             },
             Tok::LBrace => {
-                if let Some((kind, name, start, is_unsafe_fn)) = pending.take() {
+                pub_pending = false;
+                if let Some((kind, name, start, is_unsafe_fn, is_pub)) = pending.take() {
+                    // Impl self types are only extractable once the
+                    // whole header (up to this `{`) is visible.
+                    let name =
+                        if kind == ItemKind::Impl { impl_self_type(s, start, *line) } else { name };
+                    // A fn declared directly inside an impl/trait is
+                    // owned by that type; anything else (including
+                    // fns nested in other fns) is free.
+                    let owner = if kind == ItemKind::Fn {
+                        stack
+                            .iter()
+                            .rev()
+                            .find_map(|o| match o {
+                                Open::Item(idx) | Open::ItemUnsafe(idx, _) => Some(*idx),
+                                _ => None,
+                            })
+                            .and_then(|idx| {
+                                let it = &items.items[idx];
+                                matches!(it.kind, ItemKind::Impl | ItemKind::Trait)
+                                    .then(|| it.name.clone())
+                            })
+                    } else {
+                        None
+                    };
                     let idx = items.items.len();
                     items.items.push(ItemSpan {
                         kind,
@@ -206,6 +326,9 @@ pub fn parse_items(s: &Scrubbed) -> Items {
                         start,
                         end: usize::MAX,
                         cfg_test: gated_by_test(s, start),
+                        owner,
+                        is_pub,
+                        is_unsafe: is_unsafe_fn,
                     });
                     if is_unsafe_fn {
                         items.unsafe_spans.push((start, usize::MAX));
@@ -220,20 +343,24 @@ pub fn parse_items(s: &Scrubbed) -> Items {
                     stack.push(Open::Anon);
                 }
             }
-            Tok::RBrace => match stack.pop() {
-                Some(Open::Item(idx)) => items.items[idx].end = *line,
-                Some(Open::Unsafe(si)) => items.unsafe_spans[si].1 = *line,
-                Some(Open::ItemUnsafe(idx, si)) => {
-                    items.items[idx].end = *line;
-                    items.unsafe_spans[si].1 = *line;
+            Tok::RBrace => {
+                pub_pending = false;
+                match stack.pop() {
+                    Some(Open::Item(idx)) => items.items[idx].end = *line,
+                    Some(Open::Unsafe(si)) => items.unsafe_spans[si].1 = *line,
+                    Some(Open::ItemUnsafe(idx, si)) => {
+                        items.items[idx].end = *line;
+                        items.unsafe_spans[si].1 = *line;
+                    }
+                    Some(Open::Anon) | None => {}
                 }
-                Some(Open::Anon) | None => {}
-            },
+            }
             Tok::LParen => {}
             Tok::Semi => {
                 // `fn f();` in a trait, `mod m;`: no span.
                 pending = None;
                 unsafe_at = None;
+                pub_pending = false;
             }
         }
         i += 1;
@@ -254,6 +381,113 @@ pub fn parse_items(s: &Scrubbed) -> Items {
     items
 }
 
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(...)` — a free function in scope.
+    Bare,
+    /// `.name(...)` — a method on some receiver.
+    Method,
+    /// `path::name(...)` — the qualifier is the `::`-joined path
+    /// without the final segment (`schedule`, `MicroSpec`,
+    /// `spmv_telemetry::metrics`, `Self`, …).
+    Qualified(String),
+}
+
+/// One outgoing call in a file (0-based line number).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub line: usize,
+    pub name: String,
+    pub kind: CallKind,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "in", "as", "move", "let",
+    "mut", "ref", "unsafe", "where", "impl", "dyn", "box", "await", "yield", "use", "pub", "crate",
+    "super", "self", "Self", "static", "const", "type", "struct", "enum", "union", "trait", "mod",
+    "break", "continue",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extracts every call site from the scrubbed code channel: an
+/// identifier directly followed by `(`, excluding declarations
+/// (`fn name(`), macros (`name!(` leaves `!` before the paren),
+/// keywords, and — for bare calls — uppercase-initial names, which
+/// are tuple-struct/variant constructors (`Some(`, `Ok(`), not
+/// function calls. Turbofish calls (`parse::<f64>()`) are skipped:
+/// the `>` before the paren hides the name, which keeps the graph
+/// conservative rather than wrong.
+pub fn extract_calls(s: &Scrubbed) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for (line_no, line) in s.code.iter().enumerate() {
+        let b = line.as_bytes();
+        for p in 0..b.len() {
+            if b[p] != b'(' {
+                continue;
+            }
+            let mut e = p;
+            while e > 0 && is_ident_byte(b[e - 1]) {
+                e -= 1;
+            }
+            if e == p {
+                continue; // `)(`, `!(`, `((`, `<...>()` …
+            }
+            let name = &line[e..p];
+            if name.as_bytes()[0].is_ascii_digit() || KEYWORDS.contains(&name) {
+                continue;
+            }
+            // `fn name(` is a declaration, not a call.
+            let before = line[..e].trim_end();
+            if before.ends_with("fn")
+                && (before.len() == 2 || !is_ident_byte(before.as_bytes()[before.len() - 3]))
+            {
+                continue;
+            }
+            let kind = if e >= 1 && b[e - 1] == b'.' && !(e >= 2 && b[e - 2] == b'.') {
+                CallKind::Method
+            } else if e >= 2 && b[e - 1] == b':' && b[e - 2] == b':' {
+                // Walk the `seg::seg::` chain backwards to recover
+                // the qualifier.
+                let mut segs: Vec<&str> = Vec::new();
+                let mut k = e - 2;
+                loop {
+                    let seg_end = k;
+                    let mut s0 = k;
+                    while s0 > 0 && is_ident_byte(b[s0 - 1]) {
+                        s0 -= 1;
+                    }
+                    if s0 == seg_end {
+                        break; // `<T as Trait>::name(` and friends
+                    }
+                    segs.push(&line[s0..seg_end]);
+                    if s0 >= 2 && b[s0 - 1] == b':' && b[s0 - 2] == b':' {
+                        k = s0 - 2;
+                    } else {
+                        break;
+                    }
+                }
+                if segs.is_empty() {
+                    CallKind::Method
+                } else {
+                    segs.reverse();
+                    CallKind::Qualified(segs.join("::"))
+                }
+            } else {
+                CallKind::Bare
+            };
+            if kind == CallKind::Bare && name.as_bytes()[0].is_ascii_uppercase() {
+                continue;
+            }
+            out.push(CallSite { line: line_no, name: name.to_string(), kind });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,11 +504,12 @@ mod tests {
         let kinds: Vec<_> = items.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
         assert_eq!(
             kinds,
-            vec![(ItemKind::Mod, "outer"), (ItemKind::Impl, "impl"), (ItemKind::Fn, "bar")]
+            vec![(ItemKind::Mod, "outer"), (ItemKind::Impl, "Foo"), (ItemKind::Fn, "bar")]
         );
         let f = items.enclosing_fn(3).expect("body line inside fn");
         assert_eq!(f.name, "bar");
         assert_eq!((f.start, f.end), (2, 4));
+        assert_eq!(f.owner.as_deref(), Some("Foo"));
     }
 
     #[test]
@@ -293,6 +528,8 @@ mod tests {
         assert!(!items.in_unsafe(4), "after the block closes");
         assert!(items.in_unsafe(7), "unsafe fn body");
         assert!(!items.in_unsafe(10), "unsafe impl is a marker, not a context");
+        let g = items.enclosing_fn(7).expect("g");
+        assert!(g.is_unsafe);
     }
 
     #[test]
@@ -316,9 +553,9 @@ mod tests {
             .items
             .iter()
             .filter(|i| i.kind == ItemKind::Fn)
-            .map(|i| i.name.as_str())
+            .map(|i| (i.name.as_str(), i.owner.as_deref()))
             .collect();
-        assert_eq!(fns, vec!["b"]);
+        assert_eq!(fns, vec![("b", Some("T"))]);
     }
 
     #[test]
@@ -334,5 +571,159 @@ mod tests {
         let items = parse(text);
         assert_eq!(items.enclosing_fn(2).expect("inner").name, "inner");
         assert_eq!(items.enclosing_fn(4).expect("outer").name, "outer");
+        assert_eq!(items.enclosing_fn(2).expect("inner").owner, None, "nested fns are free");
+    }
+
+    #[test]
+    fn impl_self_types_are_extracted() {
+        let text = "impl<'a> Menu<'a> {\n    fn pick(&self) {}\n}\nimpl fmt::Display for CsrKernel {\n    fn fmt(&self) {}\n}\nimpl Drop\n    for Guard<'_>\n{\n    fn drop(&mut self) {}\n}\n";
+        let items = parse(text);
+        let owners: Vec<_> = items
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| i.owner.as_deref().unwrap_or("-"))
+            .collect();
+        assert_eq!(owners, vec!["Menu", "CsrKernel", "Guard"]);
+    }
+
+    #[test]
+    fn visibility_tracks_unrestricted_pub_only() {
+        let text = "pub fn api() {}\npub(crate) fn internal() {}\nfn private() {}\npub struct S { pub x: u32 }\nfn after_struct() {}\npub const fn cexpr() {}\n";
+        let items = parse(text);
+        let vis: Vec<_> = items
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| (i.name.as_str(), i.is_pub))
+            .collect();
+        assert_eq!(
+            vis,
+            vec![
+                ("api", true),
+                ("internal", false),
+                ("private", false),
+                ("after_struct", false),
+                ("cexpr", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn call_extraction_classifies_bare_method_and_qualified() {
+        let s = scrub(
+            "fn f(x: &[u64]) {\n    helper(x);\n    x.iter().sum::<u64>();\n    schedule::execute(x);\n    Self::claim(x);\n    spmv_telemetry::metrics::engine_dispatch();\n    let _ = Some(3);\n    vec![0; n];\n    assert!(g(x));\n}\n",
+        );
+        let calls = extract_calls(&s);
+        let got: Vec<_> = calls.iter().map(|c| (c.line, c.name.as_str(), c.kind.clone())).collect();
+        assert!(got.contains(&(1, "helper", CallKind::Bare)), "{got:?}");
+        assert!(got.contains(&(2, "iter", CallKind::Method)), "{got:?}");
+        assert!(got.contains(&(3, "execute", CallKind::Qualified("schedule".into()))), "{got:?}");
+        assert!(got.contains(&(4, "claim", CallKind::Qualified("Self".into()))), "{got:?}");
+        assert!(
+            got.contains(&(
+                5,
+                "engine_dispatch",
+                CallKind::Qualified("spmv_telemetry::metrics".into())
+            )),
+            "{got:?}"
+        );
+        assert!(got.contains(&(8, "g", CallKind::Bare)), "inner macro args still scanned");
+        // Constructors, macros, and the `sum::<u64>()` turbofish must
+        // not appear as calls.
+        assert!(!got.iter().any(|(_, n, _)| *n == "Some"), "{got:?}");
+        assert!(!got.iter().any(|(_, n, _)| *n == "vec"), "{got:?}");
+        assert!(!got.iter().any(|(_, n, _)| *n == "sum"), "{got:?}");
+        assert!(!got.iter().any(|(_, n, _)| *n == "f"), "declaration is not a call");
+    }
+
+    #[test]
+    fn call_extraction_skips_ranges_and_declarations() {
+        let s =
+            scrub("fn g(n: usize) {\n    for i in 0..count(n) {\n        use_it(i);\n    }\n}\n");
+        let calls = extract_calls(&s);
+        let count = calls.iter().find(|c| c.name == "count").expect("count call");
+        assert_eq!(count.kind, CallKind::Bare, "`..count(` is a bare call, not a method");
+    }
+}
+
+/// Property coverage for the item parser: random interleavings of
+/// real functions with decoy `fn` tokens and braces hidden inside
+/// strings, raw strings, char literals, and (nested) comments. The
+/// invariant under test is the one every policy depends on: the
+/// parsed `Fn` spans cover exactly the real `fn` tokens, once each.
+#[cfg(test)]
+mod span_proptests {
+    use super::*;
+    use crate::{has_token, scrub};
+    use proptest::prelude::*;
+
+    /// Appends chunk `i` of the given kind to `src`, recording any
+    /// real function name it introduces.
+    fn render(i: usize, kind: u8, src: &mut String, expected: &mut Vec<String>) {
+        match kind {
+            0 => {
+                src.push_str(&format!("fn f{i}() {{ let _x = {i}; }}\n"));
+                expected.push(format!("f{i}"));
+            }
+            1 => {
+                src.push_str(&format!(
+                    "fn f{i}() {{\n    if true {{\n        let _ = [0u8; 3];\n    }}\n}}\n"
+                ));
+                expected.push(format!("f{i}"));
+            }
+            2 => src.push_str(&format!("const S{i}: &str = \" fn bogus{i}() {{ }} \";\n")),
+            3 => src.push_str(&format!("const R{i}: &str = r#\" fn decoy{i}() {{\n}} \"#;\n")),
+            4 => src.push_str(&format!("const C{i}: (char, char) = ('{{', '}}');\n")),
+            5 => src.push_str(&format!("// fn ghost{i}() {{\n")),
+            6 => src.push_str(&format!("/* fn ghost{i}() {{ /* inner }} */ }} */\n")),
+            _ => {
+                src.push_str(&format!(
+                    "struct T{i};\nimpl T{i} {{ fn m{i}(&self) -> u32 {{ 7 }} }}\n"
+                ));
+                expected.push(format!("m{i}"));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn fn_spans_cover_every_fn_token_exactly_once(
+            kinds in proptest::collection::vec(0u8..8, 1..16)
+        ) {
+            let mut src = String::new();
+            let mut expected = Vec::new();
+            for (i, &k) in kinds.iter().enumerate() {
+                render(i, k, &mut src, &mut expected);
+            }
+            let s = scrub(&src);
+            let items = parse_items(&s);
+            let got: Vec<String> = items
+                .items
+                .iter()
+                .filter(|it| it.kind == ItemKind::Fn)
+                .map(|it| it.name.clone())
+                .collect();
+            prop_assert_eq!(&got, &expected, "parsed fns diverge from generated fns");
+
+            // Every surviving `fn` token in the scrubbed code starts
+            // exactly one span; every decoy was scrubbed away.
+            let mut starts: Vec<usize> = items
+                .items
+                .iter()
+                .filter(|it| it.kind == ItemKind::Fn)
+                .map(|it| it.start)
+                .collect();
+            starts.sort_unstable();
+            let fn_lines: Vec<usize> = s
+                .code
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| has_token(c, "fn"))
+                .map(|(l, _)| l)
+                .collect();
+            prop_assert_eq!(starts, fn_lines);
+        }
     }
 }
