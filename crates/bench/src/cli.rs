@@ -1,0 +1,155 @@
+//! Strict flag parsing shared by the workspace binaries
+//! (`spmv-metricsd`, `spmv-loadgen`).
+//!
+//! The previous ad-hoc parser had two silent failure modes, both of
+//! which this module turns into hard errors:
+//!
+//! * `--addr --requests 5` took the literal string `--requests` as
+//!   the address (and then dropped the `5`): a flag-shaped token is
+//!   never accepted as a value;
+//! * `--requests abc` silently parsed to `None`, so a daemon meant to
+//!   exit after N requests served forever: unparseable values are
+//!   reported, not discarded.
+//!
+//! Binaries match on [`CliError`] to print usage and exit with status
+//! 2 instead of limping on with half-understood arguments.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A malformed command line, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Returns the value following `flag`, if the flag is present.
+///
+/// Errors when the flag is last on the line or is followed by another
+/// flag-shaped token (`--…`) — a missing value must not swallow the
+/// next flag.
+pub fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+        Some(v) => Err(CliError(format!(
+            "{flag} expects a value, found flag {v:?} (quote it if a literal leading '--' is intended)"
+        ))),
+        None => Err(CliError(format!("{flag} expects a value"))),
+    }
+}
+
+/// [`flag_value`] plus `FromStr` parsing; an unparseable value is an
+/// error, never a silent default.
+pub fn flag_parsed<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
+    match flag_value(args, flag)? {
+        None => Ok(None),
+        Some(v) => {
+            v.parse::<T>().map(Some).map_err(|_| CliError(format!("{flag}: cannot parse {v:?}")))
+        }
+    }
+}
+
+/// Whether a bare (valueless) flag is present.
+pub fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Rejects unknown `--flags`. `known` lists every accepted flag;
+/// `bare` lists the subset that takes no value (so the token after a
+/// value-taking flag is skipped, not re-inspected).
+pub fn reject_unknown_flags(
+    args: &[String],
+    known: &[&str],
+    bare: &[&str],
+) -> Result<(), CliError> {
+    let mut i = 1; // skip argv[0]
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if !known.contains(&a.as_str()) {
+                return Err(CliError(format!("unknown flag {a:?}")));
+            }
+            if !bare.contains(&a.as_str()) {
+                i += 1; // skip this flag's value
+            }
+        } else {
+            return Err(CliError(format!("unexpected argument {a:?}")));
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        std::iter::once("prog").chain(list.iter().copied()).map(String::from).collect()
+    }
+
+    #[test]
+    fn values_parse_when_well_formed() {
+        let a = args(&["--addr", "127.0.0.1:9464", "--requests", "5"]);
+        assert_eq!(flag_value(&a, "--addr").unwrap().as_deref(), Some("127.0.0.1:9464"));
+        assert_eq!(flag_parsed::<u64>(&a, "--requests").unwrap(), Some(5));
+        assert_eq!(flag_value(&a, "--missing").unwrap(), None);
+        assert_eq!(flag_parsed::<u64>(&a, "--missing").unwrap(), None);
+    }
+
+    /// Regression: `--addr --requests 5` used to take `--requests` as
+    /// the address and drop the 5.
+    #[test]
+    fn flag_shaped_values_are_rejected() {
+        let a = args(&["--addr", "--requests", "5"]);
+        let err = flag_value(&a, "--addr").unwrap_err();
+        assert!(err.0.contains("--addr"), "{err}");
+        assert!(err.0.contains("--requests"), "{err}");
+    }
+
+    /// Regression: `--requests abc` used to silently parse to `None`
+    /// (daemon serves forever instead of exiting after N).
+    #[test]
+    fn unparseable_values_are_errors() {
+        let a = args(&["--requests", "abc"]);
+        let err = flag_parsed::<u64>(&a, "--requests").unwrap_err();
+        assert!(err.0.contains("abc"), "{err}");
+    }
+
+    #[test]
+    fn trailing_flag_without_value_is_an_error() {
+        let a = args(&["--load", "burst", "--addr"]);
+        assert!(flag_value(&a, "--addr").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let a = args(&["--addr", "x:1", "--stop", "--bogus", "1"]);
+        let known = ["--addr", "--stop"];
+        let err = reject_unknown_flags(&a, &known, &["--stop"]).unwrap_err();
+        assert!(err.0.contains("--bogus"), "{err}");
+
+        let good = args(&["--addr", "x:1", "--stop"]);
+        reject_unknown_flags(&good, &known, &["--stop"]).unwrap();
+        // A value that looks like a positional is only legal after a
+        // value-taking flag.
+        let stray = args(&["oops"]);
+        assert!(reject_unknown_flags(&stray, &known, &["--stop"]).is_err());
+    }
+
+    #[test]
+    fn bare_flags_detected() {
+        let a = args(&["--stop"]);
+        assert!(flag_present(&a, "--stop"));
+        assert!(!flag_present(&a, "--verbose"));
+    }
+}

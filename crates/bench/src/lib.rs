@@ -25,11 +25,13 @@
 //! their output is reproducible bit-for-bit; criterion benches under
 //! `benches/` measure the *real* kernels on the host.
 
+pub mod cli;
 pub mod compare;
 pub mod context;
 pub mod experiments;
 pub mod table;
 pub mod trajectory;
 
+pub use cli::{flag_parsed, flag_present, flag_value, reject_unknown_flags, CliError};
 pub use context::{load_suite, Analysis, NamedMatrix, Platform};
 pub use table::Table;

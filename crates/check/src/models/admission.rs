@@ -1,0 +1,373 @@
+//! Model of the serving plane's admission/completion handshake
+//! (`crates/serve/src/scheduler.rs`).
+//!
+//! Extracted shape: a client submits by taking the queue mutex,
+//! deciding admission against the bounded queue (`qlen < CAP`, else
+//! reject and walk away), pushing its request, and notifying the
+//! worker — then blocks on its private completion cell (mutex +
+//! condvar + result slot) until the worker delivers. The worker
+//! loops: under the queue mutex, pop a request (or `cond_wait` when
+//! empty, or exit when empty *and* shut down), compute the result
+//! outside the lock, then publish it *under the completion mutex,
+//! before the done flag*, and notify. The last client to finish sets
+//! shutdown and wakes the worker — the daemon's
+//! `scheduler().shutdown()` after `/control/stop`.
+//!
+//! Two clients against capacity 1 make every admission outcome
+//! reachable: both admitted (serialized through the worker), or one
+//! admitted and one shed.
+//!
+//! Checked properties:
+//! * **Bounded admission**: the queue never grows past `CAP` — the
+//!   backpressure promise behind HTTP 503 (load is shed, latency is
+//!   not unbounded).
+//! * **Result integrity**: an admitted client always observes its own
+//!   completed result (`RESULT_BASE + cid`), never a missing or torn
+//!   one — delivery publishes the result before the completion flag,
+//!   under the completion mutex.
+//! * **Accounting**: every request is admitted or rejected exactly
+//!   once, and exactly the admitted ones are served (the
+//!   `spmv_serve_{admitted,rejected,completed}_total` identity).
+//! * **Liveness**: submit/serve/shutdown terminates; a missed wakeup
+//!   (park/notify race) surfaces as a deadlock.
+//!
+//! Batch formation is deliberately out of scope: `pop_batch` is pure
+//! queue surgery under the same mutex hold as the single-request pop
+//! modeled here, and is unit-tested directly.
+//!
+//! Seeded mutants ([`AdmissionMutant`]): an off-by-one admission
+//! predicate (`qlen > CAP` admits one past the bound), an admission
+//! check on an unlocked read (two clients both see room and
+//! over-admit), an enqueue that skips the worker notify (parked
+//! worker never wakes → deadlock), and a delivery that signals
+//! completion before storing the result (client wakes to a missing
+//! result).
+
+use std::rc::Rc;
+
+use crate::exec::{CondvarId, Ctx, Instance, ModelThread, MutexId, OracleId, Step, World};
+use crate::mem::{Loc, MOrd};
+
+/// Bounded queue capacity (`queue_cap`).
+pub const CAP: u64 = 1;
+/// Concurrent submitting clients.
+pub const CLIENTS: usize = 2;
+/// Client `cid` expects result `RESULT_BASE + cid`.
+pub const RESULT_BASE: u64 = 100;
+
+/// Seeded bugs the checker must flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMutant {
+    /// Admission predicate `qlen > CAP` instead of `qlen >= CAP`: one
+    /// request too many slips past the bound.
+    OverAdmit,
+    /// Admission decided on an unlocked `qlen` read, push under the
+    /// lock without re-checking: two clients race past the bound.
+    CheckOutsideLock,
+    /// Push without `notify`: a worker parked on the work condvar
+    /// never learns about the request.
+    EnqueueWithoutNotify,
+    /// Delivery signals the done flag (and notifies) before storing
+    /// the result: the client can wake to an empty slot.
+    CompleteBeforeResult,
+}
+
+struct Shared {
+    /// Queue mutex (the scheduler's `state` lock).
+    m: MutexId,
+    work: CondvarId,
+    /// Mutex-protected scheduler state (modeled as atomics for the
+    /// view machinery; every access outside the `CheckOutsideLock`
+    /// mutant happens with `m` held, so relaxed shadow operations
+    /// observe the newest store).
+    qlen: Loc,
+    /// Queue payload slots (`CLIENTS` of them, so a mutant's
+    /// over-admission stays in model bounds and is caught by the
+    /// capacity invariant, not an index panic).
+    slots: Vec<Loc>,
+    shutdown: Loc,
+    /// Clients done submitting-and-waiting; the last sets shutdown.
+    finished: Loc,
+    /// Per-client completion cell: mutex + condvar + done flag +
+    /// result slot (the scheduler's `Completion`).
+    cm: Vec<MutexId>,
+    done_cv: Vec<CondvarId>,
+    done: Vec<Loc>,
+    result: Vec<Loc>,
+    admitted: OracleId,
+    rejected: OracleId,
+    served: OracleId,
+}
+
+/// Pushes client `cid`'s request under the queue mutex and enforces
+/// the bounded-queue invariant. Returns `false` if the invariant
+/// already failed (caller should stop).
+fn push(ctx: &mut Ctx<'_>, sh: &Shared, cid: usize, mutant: Option<AdmissionMutant>) -> bool {
+    let qlen = ctx.load(sh.qlen, MOrd::Relaxed);
+    let slot = (qlen as usize).min(sh.slots.len() - 1);
+    ctx.store(sh.slots[slot], cid as u64 + 1, MOrd::Relaxed);
+    ctx.store(sh.qlen, qlen + 1, MOrd::Relaxed);
+    ctx.oracle_add(sh.admitted, 1);
+    if qlen + 1 > CAP {
+        ctx.fail(format!("bounded queue grew to {} past capacity {CAP}", qlen + 1));
+        return false;
+    }
+    if mutant != Some(AdmissionMutant::EnqueueWithoutNotify) {
+        ctx.notify_all(sh.work);
+    }
+    true
+}
+
+struct Client {
+    sh: Rc<Shared>,
+    mutant: Option<AdmissionMutant>,
+    cid: usize,
+    pc: u8,
+}
+
+impl ModelThread for Client {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            // Admission, decided under the queue mutex.
+            0 => {
+                if self.mutant == Some(AdmissionMutant::CheckOutsideLock) {
+                    // Seeded bug: the decision reads `qlen` without
+                    // the lock; the push later never re-checks.
+                    let qlen = ctx.load(sh.qlen, MOrd::Relaxed);
+                    if qlen >= CAP {
+                        ctx.oracle_add(sh.rejected, 1);
+                        self.pc = 5;
+                    } else {
+                        self.pc = 1;
+                    }
+                    return Step::Ready;
+                }
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                if ctx.load(sh.shutdown, MOrd::Relaxed) == 1 {
+                    ctx.oracle_add(sh.rejected, 1);
+                    ctx.unlock(sh.m);
+                    self.pc = 5;
+                    return Step::Ready;
+                }
+                let qlen = ctx.load(sh.qlen, MOrd::Relaxed);
+                let full = if self.mutant == Some(AdmissionMutant::OverAdmit) {
+                    qlen > CAP // seeded off-by-one
+                } else {
+                    qlen >= CAP
+                };
+                if full {
+                    ctx.oracle_add(sh.rejected, 1);
+                    ctx.unlock(sh.m);
+                    self.pc = 5;
+                    return Step::Ready;
+                }
+                let ok = push(ctx, &sh, self.cid, self.mutant);
+                ctx.unlock(sh.m);
+                if !ok {
+                    return Step::Done;
+                }
+                self.pc = 2;
+                Step::Ready
+            }
+            // CheckOutsideLock only: locked push, no re-check.
+            1 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                let ok = push(ctx, &sh, self.cid, self.mutant);
+                ctx.unlock(sh.m);
+                if !ok {
+                    return Step::Done;
+                }
+                self.pc = 2;
+                Step::Ready
+            }
+            // Block on the completion cell.
+            2 => {
+                if !ctx.lock(sh.cm[self.cid]) {
+                    return Step::Blocked;
+                }
+                self.pc = 3;
+                Step::Ready
+            }
+            3 => {
+                if ctx.load(sh.done[self.cid], MOrd::Relaxed) == 0 {
+                    ctx.cond_wait(sh.done_cv[self.cid], sh.cm[self.cid]);
+                    self.pc = 2; // re-acquire, re-check
+                    return Step::Blocked;
+                }
+                let got = ctx.load(sh.result[self.cid], MOrd::Relaxed);
+                ctx.unlock(sh.cm[self.cid]);
+                let want = RESULT_BASE + self.cid as u64;
+                if got != want {
+                    ctx.fail(format!(
+                        "client {} woke complete with result {got}, expected {want}",
+                        self.cid
+                    ));
+                    return Step::Done;
+                }
+                self.pc = 5;
+                Step::Ready
+            }
+            // Finished (served or shed): the last client out shuts
+            // the scheduler down, like the daemon's serve lanes.
+            5 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                let f = ctx.load(sh.finished, MOrd::Relaxed) + 1;
+                ctx.store(sh.finished, f, MOrd::Relaxed);
+                if f == CLIENTS as u64 {
+                    ctx.store(sh.shutdown, 1, MOrd::Relaxed);
+                    ctx.notify_all(sh.work);
+                }
+                ctx.unlock(sh.m);
+                Step::Done
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+struct Worker {
+    sh: Rc<Shared>,
+    mutant: Option<AdmissionMutant>,
+    pc: u8,
+    /// Client id of the popped request.
+    cur: usize,
+    /// Result computed outside the lock.
+    val: u64,
+}
+
+impl ModelThread for Worker {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            // Drain loop: pop under the mutex or park.
+            0 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                self.pc = 1;
+                Step::Ready
+            }
+            1 => {
+                let qlen = ctx.load(sh.qlen, MOrd::Relaxed);
+                if qlen == 0 {
+                    if ctx.load(sh.shutdown, MOrd::Relaxed) == 1 {
+                        ctx.unlock(sh.m);
+                        return Step::Done;
+                    }
+                    ctx.cond_wait(sh.work, sh.m);
+                    self.pc = 0; // re-acquire, re-check
+                    return Step::Blocked;
+                }
+                ctx.store(sh.qlen, qlen - 1, MOrd::Relaxed);
+                let slot = ((qlen - 1) as usize).min(sh.slots.len() - 1);
+                self.cur = (ctx.load(sh.slots[slot], MOrd::Relaxed) - 1) as usize;
+                ctx.unlock(sh.m);
+                self.pc = 2;
+                Step::Ready
+            }
+            // The SpMV itself, outside every lock.
+            2 => {
+                self.val = RESULT_BASE + self.cur as u64;
+                self.pc = 3;
+                Step::Ready
+            }
+            // Deliver under the completion mutex.
+            3 => {
+                if !ctx.lock(sh.cm[self.cur]) {
+                    return Step::Blocked;
+                }
+                self.pc = 4;
+                Step::Ready
+            }
+            4 => {
+                if self.mutant == Some(AdmissionMutant::CompleteBeforeResult) {
+                    // Seeded wrong order: flag + notify first, result
+                    // store after the unlock.
+                    ctx.store(sh.done[self.cur], 1, MOrd::Relaxed);
+                    ctx.notify_all(sh.done_cv[self.cur]);
+                    ctx.unlock(sh.cm[self.cur]);
+                    self.pc = 6;
+                    return Step::Ready;
+                }
+                ctx.store(sh.result[self.cur], self.val, MOrd::Relaxed);
+                ctx.store(sh.done[self.cur], 1, MOrd::Relaxed);
+                ctx.notify_all(sh.done_cv[self.cur]);
+                ctx.unlock(sh.cm[self.cur]);
+                ctx.oracle_add(sh.served, 1);
+                self.pc = 0;
+                Step::Ready
+            }
+            // CompleteBeforeResult: the straggling result store.
+            6 => {
+                ctx.store(sh.result[self.cur], self.val, MOrd::Relaxed);
+                ctx.oracle_add(sh.served, 1);
+                self.pc = 0;
+                Step::Ready
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+/// Builds the admission model instance (optionally with a seeded
+/// bug).
+pub fn instance(world: &mut World, mutant: Option<AdmissionMutant>) -> Instance {
+    let m = world.mutex();
+    let work = world.condvar();
+    let qlen = world.alloc("qlen", 0);
+    let slots = (0..CLIENTS).map(|_| world.alloc("slot", 0)).collect();
+    let shutdown = world.alloc("shutdown", 0);
+    let finished = world.alloc("finished", 0);
+    let cm = (0..CLIENTS).map(|_| world.mutex()).collect();
+    let done_cv = (0..CLIENTS).map(|_| world.condvar()).collect();
+    let done = (0..CLIENTS).map(|_| world.alloc("done", 0)).collect();
+    let result = (0..CLIENTS).map(|_| world.alloc("result", 0)).collect();
+    let admitted = world.oracle("admitted");
+    let rejected = world.oracle("rejected");
+    let served = world.oracle("served");
+    let sh = Rc::new(Shared {
+        m,
+        work,
+        qlen,
+        slots,
+        shutdown,
+        finished,
+        cm,
+        done_cv,
+        done,
+        result,
+        admitted,
+        rejected,
+        served,
+    });
+
+    let mut threads: Vec<Box<dyn ModelThread>> =
+        vec![Box::new(Worker { sh: Rc::clone(&sh), mutant, pc: 0, cur: 0, val: 0 })];
+    for cid in 0..CLIENTS {
+        threads.push(Box::new(Client { sh: Rc::clone(&sh), mutant, cid, pc: 0 }));
+    }
+    Instance {
+        threads,
+        final_check: Box::new(move |w| {
+            let adm = w.oracle_value(admitted);
+            let rej = w.oracle_value(rejected);
+            let srv = w.oracle_value(served);
+            if adm + rej != CLIENTS as i64 {
+                return Err(format!(
+                    "accounting: {adm} admitted + {rej} rejected != {CLIENTS} requests"
+                ));
+            }
+            if srv != adm {
+                return Err(format!("accounting: {srv} served != {adm} admitted"));
+            }
+            Ok(())
+        }),
+    }
+}

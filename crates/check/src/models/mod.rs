@@ -8,6 +8,7 @@
 //! moral equivalent of a failing fixture for a static-analysis
 //! policy.
 
+pub mod admission;
 pub mod handshake;
 pub mod publish;
 pub mod seqlock;
@@ -71,6 +72,22 @@ fn publish_relaxed_install(w: &mut World) -> Instance {
     publish::instance(w, Some(publish::PublishMutant::RelaxedInstall))
 }
 
+fn admission_real(w: &mut World) -> Instance {
+    admission::instance(w, None)
+}
+fn admission_overadmit(w: &mut World) -> Instance {
+    admission::instance(w, Some(admission::AdmissionMutant::OverAdmit))
+}
+fn admission_check_outside_lock(w: &mut World) -> Instance {
+    admission::instance(w, Some(admission::AdmissionMutant::CheckOutsideLock))
+}
+fn admission_enqueue_without_notify(w: &mut World) -> Instance {
+    admission::instance(w, Some(admission::AdmissionMutant::EnqueueWithoutNotify))
+}
+fn admission_complete_before_result(w: &mut World) -> Instance {
+    admission::instance(w, Some(admission::AdmissionMutant::CompleteBeforeResult))
+}
+
 /// All extracted protocols, in checking order.
 pub fn protocols() -> &'static [Protocol] {
     &[
@@ -132,6 +149,33 @@ pub fn protocols() -> &'static [Protocol] {
                     name: "relaxed-install",
                     about: "registry pointer published with a relaxed store",
                     build: publish_relaxed_install,
+                },
+            ],
+        },
+        Protocol {
+            name: "admission",
+            about: "serving-plane admission/completion handshake (serve/scheduler.rs)",
+            build: admission_real,
+            mutants: &[
+                MutantInfo {
+                    name: "overadmit",
+                    about: "admission predicate qlen > CAP admits one past the bound",
+                    build: admission_overadmit,
+                },
+                MutantInfo {
+                    name: "check-outside-lock",
+                    about: "admission decided on an unlocked queue-length read",
+                    build: admission_check_outside_lock,
+                },
+                MutantInfo {
+                    name: "enqueue-without-notify",
+                    about: "push skips the worker notify; a parked worker never wakes",
+                    build: admission_enqueue_without_notify,
+                },
+                MutantInfo {
+                    name: "complete-before-result",
+                    about: "done flag signalled before the result is stored",
+                    build: admission_complete_before_result,
                 },
             ],
         },

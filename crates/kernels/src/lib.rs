@@ -39,12 +39,14 @@ pub mod micro;
 pub mod prefetch;
 pub mod schedule;
 pub mod sliced;
+pub mod spmm;
 pub mod variant;
 pub mod vectorized;
 
 pub use engine::{ExecEngine, Plan};
 pub use micro::{MenuEntry, MicroSpec};
 pub use schedule::{Schedule, ThreadTimes};
+pub use spmm::{SpmmKernel, MAX_BATCH};
 pub use variant::{
     build_kernel, build_micro_kernel, BuiltKernel, KernelVariant, Optimization, SpmvKernel,
 };

@@ -1,0 +1,341 @@
+//! Multi-vector CSR SpMM kernel for request batching.
+//!
+//! The serving plane (see `crates/serve`) coalesces concurrent SpMV
+//! requests against the same registered matrix into one sparse
+//! matrix × dense block product `Y = A · X`: the matrix is streamed
+//! once for the whole batch instead of once per request, amortizing
+//! the dominant memory traffic the same way Nagasaka & Azad's KNL
+//! sparse-product kernels do. With `k` coalesced requests the kernel
+//! performs `k` dependent accumulations per matrix element at the
+//! cost of one traversal, so at equal thread count the batched path
+//! moves `(bytes_A / k + bytes_xy)` per request instead of
+//! `(bytes_A + bytes_xy)`.
+//!
+//! # Layout
+//!
+//! Two entry points share the plan:
+//!
+//! * [`SpmmKernel::run`] takes `X`/`Y` **interleaved**
+//!   (`x[col * k + j]` is column `col` of request `j`), so the
+//!   per-row inner loop touches one contiguous `k`-wide stripe per
+//!   matrix element — the layout a SIMD stripe kernel wants.
+//! * [`SpmmKernel::run_multi`] takes `k` *separate* vectors and reads
+//!   and writes them in place. The serving scheduler uses this one:
+//!   requests arrive and results leave as independent vectors, and
+//!   transposing them into the interleaved block costs two extra
+//!   passes over `O(n·k)` data per batch — serial work comparable to
+//!   the traversal the batch was meant to save.
+//!
+//! # Determinism contract
+//!
+//! Every output element is accumulated in the *same order* as the
+//! serial reference [`Csr::spmv`]: per row, per request, column by
+//! column. Results are therefore **bitwise identical** to `k`
+//! independent serial SpMVs regardless of thread count or batch
+//! composition — the property the serving plane's exact mode
+//! advertises, and what lets batching be transparent to clients.
+
+use std::ops::Range;
+
+use spmv_sparse::{Csr, MaybeValidated};
+
+use crate::engine::Plan;
+use crate::schedule::{Schedule, ThreadTimes, YPtr};
+
+/// Largest batch width the serving scheduler coalesces. The kernel
+/// itself accepts any `k`; this is the sizing hint shared with the
+/// request scheduler so accumulator stripes stay register-friendly.
+pub const MAX_BATCH: usize = 8;
+
+/// Parallel CSR × dense-block kernel (`Y = A · X`, `k` vectors).
+///
+/// Holds a precomputed [`Plan`] like the single-vector kernels, so a
+/// registered matrix pays partitioning once and serves batches of any
+/// width from the warm pool.
+pub struct SpmmKernel<'a> {
+    a: MaybeValidated<&'a Csr>,
+    plan: Plan,
+}
+
+impl<'a> SpmmKernel<'a> {
+    /// Builds a batch kernel over the process-wide engine for
+    /// `nthreads`, with the same nnz-balanced row partition as the
+    /// baseline SpMV kernel.
+    pub fn new(a: &'a Csr, nthreads: usize) -> SpmmKernel<'a> {
+        let plan = Plan::new(Schedule::NnzBalanced, a.rowptr(), nthreads);
+        SpmmKernel { a: MaybeValidated::new(a), plan }
+    }
+
+    /// Rows of the underlying matrix.
+    pub fn nrows(&self) -> usize {
+        self.a.get().nrows()
+    }
+
+    /// Columns of the underlying matrix.
+    pub fn ncols(&self) -> usize {
+        self.a.get().ncols()
+    }
+
+    /// Whether the validated (parallel fast-path) representation is
+    /// active; unvalidated matrices fall back to serial checked code.
+    pub fn is_validated(&self) -> bool {
+        self.a.is_validated()
+    }
+
+    /// Computes `Y = A · X` for `k` interleaved vectors.
+    ///
+    /// `x.len() == ncols * k`, `y.len() == nrows * k`, both in the
+    /// interleaved layout described at module level. Returns
+    /// per-thread busy times like the single-vector kernels.
+    ///
+    /// # Panics
+    /// On shape mismatch or `k == 0`.
+    pub fn run(&self, x: &[f64], y: &mut [f64], k: usize) -> ThreadTimes {
+        let a = *self.a.get();
+        assert!(k > 0, "batch width must be at least 1");
+        assert_eq!(x.len(), a.ncols() * k, "x length");
+        assert_eq!(y.len(), a.nrows() * k, "y length");
+        match &self.a {
+            MaybeValidated::Validated(v) => {
+                let a = *v.get();
+                let yp = YPtr(y.as_mut_ptr());
+                self.plan.execute_labeled("spmm", |range| {
+                    spmm_worker(a, range, x, yp, k);
+                })
+            }
+            MaybeValidated::Unvalidated(a) => {
+                // Serial checked fallback: same accumulation order,
+                // one thread.
+                let t0 = std::time::Instant::now();
+                let mut acc = vec![0.0f64; k];
+                for i in 0..a.nrows() {
+                    spmm_row_block(a, i, x, &mut acc);
+                    y[i * k..i * k + k].copy_from_slice(&acc);
+                }
+                let mut seconds = vec![0.0; self.plan.nthreads()];
+                seconds[0] = t0.elapsed().as_secs_f64();
+                ThreadTimes { seconds }
+            }
+        }
+    }
+
+    /// Computes `y_j = A · x_j` for `k` independent vectors without
+    /// the interleaved layout: each `xs[j]` is read in place and each
+    /// `ys[j]` written directly, so a caller holding per-request
+    /// vectors pays zero transpose passes.
+    ///
+    /// Accumulation order per vector is the serial reference's (row
+    /// by row, column by column), so every `ys[j]` is bitwise
+    /// identical to `A.spmv(xs[j])` regardless of thread count or
+    /// batch composition.
+    ///
+    /// # Panics
+    /// On shape mismatch, `k == 0`, or `xs.len() != ys.len()`.
+    pub fn run_multi(&self, xs: &[&[f64]], ys: &mut [Vec<f64>]) -> ThreadTimes {
+        let a = *self.a.get();
+        let k = xs.len();
+        assert!(k > 0, "batch width must be at least 1");
+        assert_eq!(ys.len(), k, "one output vector per input vector");
+        for x in xs {
+            assert_eq!(x.len(), a.ncols(), "x length");
+        }
+        for y in ys.iter() {
+            assert_eq!(y.len(), a.nrows(), "y length");
+        }
+        match &self.a {
+            MaybeValidated::Validated(v) => {
+                let a = *v.get();
+                let yps: Vec<YPtr> = ys.iter_mut().map(|y| YPtr(y.as_mut_ptr())).collect();
+                self.plan.execute_labeled("spmm", |range| {
+                    multi_worker(a, range, xs, &yps);
+                })
+            }
+            MaybeValidated::Unvalidated(a) => {
+                // Serial checked fallback: literally the reference.
+                let t0 = std::time::Instant::now();
+                for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                    a.spmv(x, y);
+                }
+                let mut seconds = vec![0.0; self.plan.nthreads()];
+                seconds[0] = t0.elapsed().as_secs_f64();
+                ThreadTimes { seconds }
+            }
+        }
+    }
+}
+
+/// One worker's share of the separate-vector batch product: whole
+/// rows, every `ys[j][i]` written by exactly one thread. The row's
+/// column/value slices stay cache-hot across the `k` passes, so the
+/// matrix still streams from memory once per batch.
+fn multi_worker(a: &Csr, range: Range<usize>, xs: &[&[f64]], ys: &[YPtr]) {
+    for i in range {
+        let (cols, vals) = a.row(i);
+        for (x, y) in xs.iter().zip(ys) {
+            let mut acc = 0.0f64;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            // SAFETY: the plan hands each worker disjoint row ranges
+            // and every `ys[j]` points at a live `nrows` buffer
+            // (asserted in `run_multi`), so `ys[j][i]` is written
+            // exclusively by this worker and stays in bounds.
+            unsafe { y.write(i, acc) };
+        }
+    }
+}
+
+/// Accumulates row `i` of `A · X` into `acc[..k]`, per request in the
+/// serial reference order (column by column).
+#[inline(always)]
+fn spmm_row_block(a: &Csr, i: usize, x: &[f64], acc: &mut [f64]) {
+    let k = acc.len();
+    acc.fill(0.0);
+    let (cols, vals) = a.row(i);
+    for (c, v) in cols.iter().zip(vals) {
+        let stripe = &x[*c as usize * k..*c as usize * k + k];
+        for (a_j, x_j) in acc.iter_mut().zip(stripe) {
+            *a_j += v * x_j;
+        }
+    }
+}
+
+/// One worker's share of the batch product: whole rows, so every
+/// `y[i*k..][..k]` stripe is written by exactly one thread.
+fn spmm_worker(a: &Csr, range: Range<usize>, x: &[f64], y: YPtr, k: usize) {
+    let mut acc = vec![0.0f64; k];
+    for i in range {
+        spmm_row_block(a, i, x, &mut acc);
+        // SAFETY: the plan hands each worker disjoint row ranges and
+        // `y` points at a live `nrows * k` buffer (asserted in `run`),
+        // so the `k`-wide stripe of row `i` is written exclusively by
+        // this worker and stays in bounds.
+        let stripe = unsafe { y.subslice(i * k, k) };
+        stripe.copy_from_slice(&acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    /// Deterministic pseudo-random vector (no RNG dependency needed).
+    fn lcg_x(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn interleave(vectors: &[Vec<f64>]) -> Vec<f64> {
+        let k = vectors.len();
+        let n = vectors[0].len();
+        let mut out = vec![0.0; n * k];
+        for (j, v) in vectors.iter().enumerate() {
+            for (i, &val) in v.iter().enumerate() {
+                out[i * k + j] = val;
+            }
+        }
+        out
+    }
+
+    fn assert_bitwise_matches_serial(a: &Csr, nthreads: usize, k: usize) {
+        let xs: Vec<Vec<f64>> = (0..k).map(|j| lcg_x(a.ncols(), j as u64 + 1)).collect();
+        let x_block = interleave(&xs);
+        let mut y_block = vec![0.0; a.nrows() * k];
+        let kernel = SpmmKernel::new(a, nthreads);
+        assert!(kernel.is_validated());
+        kernel.run(&x_block, &mut y_block, k);
+        for (j, x) in xs.iter().enumerate() {
+            let mut y_ref = vec![0.0; a.nrows()];
+            a.spmv(x, &mut y_ref);
+            for i in 0..a.nrows() {
+                assert_eq!(
+                    y_block[i * k + j].to_bits(),
+                    y_ref[i].to_bits(),
+                    "row {i} vector {j} diverges from serial reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_results_are_bitwise_serial() {
+        let a = gen::banded(400, 5, 0.9, 7).unwrap();
+        for nthreads in [1, 3, 4] {
+            for k in [1, 2, 4, MAX_BATCH] {
+                assert_bitwise_matches_serial(&a, nthreads, k);
+            }
+        }
+    }
+
+    #[test]
+    fn powerlaw_batch_matches_serial() {
+        let a = gen::powerlaw(600, 7, 2.0, 11).unwrap();
+        assert_bitwise_matches_serial(&a, 4, 6);
+    }
+
+    #[test]
+    fn empty_rows_zero_the_whole_stripe() {
+        let a = Csr::from_raw(3, 3, vec![0, 1, 1, 2], vec![0, 2], vec![5.0, 7.0]).unwrap();
+        let k = 3;
+        let x = interleave(&[vec![1.0; 3], vec![2.0; 3], vec![0.5; 3]]);
+        let mut y = vec![9.0; 3 * k];
+        SpmmKernel::new(&a, 2).run(&x, &mut y, k);
+        assert_eq!(&y[0..3], &[5.0, 10.0, 2.5]); // row 0: 5 * x[0]
+        assert_eq!(&y[3..6], &[0.0, 0.0, 0.0]); // row 1 empty
+        assert_eq!(&y[6..9], &[7.0, 14.0, 3.5]); // row 2: 7 * x[2]
+    }
+
+    #[test]
+    fn run_multi_is_bitwise_serial_without_transposes() {
+        let a = gen::banded(400, 5, 0.9, 7).unwrap();
+        for nthreads in [1, 3, 4] {
+            for k in [1, 2, 4, MAX_BATCH] {
+                let xs: Vec<Vec<f64>> = (0..k).map(|j| lcg_x(a.ncols(), j as u64 + 1)).collect();
+                let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+                let mut ys: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; a.nrows()]).collect();
+                let kernel = SpmmKernel::new(&a, nthreads);
+                assert!(kernel.is_validated());
+                kernel.run_multi(&x_refs, &mut ys);
+                for (x, y) in xs.iter().zip(&ys) {
+                    let mut y_ref = vec![0.0; a.nrows()];
+                    a.spmv(x, &mut y_ref);
+                    for (got, want) in y.iter().zip(&y_ref) {
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_multi_matches_interleaved_run_bitwise() {
+        let a = gen::powerlaw(600, 7, 2.0, 11).unwrap();
+        let k = 5;
+        let xs: Vec<Vec<f64>> = (0..k).map(|j| lcg_x(a.ncols(), j as u64 + 40)).collect();
+        let kernel = SpmmKernel::new(&a, 4);
+        let mut y_block = vec![0.0; a.nrows() * k];
+        kernel.run(&interleave(&xs), &mut y_block, k);
+        let x_refs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let mut ys: Vec<Vec<f64>> = (0..k).map(|_| vec![0.0; a.nrows()]).collect();
+        kernel.run_multi(&x_refs, &mut ys);
+        for j in 0..k {
+            for i in 0..a.nrows() {
+                assert_eq!(ys[j][i].to_bits(), y_block[i * k + j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn shape_mismatch_panics() {
+        let a = Csr::identity(4);
+        let mut y = vec![0.0; 8];
+        SpmmKernel::new(&a, 1).run(&[1.0; 7], &mut y, 2);
+    }
+}

@@ -202,7 +202,7 @@ impl fmt::Display for KernelVariant {
 /// [`Plan`](crate::engine::Plan), so `run`/`run_timed` pay neither
 /// thread-spawn latency nor partition recomputation, and the reported
 /// [`ThreadTimes`] cover pure compute only.
-pub trait SpmvKernel: Sync {
+pub trait SpmvKernel: Send + Sync {
     /// Computes `y = A * x` and reports per-thread busy times.
     fn run_timed(&self, x: &[f64], y: &mut [f64]) -> ThreadTimes;
 

@@ -1,0 +1,335 @@
+//! Request scheduler: admission control, bounded-queue backpressure
+//! and same-matrix batching over the shared execution engine.
+//!
+//! The scheduler is a classic bounded producer/consumer handshake —
+//! the exact protocol model-checked as the `admission` protocol in
+//! `crates/check` (see `crates/check/src/models/admission.rs`), with
+//! the same structure: admission decided under the queue mutex,
+//! results published *before* the completion flag, completion
+//! signalled under the mutex so no wakeup is lost.
+//!
+//! * **Admission**: [`Scheduler::submit`] accepts a request only
+//!   while the queue holds fewer than `queue_cap` pending jobs;
+//!   beyond that it fails fast with [`SubmitError::QueueFull`]
+//!   (surfaced as HTTP 503) instead of queueing unboundedly — the
+//!   service degrades by shedding load, not by growing latency
+//!   without bound. Rejections are counted in
+//!   `spmv_serve_rejected_total`.
+//! * **Batching**: the worker drains up to `batch_max` *same-matrix*
+//!   jobs per dispatch and executes them as one multi-vector SpMM
+//!   ([`spmv_kernels::SpmmKernel`]), streaming the matrix once for
+//!   the whole batch. Batches form opportunistically from whatever
+//!   is queued — an idle service batches nothing (no added latency),
+//!   a loaded service batches aggressively (amortized bandwidth).
+//!   Because the batch kernel uses scalar accumulation order, batch
+//!   membership never changes results: every vector is
+//!   bitwise-identical to the serial reference.
+//! * **Threading**: the scheduler creates no threads. The daemon
+//!   donates one `ExecEngine` lane to [`Scheduler::worker_loop`];
+//!   kernel dispatches nest onto the process-global engine pools.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use spmv_telemetry::{serve_latency, serve_stats};
+
+use crate::registry::{Mode, RegisteredMatrix};
+
+/// Default bound on queued-but-unserved requests.
+pub const DEFAULT_QUEUE_CAP: usize = 256;
+
+/// One admitted, not-yet-completed request.
+struct Pending {
+    matrix: Arc<RegisteredMatrix>,
+    mode: Mode,
+    x: Vec<f64>,
+    enqueued: Instant,
+    done: Arc<Completion>,
+}
+
+/// The per-request completion cell the submitter blocks on.
+struct Completion {
+    slot: Mutex<Option<Vec<f64>>>,
+    ready: Condvar,
+}
+
+struct SchedState {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — shed load (HTTP 503).
+    QueueFull,
+    /// The scheduler is draining for shutdown.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue full"),
+            SubmitError::ShuttingDown => write!(f, "scheduler shutting down"),
+        }
+    }
+}
+
+/// The admission-controlled, batching request scheduler.
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    work: Condvar,
+    queue_cap: usize,
+    batch_max: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler admitting at most `queue_cap` queued
+    /// requests and coalescing at most `batch_max` per dispatch.
+    pub fn new(queue_cap: usize, batch_max: usize) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState { queue: VecDeque::new(), shutdown: false }),
+            work: Condvar::new(),
+            queue_cap: queue_cap.max(1),
+            batch_max: batch_max.max(1),
+        }
+    }
+
+    /// A scheduler that rejects every submission (capacity 0) — the
+    /// backpressure path in isolation, used by tests.
+    pub fn rejecting() -> Scheduler {
+        let mut s = Scheduler::new(1, 1);
+        s.queue_cap = 0;
+        s
+    }
+
+    /// Queued-but-unserved request count.
+    pub fn queue_depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Submits one request and blocks until its result is delivered
+    /// by a worker. Admission is decided immediately: a full queue or
+    /// a draining scheduler fails fast instead of blocking.
+    pub fn submit(
+        &self,
+        matrix: Arc<RegisteredMatrix>,
+        mode: Mode,
+        x: Vec<f64>,
+    ) -> Result<Vec<f64>, SubmitError> {
+        assert_eq!(x.len(), matrix.ncols(), "request vector length");
+        let done = Arc::new(Completion { slot: Mutex::new(None), ready: Condvar::new() });
+        {
+            let mut state = self.lock();
+            if state.shutdown {
+                serve_stats().reject();
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.queue.len() >= self.queue_cap {
+                serve_stats().reject();
+                return Err(SubmitError::QueueFull);
+            }
+            state.queue.push_back(Pending {
+                matrix,
+                mode,
+                x,
+                enqueued: Instant::now(),
+                done: Arc::clone(&done),
+            });
+            serve_stats().admit();
+            self.work.notify_one();
+        }
+        let mut slot = done.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(y) = slot.take() {
+                return Ok(y);
+            }
+            slot = done.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The worker loop one engine lane donates itself to: drain
+    /// batches until [`shutdown`](Scheduler::shutdown) is called and
+    /// the queue is empty. Multiple lanes may run this concurrently.
+    pub fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut state = self.lock();
+                loop {
+                    if !state.queue.is_empty() {
+                        break pop_batch(&mut state.queue, self.batch_max);
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = self.work.wait(state).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            execute(batch);
+        }
+    }
+
+    /// Marks the scheduler as draining: pending requests still
+    /// complete, new submissions are rejected, workers exit once the
+    /// queue is empty. Idempotent.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Pops the front request plus up to `batch_max - 1` later requests
+/// against the *same matrix*, preserving the relative order of
+/// everything left behind. Mode is ignored for membership: the batch
+/// kernel's scalar order satisfies both modes' reproducibility
+/// contracts.
+fn pop_batch(queue: &mut VecDeque<Pending>, batch_max: usize) -> Vec<Pending> {
+    let first = queue.pop_front().expect("pop_batch on empty queue");
+    let mut batch = vec![first];
+    let mut rest = VecDeque::with_capacity(queue.len());
+    while let Some(p) = queue.pop_front() {
+        if batch.len() < batch_max && Arc::ptr_eq(&p.matrix, &batch[0].matrix) {
+            batch.push(p);
+        } else {
+            rest.push_back(p);
+        }
+    }
+    *queue = rest;
+    batch
+}
+
+/// Executes one batch and delivers every result: single requests on
+/// the mode's SpMV kernel, true batches on the SpMM kernel (one
+/// matrix traversal for the whole batch).
+fn execute(batch: Vec<Pending>) {
+    let k = batch.len();
+    if k == 1 {
+        let job = batch.into_iter().next().expect("k == 1");
+        let y = job.matrix.spmv(&job.x, job.mode);
+        deliver(job, y);
+        return;
+    }
+    let m = Arc::clone(&batch[0].matrix);
+    // Separate-vector batch entry point: request vectors are read in
+    // place and results come back as independent vectors, so the
+    // whole batch costs one matrix traversal and zero transposes.
+    let ys = {
+        let xs: Vec<&[f64]> = batch.iter().map(|job| job.x.as_slice()).collect();
+        m.spmm_multi(&xs)
+    };
+    serve_stats().batch(k as u64);
+    for (job, y) in batch.into_iter().zip(ys) {
+        deliver(job, y);
+    }
+}
+
+/// Publishes one result and wakes its submitter. The result is
+/// stored before the wakeup, under the completion mutex — the
+/// ordering obligation mutated (and caught) by the `admission`
+/// protocol's `complete-before-result` mutant.
+fn deliver(job: Pending, y: Vec<f64>) {
+    serve_latency().observe(job.enqueued.elapsed().as_secs_f64());
+    serve_stats().complete();
+    let mut slot = job.done.slot.lock().unwrap_or_else(|p| p.into_inner());
+    *slot = Some(y);
+    job.done.ready.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MatrixRegistry;
+    use spmv_sparse::{gen, Csr};
+
+    fn two_matrices() -> (Arc<RegisteredMatrix>, Arc<RegisteredMatrix>) {
+        let reg = MatrixRegistry::new(2, 1);
+        let a = reg.register("sched-a", gen::banded(120, 3, 0.9, 1).unwrap()).unwrap();
+        let b = reg.register("sched-b", Csr::identity(50)).unwrap();
+        (a, b)
+    }
+
+    fn pending(m: &Arc<RegisteredMatrix>, tag: f64) -> Pending {
+        Pending {
+            matrix: Arc::clone(m),
+            mode: Mode::Exact,
+            x: vec![tag; m.ncols()],
+            enqueued: Instant::now(),
+            done: Arc::new(Completion { slot: Mutex::new(None), ready: Condvar::new() }),
+        }
+    }
+
+    #[test]
+    fn pop_batch_coalesces_same_matrix_preserving_order() {
+        let (a, b) = two_matrices();
+        let mut q = VecDeque::from([
+            pending(&a, 1.0),
+            pending(&b, 2.0),
+            pending(&a, 3.0),
+            pending(&a, 4.0),
+            pending(&b, 5.0),
+        ]);
+        let batch = pop_batch(&mut q, 8);
+        // Front job's matrix (a) plus the two later a-jobs.
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|p| Arc::ptr_eq(&p.matrix, &a)));
+        assert_eq!(batch.iter().map(|p| p.x[0]).collect::<Vec<_>>(), [1.0, 3.0, 4.0]);
+        // The b jobs stay queued in their original order.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.iter().map(|p| p.x[0]).collect::<Vec<_>>(), [2.0, 5.0]);
+    }
+
+    #[test]
+    fn pop_batch_respects_batch_max() {
+        let (a, _) = two_matrices();
+        let mut q: VecDeque<Pending> = (0..6).map(|i| pending(&a, i as f64)).collect();
+        let batch = pop_batch(&mut q, 4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.iter().map(|p| p.x[0]).collect::<Vec<_>>(), [4.0, 5.0]);
+    }
+
+    #[test]
+    fn execute_batch_delivers_bitwise_serial_results() {
+        let (a, _) = two_matrices();
+        let jobs: Vec<Pending> = (0..3).map(|i| pending(&a, (i + 1) as f64 * 0.5)).collect();
+        let cells: Vec<Arc<Completion>> = jobs.iter().map(|j| Arc::clone(&j.done)).collect();
+        let xs: Vec<Vec<f64>> = jobs.iter().map(|j| j.x.clone()).collect();
+        execute(jobs);
+        for (cell, x) in cells.iter().zip(&xs) {
+            let y = cell.slot.lock().unwrap().take().expect("result delivered");
+            let mut y_ref = vec![0.0; a.nrows()];
+            a.csr().spmv(x, &mut y_ref);
+            for (got, want) in y.iter().zip(&y_ref) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rejecting_scheduler_sheds_load() {
+        let (a, _) = two_matrices();
+        let s = Scheduler::rejecting();
+        let before = serve_stats().rejected();
+        let err = s.submit(Arc::clone(&a), Mode::Exact, vec![0.0; a.ncols()]).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        assert!(serve_stats().rejected() > before);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let (a, _) = two_matrices();
+        let s = Scheduler::new(4, 2);
+        s.shutdown();
+        let err = s.submit(Arc::clone(&a), Mode::Exact, vec![0.0; a.ncols()]).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+        // Worker loop on a shut-down empty scheduler returns at once.
+        s.worker_loop();
+    }
+}

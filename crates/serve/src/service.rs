@@ -1,0 +1,326 @@
+//! HTTP service surface: routes the exposition server's requests
+//! into the registry and scheduler.
+//!
+//! [`SpmvService`] implements [`HttpHandler`] and is mounted on a
+//! [`spmv_telemetry::MetricsServer`] via `serve_with` — all socket
+//! code stays inside the telemetry crate's exposition module (the
+//! audit's socket-containment policy), and the service sees only
+//! parsed requests.
+//!
+//! # Routes
+//!
+//! | route | body | effect |
+//! |---|---|---|
+//! | `POST /v1/matrices/{name}` | MatrixMarket text | validate + tune + register; JSON summary |
+//! | `GET /v1/matrices` | — | JSON list of registered matrices |
+//! | `POST /v1/spmv/{name}[?mode=tuned][&digest=1]` | request spec | one SpMV via the scheduler |
+//! | `POST /control/stop` | — | stop the serve lanes (drain + exit) |
+//!
+//! The SpMV request body is a one-line *spec*, not the vector itself:
+//! `fill <v>` (constant vector) or `seed <n>` (deterministic LCG
+//! vector). The server generates `x` from the spec, so a 100k-request
+//! load-generator run moves kilobytes, not gigabytes, and any client
+//! can recompute the exact input for verification ([`build_x`]).
+//!
+//! The response is the result vector as lowercase-hex IEEE-754 bit
+//! patterns (one per line) — lossless, so clients can assert bitwise
+//! equality against a serial reference. With `digest=1` the response
+//! collapses to one FNV-1a line over those bits, which keeps loadgen
+//! response parsing off the latency path.
+
+use spmv_sparse::mm;
+use spmv_telemetry::{Handled, HttpHandler, HttpRequest, HttpResponse, JsonValue};
+
+use crate::registry::{MatrixRegistry, Mode, RegisterError, RegisteredMatrix};
+use crate::scheduler::{Scheduler, SubmitError};
+
+/// The serving plane behind one HTTP endpoint.
+pub struct SpmvService {
+    registry: MatrixRegistry,
+    scheduler: Scheduler,
+}
+
+impl SpmvService {
+    /// Creates a service whose kernels are planned for `nthreads`,
+    /// tuned with `tune_reps` reps per candidate, admitting at most
+    /// `queue_cap` queued requests and batching up to `batch_max`.
+    pub fn new(
+        nthreads: usize,
+        tune_reps: usize,
+        queue_cap: usize,
+        batch_max: usize,
+    ) -> SpmvService {
+        SpmvService {
+            registry: MatrixRegistry::new(nthreads, tune_reps),
+            scheduler: Scheduler::new(queue_cap, batch_max),
+        }
+    }
+
+    /// The matrix registry (direct registration in tests and the
+    /// daemon's preload path).
+    pub fn registry(&self) -> &MatrixRegistry {
+        &self.registry
+    }
+
+    /// The request scheduler (a daemon lane donates itself to
+    /// `scheduler().worker_loop()`).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    fn register(&self, name: &str, req: &HttpRequest) -> HttpResponse {
+        let a = match mm::read_csr(req.body.as_slice()) {
+            Ok(a) => a,
+            Err(e) => return HttpResponse::text(400, format!("matrix parse error: {e}\n")),
+        };
+        match self.registry.register(name, a) {
+            Ok(m) => HttpResponse::json(200, matrix_summary(&m).render_pretty(2) + "\n"),
+            Err(e @ RegisterError::Duplicate(_)) => HttpResponse::text(409, format!("{e}\n")),
+            Err(e) => HttpResponse::text(400, format!("{e}\n")),
+        }
+    }
+
+    fn list(&self) -> HttpResponse {
+        let items: Vec<JsonValue> =
+            self.registry.list().iter().map(|m| matrix_summary(m)).collect();
+        let doc = JsonValue::obj().with("matrices", JsonValue::Arr(items));
+        HttpResponse::json(200, doc.render_pretty(2) + "\n")
+    }
+
+    fn spmv(&self, name: &str, req: &HttpRequest) -> HttpResponse {
+        let Some(matrix) = self.registry.get(name) else {
+            return HttpResponse::text(404, format!("no matrix {name:?} registered\n"));
+        };
+        let mode = match Mode::parse(req.query_param("mode")) {
+            Ok(mode) => mode,
+            Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+        };
+        let spec = String::from_utf8_lossy(&req.body);
+        let x = match build_x(spec.trim(), matrix.ncols()) {
+            Ok(x) => x,
+            Err(e) => return HttpResponse::text(400, format!("{e}\n")),
+        };
+        match self.scheduler.submit(matrix, mode, x) {
+            Ok(y) => {
+                if req.query_param("digest") == Some("1") {
+                    HttpResponse::text(200, format!("digest {:016x}\n", digest(&y)))
+                } else {
+                    let mut body = String::with_capacity(y.len() * 17);
+                    for v in &y {
+                        body.push_str(&format!("{:016x}\n", v.to_bits()));
+                    }
+                    HttpResponse::text(200, body)
+                }
+            }
+            Err(e @ SubmitError::QueueFull) | Err(e @ SubmitError::ShuttingDown) => {
+                HttpResponse::text(503, format!("{e}\n"))
+            }
+        }
+    }
+}
+
+impl HttpHandler for SpmvService {
+    fn handle(&self, req: &HttpRequest) -> Handled {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/control/stop") => {
+                return Handled::Stop(HttpResponse::text(200, "stopping\n"))
+            }
+            ("GET", "/v1/matrices") => return Handled::Response(self.list()),
+            _ => {}
+        }
+        if let Some(name) = req.path.strip_prefix("/v1/matrices/") {
+            return match req.method.as_str() {
+                "POST" => Handled::Response(self.register(name, req)),
+                _ => Handled::Response(HttpResponse::text(405, "method not allowed\n")),
+            };
+        }
+        if let Some(name) = req.path.strip_prefix("/v1/spmv/") {
+            return match req.method.as_str() {
+                "POST" => Handled::Response(self.spmv(name, req)),
+                _ => Handled::Response(HttpResponse::text(405, "method not allowed\n")),
+            };
+        }
+        Handled::NotHandled
+    }
+}
+
+/// JSON summary of one registered matrix.
+fn matrix_summary(m: &RegisteredMatrix) -> JsonValue {
+    JsonValue::obj()
+        .with("name", m.name())
+        .with("nrows", m.nrows())
+        .with("ncols", m.ncols())
+        .with("nnz", m.nnz())
+        .with("kernel", m.plan().entry.id())
+        .with("tuned_gflops", m.plan().gflops)
+        .with("nthreads", m.nthreads())
+}
+
+/// Expands a request spec into the input vector. Public so tests and
+/// the load generator can recompute the exact server-side input.
+///
+/// * `fill <v>` — every element is `v`;
+/// * `seed <n>` — deterministic LCG sequence in `[-2, 2)`.
+pub fn build_x(spec: &str, n: usize) -> Result<Vec<f64>, String> {
+    let mut tokens = spec.split_whitespace();
+    match (tokens.next(), tokens.next(), tokens.next()) {
+        (Some("fill"), Some(v), None) => {
+            let v: f64 = v.parse().map_err(|_| format!("bad fill value {v:?}"))?;
+            Ok(vec![v; n])
+        }
+        (Some("seed"), Some(s), None) => {
+            let seed: u64 = s.parse().map_err(|_| format!("bad seed {s:?}"))?;
+            Ok(seeded_x(n, seed))
+        }
+        _ => Err(format!("bad request spec {spec:?} (expected 'fill <v>' or 'seed <n>')")),
+    }
+}
+
+/// The `seed <n>` vector: a 64-bit LCG mapped into `[-2, 2)`.
+fn seeded_x(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// FNV-1a over the result's IEEE-754 bit patterns — order-sensitive,
+/// bit-sensitive, cheap. Public so the load generator can verify
+/// digests offline.
+pub fn digest(y: &[f64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in y {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmv_sparse::gen;
+
+    fn service() -> SpmvService {
+        SpmvService::new(2, 1, 8, 4)
+    }
+
+    fn post(path: &str, query: &str, body: &[u8]) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            query: query.into(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn mm_bytes(a: &spmv_sparse::Csr) -> Vec<u8> {
+        let mut out = Vec::new();
+        mm::write_csr(&mut out, a).expect("serialize");
+        out
+    }
+
+    fn response(h: Handled) -> HttpResponse {
+        match h {
+            Handled::Response(r) => r,
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_spmv_roundtrip_without_worker() {
+        let svc = service();
+        let a = gen::banded(80, 3, 0.9, 5).unwrap();
+        let serial = a.clone();
+        let reply = response(svc.handle(&post("/v1/matrices/m0", "", &mm_bytes(&a))));
+        assert_eq!(reply.status, 200, "{}", String::from_utf8_lossy(&reply.body));
+        let summary = JsonValue::parse(&String::from_utf8_lossy(&reply.body)).unwrap();
+        assert_eq!(summary.get("nrows").and_then(JsonValue::as_f64), Some(80.0));
+
+        // Serve one request by hand: run the submit on this thread
+        // against a pre-drained scheduler is impossible (submit
+        // blocks), so exercise the kernel path via the registry and
+        // the spec/digest helpers the route is built from.
+        let m = svc.registry().get("m0").unwrap();
+        let x = build_x("seed 7", m.ncols()).unwrap();
+        let y = m.spmv(&x, Mode::Exact);
+        let mut y_ref = vec![0.0; serial.nrows()];
+        serial.spmv(&x, &mut y_ref);
+        assert_eq!(digest(&y), digest(&y_ref));
+    }
+
+    #[test]
+    fn unknown_matrix_is_404_and_bad_specs_400() {
+        let svc = service();
+        assert_eq!(response(svc.handle(&post("/v1/spmv/ghost", "", b"fill 1"))).status, 404);
+
+        svc.registry().register("m", spmv_sparse::Csr::identity(4)).unwrap();
+        let bad_spec = response(svc.handle(&post("/v1/spmv/m", "", b"vector 1 2 3")));
+        assert_eq!(bad_spec.status, 400);
+        let bad_mode = response(svc.handle(&post("/v1/spmv/m", "mode=warp", b"fill 1")));
+        assert_eq!(bad_mode.status, 400);
+        let bad_body = response(svc.handle(&post("/v1/matrices/x", "", b"not matrixmarket")));
+        assert_eq!(bad_body.status, 400);
+    }
+
+    #[test]
+    fn duplicate_registration_is_409() {
+        let svc = service();
+        let body = mm_bytes(&spmv_sparse::Csr::identity(6));
+        assert_eq!(response(svc.handle(&post("/v1/matrices/dup", "", &body))).status, 200);
+        assert_eq!(response(svc.handle(&post("/v1/matrices/dup", "", &body))).status, 409);
+    }
+
+    #[test]
+    fn queue_full_maps_to_503() {
+        let svc =
+            SpmvService { registry: MatrixRegistry::new(1, 1), scheduler: Scheduler::rejecting() };
+        svc.registry().register("m", spmv_sparse::Csr::identity(4)).unwrap();
+        let reply = response(svc.handle(&post("/v1/spmv/m", "", b"fill 1")));
+        assert_eq!(reply.status, 503);
+    }
+
+    #[test]
+    fn list_and_stop_routes() {
+        let svc = service();
+        svc.registry().register("zz", spmv_sparse::Csr::identity(3)).unwrap();
+        svc.registry().register("aa", spmv_sparse::Csr::identity(3)).unwrap();
+        let list = response(svc.handle(&HttpRequest {
+            method: "GET".into(),
+            path: "/v1/matrices".into(),
+            query: String::new(),
+            body: Vec::new(),
+        }));
+        let text = String::from_utf8_lossy(&list.body).to_string();
+        assert!(text.find("aa").unwrap() < text.find("zz").unwrap(), "{text}");
+
+        assert!(matches!(svc.handle(&post("/control/stop", "", b"")), Handled::Stop(_)));
+        // Unrelated paths fall through to the telemetry built-ins.
+        assert!(matches!(
+            svc.handle(&HttpRequest {
+                method: "GET".into(),
+                path: "/metrics".into(),
+                query: String::new(),
+                body: Vec::new(),
+            }),
+            Handled::NotHandled
+        ));
+    }
+
+    #[test]
+    fn spec_and_digest_are_deterministic() {
+        assert_eq!(build_x("fill 2.5", 3).unwrap(), vec![2.5; 3]);
+        assert_eq!(build_x("seed 9", 16).unwrap(), build_x("seed 9", 16).unwrap());
+        assert_ne!(build_x("seed 9", 16).unwrap(), build_x("seed 10", 16).unwrap());
+        assert!(build_x("", 4).is_err());
+        assert!(build_x("fill x", 4).is_err());
+        let y = [1.0, -2.0, 3.5];
+        assert_eq!(digest(&y), digest(&y.to_vec()));
+        assert_ne!(digest(&y), digest(&[1.0, -2.0, 3.50000001]));
+    }
+}

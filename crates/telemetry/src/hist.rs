@@ -1,0 +1,331 @@
+//! Lock-free latency histograms and serving-plane counters.
+//!
+//! The serving plane records one latency sample per completed SpMV
+//! request — the recording site sits on a scheduler worker between
+//! kernel dispatches, so it obeys the same hot-path rules as
+//! [`crate::metrics`]: fixed-size atomic cells, relaxed ordering, no
+//! locks, no allocation.
+//!
+//! The histogram uses power-of-two nanosecond buckets: bucket `i`
+//! holds samples with `latency_ns <= BASE_NS << i`. Geometric buckets
+//! give constant relative resolution (~2×) across the full range —
+//! from a microsecond cache-warm digest request to multi-second
+//! MatrixMarket uploads — with `O(1)` recording via a leading-zeros
+//! bucket index, no search. Quantiles (p50/p99 for the load
+//! generator's report) are read back by cumulative-count walk and are
+//! upper bounds at bucket granularity, the standard Prometheus
+//! `histogram_quantile` semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Smallest bucket upper bound: 1µs in nanoseconds.
+const BASE_NS: u64 = 1 << 10;
+
+/// Bucket count. `BASE_NS << (BUCKETS - 2)` ≈ 34s is the last finite
+/// bound; the final bucket is the `+Inf` overflow.
+pub const BUCKETS: usize = 27;
+
+/// A fixed-size lock-free latency histogram (const-constructible so
+/// it can back a `static`).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], for rendering and
+/// quantile queries without re-reading racing cells.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (not cumulative), last is overflow.
+    pub counts: [u64; BUCKETS],
+    /// Total recorded duration in seconds.
+    pub sum_seconds: f64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> LatencyHistogram {
+        // `AtomicU64` is not `Copy`; build the array element-wise.
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        LatencyHistogram { counts: [ZERO; BUCKETS], sum_ns: AtomicU64::new(0) }
+    }
+
+    /// Upper bound of bucket `i` in seconds (`f64::INFINITY` for the
+    /// overflow bucket).
+    pub fn bound_seconds(i: usize) -> f64 {
+        if i + 1 >= BUCKETS {
+            f64::INFINITY
+        } else {
+            (BASE_NS << i) as f64 * 1e-9
+        }
+    }
+
+    /// Bucket index for a sample of `ns` nanoseconds.
+    fn bucket(ns: u64) -> usize {
+        // Smallest i with ns <= BASE_NS << i, i.e. position of the
+        // highest set bit above the base, clamped to the overflow.
+        let extra = (64 - (ns.saturating_sub(1) | 1).leading_zeros() as usize)
+            .saturating_sub(BASE_NS.trailing_zeros() as usize);
+        extra.min(BUCKETS - 1)
+    }
+
+    /// Records one sample of `seconds` duration.
+    pub fn observe(&self, seconds: f64) {
+        let ns = if seconds <= 0.0 { 0 } else { (seconds * 1e9) as u64 };
+        self.observe_ns(ns);
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        // relaxed-ok: independent monotonic cells; readers only ever
+        // consume aggregate snapshots and tolerate torn cross-cell
+        // views (standard Prometheus histogram semantics).
+        self.counts[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed); // relaxed-ok: as above.
+    }
+
+    /// Copies the current cell values.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (out, cell) in counts.iter_mut().zip(&self.counts) {
+            // relaxed-ok: aggregate read, no ordering dependency.
+            *out = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            // relaxed-ok: aggregate read, no ordering dependency.
+            sum_seconds: self.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Zeroes every cell (tests and bench isolation).
+    pub fn reset(&self) {
+        for cell in &self.counts {
+            // relaxed-ok: reset is a test/bench affordance, never
+            // raced against hot-path writers in production flows.
+            cell.store(0, Ordering::Relaxed);
+        }
+        self.sum_ns.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`) in
+    /// seconds: the bound of the first bucket whose cumulative count
+    /// reaches `q` of the total. `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(LatencyHistogram::bound_seconds(i));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+/// Monotonic counters of the serving plane's admission pipeline.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+impl ServeStats {
+    /// Creates zeroed counters (const, so it can back a `static`).
+    pub const fn new() -> ServeStats {
+        ServeStats {
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one request admitted past admission control.
+    pub fn admit(&self) {
+        // relaxed-ok: independent monotonic counter, aggregate reads.
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request rejected by backpressure.
+    pub fn reject(&self) {
+        // relaxed-ok: independent monotonic counter, aggregate reads.
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request completed (result delivered).
+    pub fn complete(&self) {
+        // relaxed-ok: independent monotonic counter, aggregate reads.
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched batch of `width` coalesced requests.
+    pub fn batch(&self, width: u64) {
+        // relaxed-ok: independent monotonic counters, aggregate reads.
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(width, Ordering::Relaxed); // relaxed-ok: as above.
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Requests carried inside batches so far.
+    pub fn batched_requests(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.batched_requests.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter (tests and bench isolation).
+    pub fn reset(&self) {
+        // relaxed-ok: reset is a test/bench affordance, never raced
+        // against hot-path writers in production flows.
+        self.admitted.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+        self.completed.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+        self.batches.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+        self.batched_requests.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+    }
+}
+
+static SERVE_LATENCY: LatencyHistogram = LatencyHistogram::new();
+static SERVE_STATS: ServeStats = ServeStats::new();
+
+/// The process-wide serving latency histogram (request admission to
+/// result delivery, recorded by the request scheduler).
+pub fn serve_latency() -> &'static LatencyHistogram {
+    &SERVE_LATENCY
+}
+
+/// The process-wide serving pipeline counters.
+pub fn serve_stats() -> &'static ServeStats {
+    &SERVE_STATS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotone_powers_of_two() {
+        assert_eq!(LatencyHistogram::bound_seconds(0), BASE_NS as f64 * 1e-9);
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(
+                LatencyHistogram::bound_seconds(i),
+                2.0 * LatencyHistogram::bound_seconds(i - 1)
+            );
+        }
+        assert_eq!(LatencyHistogram::bound_seconds(BUCKETS - 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn samples_land_in_the_tightest_bucket() {
+        // Exactly at a bound stays in that bucket; one past it moves up.
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(BASE_NS), 0);
+        assert_eq!(LatencyHistogram::bucket(BASE_NS + 1), 1);
+        assert_eq!(LatencyHistogram::bucket(BASE_NS * 2), 1);
+        assert_eq!(LatencyHistogram::bucket(BASE_NS * 2 + 1), 2);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~2µs), 10 slow (~1ms).
+        for _ in 0..90 {
+            h.observe_ns(2_000);
+        }
+        for _ in 0..10 {
+            h.observe_ns(1_000_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        let p50 = snap.quantile(0.5).unwrap();
+        let p99 = snap.quantile(0.99).unwrap();
+        assert!(p50 < 1e-5, "p50 should sit in the fast buckets, got {p50}");
+        assert!(p99 >= 1e-3, "p99 should reach the slow bucket, got {p99}");
+        assert!(p50 <= p99);
+        // Sum reflects both populations.
+        assert!((snap.sum_seconds - (90.0 * 2e-6 + 10.0 * 1e-3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn observe_seconds_matches_observe_ns() {
+        let h = LatencyHistogram::new();
+        h.observe(1.5e-3);
+        h.observe(-4.0); // clamped to zero, still counted
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert!(snap.quantile(1.0).unwrap() >= 1.5e-3);
+    }
+
+    #[test]
+    fn serve_counters_accumulate() {
+        let s = ServeStats::new();
+        s.admit();
+        s.admit();
+        s.reject();
+        s.complete();
+        s.batch(4);
+        s.batch(2);
+        assert_eq!(s.admitted(), 2);
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.completed(), 1);
+        assert_eq!(s.batches(), 2);
+        assert_eq!(s.batched_requests(), 6);
+        s.reset();
+        assert_eq!(s.admitted() + s.rejected() + s.batches(), 0);
+    }
+}

@@ -33,6 +33,7 @@
 //! engine, plus a telemetry-specific lock-freedom policy.
 
 pub mod exposition;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod registry;
@@ -40,7 +41,10 @@ pub mod span;
 pub mod stats;
 pub mod trace;
 
-pub use exposition::MetricsServer;
+pub use exposition::{
+    http_request, Handled, HttpHandler, HttpRequest, HttpResponse, MetricsServer,
+};
+pub use hist::{serve_latency, serve_stats, HistogramSnapshot, LatencyHistogram, ServeStats};
 pub use json::{JsonParseError, JsonValue};
 pub use metrics::{DispatchSnapshot, DispatchStats, TimeCounter};
 pub use registry::{MetricKind, MetricsRegistry};

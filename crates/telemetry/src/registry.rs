@@ -18,6 +18,7 @@
 //! * span timings share one metric, `spmv_span_seconds_total`, with
 //!   the span name as the `span` label.
 
+use crate::hist::{serve_latency, serve_stats, HistogramSnapshot, LatencyHistogram};
 use crate::metrics::{engine_dispatch, menu_selection, preprocessing, profiling_runs};
 use crate::span::SpanSet;
 use crate::trace::tracer;
@@ -266,7 +267,83 @@ impl MetricsRegistry {
             MetricKind::Gauge,
             if t.enabled() { 1.0 } else { 0.0 },
         );
+        let s = serve_stats();
+        reg.push(
+            "spmv_serve_admitted_total",
+            "Serving requests admitted past admission control.",
+            MetricKind::Counter,
+            s.admitted() as f64,
+        );
+        reg.push(
+            "spmv_serve_rejected_total",
+            "Serving requests rejected by bounded-queue backpressure.",
+            MetricKind::Counter,
+            s.rejected() as f64,
+        );
+        reg.push(
+            "spmv_serve_completed_total",
+            "Serving requests completed (result delivered).",
+            MetricKind::Counter,
+            s.completed() as f64,
+        );
+        reg.push(
+            "spmv_serve_batches_total",
+            "Coalesced SpMM batches dispatched by the request scheduler.",
+            MetricKind::Counter,
+            s.batches() as f64,
+        );
+        reg.push(
+            "spmv_serve_batched_requests_total",
+            "Requests carried inside coalesced SpMM batches.",
+            MetricKind::Counter,
+            s.batched_requests() as f64,
+        );
+        reg.record_latency_histogram(&serve_latency().snapshot());
         reg
+    }
+
+    /// Exports a serving-latency snapshot in Prometheus histogram
+    /// shape — cumulative `_bucket{le=...}` samples, `_sum`, `_count`
+    /// — plus derived p50/p99 gauges for dashboards (and the load
+    /// generator's report) that don't run `histogram_quantile`.
+    pub fn record_latency_histogram(&mut self, snap: &HistogramSnapshot) {
+        let mut cumulative = 0u64;
+        for (i, count) in snap.counts.iter().enumerate() {
+            cumulative += count;
+            let bound = LatencyHistogram::bound_seconds(i);
+            let le = if bound.is_infinite() { "+Inf".to_string() } else { format!("{bound}") };
+            self.push_labeled(
+                "spmv_serve_latency_seconds_bucket",
+                "Serving request latency histogram (admission to result delivery).",
+                MetricKind::Counter,
+                &[("le", &le)],
+                cumulative as f64,
+            );
+        }
+        self.push(
+            "spmv_serve_latency_seconds_sum",
+            "Total serving latency summed over all requests.",
+            MetricKind::Counter,
+            snap.sum_seconds,
+        );
+        self.push(
+            "spmv_serve_latency_seconds_count",
+            "Serving requests recorded in the latency histogram.",
+            MetricKind::Counter,
+            snap.count() as f64,
+        );
+        self.push(
+            "spmv_serve_latency_p50_seconds",
+            "Median serving latency (bucket upper bound; 0 when empty).",
+            MetricKind::Gauge,
+            snap.quantile(0.5).unwrap_or(0.0),
+        );
+        self.push(
+            "spmv_serve_latency_p99_seconds",
+            "99th-percentile serving latency (bucket upper bound; 0 when empty).",
+            MetricKind::Gauge,
+            snap.quantile(0.99).unwrap_or(0.0),
+        );
     }
 
     /// Renders the registry in Prometheus text exposition format 0.0.4
@@ -455,10 +532,49 @@ mod tests {
             "spmv_trace_events_shed_total",
             "spmv_trace_capacity_events",
             "spmv_trace_enabled",
+            "spmv_serve_admitted_total",
+            "spmv_serve_rejected_total",
+            "spmv_serve_completed_total",
+            "spmv_serve_batches_total",
+            "spmv_serve_batched_requests_total",
+            "spmv_serve_latency_seconds_sum",
+            "spmv_serve_latency_seconds_count",
+            "spmv_serve_latency_p50_seconds",
+            "spmv_serve_latency_p99_seconds",
         ] {
             assert!(text.contains(&format!("\n{name} ")), "missing {name} in:\n{text}");
         }
+        assert!(text.contains("spmv_serve_latency_seconds_bucket{le=\"+Inf\"}"), "{text}");
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn latency_histogram_renders_cumulative_buckets() {
+        let h = LatencyHistogram::new();
+        h.observe_ns(2_000); // ~2µs
+        h.observe_ns(2_000);
+        h.observe_ns(500_000_000); // 0.5s
+        let mut reg = MetricsRegistry::new();
+        reg.record_latency_histogram(&h.snapshot());
+        let text = reg.render();
+        // Buckets are cumulative: the +Inf bucket carries the total.
+        assert!(text.contains("spmv_serve_latency_seconds_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("spmv_serve_latency_seconds_count 3\n"), "{text}");
+        // p50 in the microsecond range, p99 in the slow bucket.
+        let p50: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("spmv_serve_latency_p50_seconds "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let p99: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("spmv_serve_latency_p99_seconds "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(p50 < 1e-4, "{p50}");
+        assert!(p99 >= 0.5, "{p99}");
     }
 
     #[test]
