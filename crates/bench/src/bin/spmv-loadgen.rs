@@ -4,7 +4,7 @@
 //! ```text
 //! spmv-loadgen --addr HOST:PORT [--requests N] [--lanes K]
 //!              [--mode exact|tuned|mixed] [--rows N] [--band W]
-//!              [--report PATH] [--stop]
+//!              [--report PATH] [--trace-sample K] [--stop]
 //! ```
 //!
 //! The generator uploads one deterministic banded matrix (so the run
@@ -31,6 +31,10 @@
 //! * `--rows`, `--band` shape of the generated matrix (defaults
 //!   2000×7-band — small enough that HTTP dominates, so the daemon's
 //!   scheduler is the thing under load);
+//! * `--trace-sample K` print the K slowest requests (by client
+//!   latency) with their server-side stage breakdowns, joined by
+//!   RequestId against `GET /v1/observe/{name}` — the quick "why was
+//!   that request slow?" view without opening a Chrome trace;
 //! * `--stop`     post `/control/stop` when done (shuts the daemon
 //!   down, for bounded CI runs).
 //!
@@ -51,10 +55,19 @@ use spmv_telemetry::{http_request, JsonValue, LatencyHistogram};
 const SEED_SPACE: u64 = 64;
 
 const USAGE: &str = "usage: spmv-loadgen --addr HOST:PORT [--requests N] [--lanes K] \
-[--mode exact|tuned|mixed] [--rows N] [--band W] [--report PATH] [--stop]";
+[--mode exact|tuned|mixed] [--rows N] [--band W] [--report PATH] [--trace-sample K] [--stop]";
 
-const KNOWN_FLAGS: [&str; 8] =
-    ["--addr", "--requests", "--lanes", "--mode", "--rows", "--band", "--report", "--stop"];
+const KNOWN_FLAGS: [&str; 9] = [
+    "--addr",
+    "--requests",
+    "--lanes",
+    "--mode",
+    "--rows",
+    "--band",
+    "--report",
+    "--trace-sample",
+    "--stop",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -81,6 +94,7 @@ fn run(args: &[String]) -> Result<bool, CliError> {
     let rows = flag_parsed::<usize>(args, "--rows")?.unwrap_or(2000);
     let band = flag_parsed::<usize>(args, "--band")?.unwrap_or(7);
     let report_path = flag_value(args, "--report")?;
+    let trace_sample = flag_parsed::<usize>(args, "--trace-sample")?.unwrap_or(0);
     let stop = flag_present(args, "--stop");
 
     // Deterministic workload matrix; name encodes the shape so
@@ -120,6 +134,9 @@ fn run(args: &[String]) -> Result<bool, CliError> {
     let errors = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
     let hist = LatencyHistogram::new();
+    // (client latency, rid, seed) per completed request, kept only
+    // when --trace-sample asked for the slow-request report.
+    let samples = std::sync::Mutex::new(Vec::<(f64, u64, u64)>::new());
 
     eprintln!("spmv-loadgen: replaying {requests} request(s) over {lanes} lane(s), mode {mode}");
     let t0 = Instant::now();
@@ -134,7 +151,7 @@ fn run(args: &[String]) -> Result<bool, CliError> {
             "exact" => "",
             "tuned" => "&mode=tuned",
             _ => {
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     ""
                 } else {
                     "&mode=tuned"
@@ -146,20 +163,36 @@ fn run(args: &[String]) -> Result<bool, CliError> {
         let sent = Instant::now();
         match http_request(&addr, "POST", &target, spec.as_bytes()) {
             Ok((200, body)) => {
-                hist.observe(sent.elapsed().as_secs_f64());
+                let latency = sent.elapsed().as_secs_f64();
+                hist.observe(latency);
                 completed.fetch_add(1, Ordering::Relaxed);
                 let text = String::from_utf8_lossy(&body);
-                let got = text
-                    .trim()
-                    .strip_prefix("digest ")
-                    .and_then(|h| u64::from_str_radix(h, 16).ok());
+                // Response shape: `digest <hex> rid <n>`.
+                let mut tokens = text.split_whitespace();
+                let got = match (tokens.next(), tokens.next()) {
+                    (Some("digest"), Some(h)) => u64::from_str_radix(h, 16).ok(),
+                    _ => None,
+                };
+                let rid = match (tokens.next(), tokens.next()) {
+                    (Some("rid"), Some(r)) => r.parse::<u64>().ok(),
+                    _ => None,
+                };
                 // Exact mode is bitwise-reproducible, so its digest
                 // must equal the serial reference's. Tuned mode only
                 // promises tolerance-level agreement — its responses
-                // are checked for shape, not bits.
+                // are checked for shape, not bits. A missing rid is a
+                // protocol break either way.
                 let verifiable = mode_q.is_empty();
-                if got.is_none() || (verifiable && got != Some(expected[seed as usize])) {
+                if got.is_none()
+                    || rid.is_none()
+                    || (verifiable && got != Some(expected[seed as usize]))
+                {
                     mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+                if trace_sample > 0 {
+                    if let Some(rid) = rid {
+                        samples.lock().unwrap().push((latency, rid, seed));
+                    }
                 }
             }
             Ok((503, _)) => {
@@ -188,6 +221,17 @@ fn run(args: &[String]) -> Result<bool, CliError> {
         .filter(|(s, _)| *s == 200)
         .map(|(_, b)| String::from_utf8_lossy(&b).into_owned())
         .unwrap_or_default();
+    // Fetch per-request breakdowns while the daemon is still up.
+    let slow = if trace_sample > 0 {
+        Some(slow_request_report(
+            &addr,
+            &name,
+            samples.into_inner().unwrap_or_default(),
+            trace_sample,
+        ))
+    } else {
+        None
+    };
     if stop {
         let _ = http_request(&addr, "POST", "/control/stop", b"");
     }
@@ -214,6 +258,9 @@ fn run(args: &[String]) -> Result<bool, CliError> {
     println!("  client     p50 {:.1} us   p99 {:.1} us", client_p50 * 1e6, client_p99 * 1e6);
     println!("  server     p50 {:.1} us   p99 {:.1} us", server_p50 * 1e6, server_p99 * 1e6);
     println!("  batching   {batches:.0} batches carrying {batched:.0} request(s); {rejected:.0} rejected");
+    if let Some(slow) = &slow {
+        print!("{slow}");
+    }
 
     if let Some(path) = report_path {
         let doc = JsonValue::obj()
@@ -244,6 +291,56 @@ fn run(args: &[String]) -> Result<bool, CliError> {
         eprintln!("spmv-loadgen: FAILED (no completions, mismatches, or transport errors)");
     }
     Ok(ok)
+}
+
+/// The `--trace-sample` report: the `k` slowest completed requests by
+/// client latency, joined by RequestId against the daemon's
+/// `GET /v1/observe/{name}` stage breakdowns. The daemon keeps only a
+/// bounded ring of recent observations, so a slow request from early
+/// in the run may have been evicted — it is still listed with its
+/// client-side latency.
+fn slow_request_report(
+    addr: &str,
+    name: &str,
+    mut samples: Vec<(f64, u64, u64)>,
+    k: usize,
+) -> String {
+    samples.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    samples.truncate(k);
+    let observed = http_request(addr, "GET", &format!("/v1/observe/{name}"), b"")
+        .ok()
+        .filter(|(s, _)| *s == 200)
+        .and_then(|(_, b)| JsonValue::parse(&String::from_utf8_lossy(&b)).ok());
+    let mut out = format!("  slowest {} request(s) by client latency:\n", samples.len());
+    for (latency, rid, seed) in &samples {
+        let breakdown = observed
+            .as_ref()
+            .and_then(|doc| doc.get("requests"))
+            .and_then(JsonValue::as_array)
+            .and_then(|items| {
+                items.iter().find(|o| o.get("rid").and_then(JsonValue::as_u64) == Some(*rid))
+            });
+        match breakdown {
+            Some(o) => {
+                let get = |key: &str| o.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+                out.push_str(&format!(
+                    "    rid {rid} seed {seed}: client {:.1} us | server queue {:.1} us, \
+kernel {:.1} us, total {:.1} us (batch of {})\n",
+                    latency * 1e6,
+                    get("queue_seconds") * 1e6,
+                    get("kernel_seconds") * 1e6,
+                    get("total_seconds") * 1e6,
+                    o.get("batch").and_then(JsonValue::as_u64).unwrap_or(1),
+                ));
+            }
+            None => out.push_str(&format!(
+                "    rid {rid} seed {seed}: client {:.1} us | server breakdown already \
+evicted from the observation ring\n",
+                latency * 1e6
+            )),
+        }
+    }
+    out
 }
 
 /// Extracts the value of an unlabeled sample from Prometheus text.

@@ -1,0 +1,390 @@
+//! Model of the request-span lifecycle protocol
+//! (`crates/serve/src/scheduler.rs` stage emission).
+//!
+//! Extracted shape: every admitted request gets a six-stage span
+//! timeline — `admitted → queued → batched → dispatched → kernel →
+//! responded`. The *client* emits `admitted` while still holding the
+//! queue mutex (after the push, before the notify); the *worker* pops
+//! under that same mutex and emits the remaining five stages in
+//! program order: `queued`/`batched` right after the pop,
+//! `dispatched`/`kernel` after the (caught) kernel dispatch, and
+//! `responded` on delivery. A kernel panic is caught
+//! (`catch_unwind`): the request is delivered as a failure, but its
+//! stages still close — timelines never dangle.
+//!
+//! Two clients against capacity 1, with client 1's request poisoned
+//! so the worker's kernel "panics" on it, make every path reachable:
+//! a clean six-stage request, a panicked-but-closed six-stage
+//! request, and a shed request that emits no stages at all.
+//!
+//! Checked properties:
+//! * **Exactly once, in order**: each admitted request's stage `s` is
+//!   emitted only when stages `0..s` have each been emitted exactly
+//!   once — no duplicates, no reordering, no skips (checked inline at
+//!   every emission against the request's progress counter).
+//! * **Closure**: at the end, total stage emissions equal
+//!   `6 × admitted` — every admitted request's timeline is complete,
+//!   including the panicked one; rejected requests emit nothing.
+//! * **Result integrity**: the clean client observes its computed
+//!   result, the poisoned client observes the failure sentinel.
+//! * **Liveness**: submit/serve/shutdown terminates even with a
+//!   panicking kernel in the mix (the worker survives the panic).
+//!
+//! Seeded mutants ([`LifecycleMutant`]): `admitted` emitted after the
+//! queue unlock (the worker can interleave `queued` first — the race
+//! the under-lock placement prevents), a panic path that skips
+//! `responded` (dangling timeline), a delivery that emits `responded`
+//! twice, and a dispatch that emits `kernel` before `dispatched`.
+
+use std::rc::Rc;
+
+use crate::exec::{CondvarId, Ctx, Instance, ModelThread, MutexId, OracleId, Step, World};
+use crate::mem::{Loc, MOrd};
+
+/// Bounded queue capacity (`queue_cap`).
+pub const CAP: u64 = 1;
+/// Concurrent submitting clients.
+pub const CLIENTS: usize = 2;
+/// Client whose request makes the kernel panic.
+pub const POISONED: usize = 1;
+/// Client `cid` expects result `RESULT_BASE + cid`.
+pub const RESULT_BASE: u64 = 100;
+/// Result sentinel for a caught kernel panic (`Err` delivery).
+pub const FAILED: u64 = 999;
+/// Stages per request: admitted, queued, batched, dispatched, kernel,
+/// responded.
+pub const STAGES: u64 = 6;
+
+const ADMITTED: u64 = 0;
+const QUEUED: u64 = 1;
+const BATCHED: u64 = 2;
+const DISPATCHED: u64 = 3;
+const KERNEL: u64 = 4;
+const RESPONDED: u64 = 5;
+
+/// Seeded bugs the checker must flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleMutant {
+    /// `admitted` emitted after the queue mutex is released: the
+    /// worker can pop the request and emit `queued` first.
+    AdmittedAfterUnlock,
+    /// The caught-panic delivery path forgets `responded`: the
+    /// panicked request's timeline never closes.
+    SkipRespondedOnPanic,
+    /// Delivery emits `responded` twice (e.g. once per retry of the
+    /// completion notify).
+    DoubleResponded,
+    /// Dispatch emits `kernel` before `dispatched`.
+    KernelBeforeDispatched,
+}
+
+struct Shared {
+    /// Queue mutex (the scheduler's `state` lock).
+    m: MutexId,
+    work: CondvarId,
+    qlen: Loc,
+    /// Queue payload slots (client id + 1).
+    slots: Vec<Loc>,
+    shutdown: Loc,
+    /// Clients done submitting-and-waiting; the last sets shutdown.
+    finished: Loc,
+    /// Per-request stage progress: number of stages emitted so far.
+    progress: Vec<Loc>,
+    /// Per-client completion cell (the scheduler's `Completion`).
+    cm: Vec<MutexId>,
+    done_cv: Vec<CondvarId>,
+    done: Vec<Loc>,
+    result: Vec<Loc>,
+    admitted: OracleId,
+    rejected: OracleId,
+    /// Total stage emissions across all requests.
+    stages: OracleId,
+}
+
+/// Emits stage `stage` for request `cid`, enforcing the
+/// exactly-once-in-order invariant: the request's progress counter
+/// must sit exactly at `stage`. Returns `false` once the invariant
+/// failed (caller should stop).
+fn emit(ctx: &mut Ctx<'_>, sh: &Shared, cid: usize, stage: u64) -> bool {
+    let p = ctx.load(sh.progress[cid], MOrd::Relaxed);
+    if p != stage {
+        ctx.fail(format!(
+            "request {cid}: stage {stage} emitted at progress {p} \
+(duplicate, skipped, or out-of-order span)"
+        ));
+        return false;
+    }
+    ctx.store(sh.progress[cid], stage + 1, MOrd::Relaxed);
+    ctx.oracle_add(sh.stages, 1);
+    true
+}
+
+struct Client {
+    sh: Rc<Shared>,
+    mutant: Option<LifecycleMutant>,
+    cid: usize,
+    pc: u8,
+}
+
+impl ModelThread for Client {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            // Admission under the queue mutex; `admitted` is emitted
+            // before the unlock so the worker (which pops under this
+            // same mutex) is ordered after it.
+            0 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                if ctx.load(sh.shutdown, MOrd::Relaxed) == 1
+                    || ctx.load(sh.qlen, MOrd::Relaxed) >= CAP
+                {
+                    ctx.oracle_add(sh.rejected, 1);
+                    ctx.unlock(sh.m);
+                    self.pc = 4;
+                    return Step::Ready;
+                }
+                let qlen = ctx.load(sh.qlen, MOrd::Relaxed);
+                let slot = (qlen as usize).min(sh.slots.len() - 1);
+                ctx.store(sh.slots[slot], self.cid as u64 + 1, MOrd::Relaxed);
+                ctx.store(sh.qlen, qlen + 1, MOrd::Relaxed);
+                ctx.oracle_add(sh.admitted, 1);
+                let ok = if self.mutant == Some(LifecycleMutant::AdmittedAfterUnlock) {
+                    true // seeded bug: emission deferred past the unlock
+                } else {
+                    emit(ctx, &sh, self.cid, ADMITTED)
+                };
+                ctx.notify_all(sh.work);
+                ctx.unlock(sh.m);
+                if !ok {
+                    return Step::Done;
+                }
+                self.pc =
+                    if self.mutant == Some(LifecycleMutant::AdmittedAfterUnlock) { 1 } else { 2 };
+                Step::Ready
+            }
+            // AdmittedAfterUnlock only: the straggling emission.
+            1 => {
+                if !emit(ctx, &sh, self.cid, ADMITTED) {
+                    return Step::Done;
+                }
+                self.pc = 2;
+                Step::Ready
+            }
+            // Block on the completion cell.
+            2 => {
+                if !ctx.lock(sh.cm[self.cid]) {
+                    return Step::Blocked;
+                }
+                self.pc = 3;
+                Step::Ready
+            }
+            3 => {
+                if ctx.load(sh.done[self.cid], MOrd::Relaxed) == 0 {
+                    ctx.cond_wait(sh.done_cv[self.cid], sh.cm[self.cid]);
+                    self.pc = 2; // re-acquire, re-check
+                    return Step::Blocked;
+                }
+                let got = ctx.load(sh.result[self.cid], MOrd::Relaxed);
+                ctx.unlock(sh.cm[self.cid]);
+                let want =
+                    if self.cid == POISONED { FAILED } else { RESULT_BASE + self.cid as u64 };
+                if got != want {
+                    ctx.fail(format!(
+                        "client {} woke complete with result {got}, expected {want}",
+                        self.cid
+                    ));
+                    return Step::Done;
+                }
+                self.pc = 4;
+                Step::Ready
+            }
+            // Finished (served or shed): the last client out shuts
+            // the scheduler down.
+            4 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                let f = ctx.load(sh.finished, MOrd::Relaxed) + 1;
+                ctx.store(sh.finished, f, MOrd::Relaxed);
+                if f == CLIENTS as u64 {
+                    ctx.store(sh.shutdown, 1, MOrd::Relaxed);
+                    ctx.notify_all(sh.work);
+                }
+                ctx.unlock(sh.m);
+                Step::Done
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+struct Worker {
+    sh: Rc<Shared>,
+    mutant: Option<LifecycleMutant>,
+    pc: u8,
+    /// Client id of the popped request.
+    cur: usize,
+    /// Whether the current request's kernel panicked (caught).
+    panicked: bool,
+}
+
+impl ModelThread for Worker {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Step {
+        let sh = Rc::clone(&self.sh);
+        match self.pc {
+            // Drain loop: pop under the mutex or park.
+            0 => {
+                if !ctx.lock(sh.m) {
+                    return Step::Blocked;
+                }
+                self.pc = 1;
+                Step::Ready
+            }
+            1 => {
+                let qlen = ctx.load(sh.qlen, MOrd::Relaxed);
+                if qlen == 0 {
+                    if ctx.load(sh.shutdown, MOrd::Relaxed) == 1 {
+                        ctx.unlock(sh.m);
+                        return Step::Done;
+                    }
+                    ctx.cond_wait(sh.work, sh.m);
+                    self.pc = 0; // re-acquire, re-check
+                    return Step::Blocked;
+                }
+                ctx.store(sh.qlen, qlen - 1, MOrd::Relaxed);
+                let slot = ((qlen - 1) as usize).min(sh.slots.len() - 1);
+                self.cur = (ctx.load(sh.slots[slot], MOrd::Relaxed) - 1) as usize;
+                ctx.unlock(sh.m);
+                self.pc = 2;
+                Step::Ready
+            }
+            // Batch formation stages, emitted right after the pop
+            // (outside the lock — ordering vs `admitted` comes from
+            // the mutex, ordering among these from program order).
+            2 => {
+                if !emit(ctx, &sh, self.cur, QUEUED) {
+                    return Step::Done;
+                }
+                self.pc = 3;
+                Step::Ready
+            }
+            3 => {
+                if !emit(ctx, &sh, self.cur, BATCHED) {
+                    return Step::Done;
+                }
+                self.pc = 4;
+                Step::Ready
+            }
+            // The kernel dispatch, caught: a poisoned request panics
+            // but the worker survives and still closes the stages.
+            4 => {
+                self.panicked = self.cur == POISONED;
+                let (first, second) =
+                    if self.mutant == Some(LifecycleMutant::KernelBeforeDispatched) {
+                        (KERNEL, DISPATCHED) // seeded wrong order
+                    } else {
+                        (DISPATCHED, KERNEL)
+                    };
+                if !emit(ctx, &sh, self.cur, first) || !emit(ctx, &sh, self.cur, second) {
+                    return Step::Done;
+                }
+                self.pc = 5;
+                Step::Ready
+            }
+            // Deliver: `responded` closes the timeline (panic or
+            // not), then the result is published under the completion
+            // mutex.
+            5 => {
+                let skip =
+                    self.panicked && self.mutant == Some(LifecycleMutant::SkipRespondedOnPanic);
+                if !skip && !emit(ctx, &sh, self.cur, RESPONDED) {
+                    return Step::Done;
+                }
+                if self.mutant == Some(LifecycleMutant::DoubleResponded)
+                    && !emit(ctx, &sh, self.cur, RESPONDED)
+                {
+                    return Step::Done;
+                }
+                self.pc = 6;
+                Step::Ready
+            }
+            6 => {
+                if !ctx.lock(sh.cm[self.cur]) {
+                    return Step::Blocked;
+                }
+                let val = if self.panicked { FAILED } else { RESULT_BASE + self.cur as u64 };
+                ctx.store(sh.result[self.cur], val, MOrd::Relaxed);
+                ctx.store(sh.done[self.cur], 1, MOrd::Relaxed);
+                ctx.notify_all(sh.done_cv[self.cur]);
+                ctx.unlock(sh.cm[self.cur]);
+                self.pc = 0;
+                Step::Ready
+            }
+            _ => Step::Done,
+        }
+    }
+}
+
+/// Builds the lifecycle model instance (optionally with a seeded
+/// bug).
+pub fn instance(world: &mut World, mutant: Option<LifecycleMutant>) -> Instance {
+    let m = world.mutex();
+    let work = world.condvar();
+    let qlen = world.alloc("qlen", 0);
+    let slots = (0..CLIENTS).map(|_| world.alloc("slot", 0)).collect();
+    let shutdown = world.alloc("shutdown", 0);
+    let finished = world.alloc("finished", 0);
+    let progress = (0..CLIENTS).map(|_| world.alloc("progress", 0)).collect();
+    let cm = (0..CLIENTS).map(|_| world.mutex()).collect();
+    let done_cv = (0..CLIENTS).map(|_| world.condvar()).collect();
+    let done = (0..CLIENTS).map(|_| world.alloc("done", 0)).collect();
+    let result = (0..CLIENTS).map(|_| world.alloc("result", 0)).collect();
+    let admitted = world.oracle("admitted");
+    let rejected = world.oracle("rejected");
+    let stages = world.oracle("stages");
+    let sh = Rc::new(Shared {
+        m,
+        work,
+        qlen,
+        slots,
+        shutdown,
+        finished,
+        progress,
+        cm,
+        done_cv,
+        done,
+        result,
+        admitted,
+        rejected,
+        stages,
+    });
+
+    let mut threads: Vec<Box<dyn ModelThread>> =
+        vec![Box::new(Worker { sh: Rc::clone(&sh), mutant, pc: 0, cur: 0, panicked: false })];
+    for cid in 0..CLIENTS {
+        threads.push(Box::new(Client { sh: Rc::clone(&sh), mutant, cid, pc: 0 }));
+    }
+    Instance {
+        threads,
+        final_check: Box::new(move |w| {
+            let adm = w.oracle_value(admitted);
+            let rej = w.oracle_value(rejected);
+            let emitted = w.oracle_value(stages);
+            if adm + rej != CLIENTS as i64 {
+                return Err(format!(
+                    "accounting: {adm} admitted + {rej} rejected != {CLIENTS} requests"
+                ));
+            }
+            if emitted != adm * STAGES as i64 {
+                return Err(format!(
+                    "closure: {emitted} stage emissions for {adm} admitted request(s), \
+expected {} — a timeline dangles or overflows",
+                    adm * STAGES as i64
+                ));
+            }
+            Ok(())
+        }),
+    }
+}

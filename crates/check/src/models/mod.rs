@@ -10,6 +10,7 @@
 
 pub mod admission;
 pub mod handshake;
+pub mod lifecycle;
 pub mod publish;
 pub mod seqlock;
 
@@ -86,6 +87,22 @@ fn admission_enqueue_without_notify(w: &mut World) -> Instance {
 }
 fn admission_complete_before_result(w: &mut World) -> Instance {
     admission::instance(w, Some(admission::AdmissionMutant::CompleteBeforeResult))
+}
+
+fn lifecycle_real(w: &mut World) -> Instance {
+    lifecycle::instance(w, None)
+}
+fn lifecycle_admitted_after_unlock(w: &mut World) -> Instance {
+    lifecycle::instance(w, Some(lifecycle::LifecycleMutant::AdmittedAfterUnlock))
+}
+fn lifecycle_skip_responded_on_panic(w: &mut World) -> Instance {
+    lifecycle::instance(w, Some(lifecycle::LifecycleMutant::SkipRespondedOnPanic))
+}
+fn lifecycle_double_responded(w: &mut World) -> Instance {
+    lifecycle::instance(w, Some(lifecycle::LifecycleMutant::DoubleResponded))
+}
+fn lifecycle_kernel_before_dispatched(w: &mut World) -> Instance {
+    lifecycle::instance(w, Some(lifecycle::LifecycleMutant::KernelBeforeDispatched))
 }
 
 /// All extracted protocols, in checking order.
@@ -176,6 +193,34 @@ pub fn protocols() -> &'static [Protocol] {
                     name: "complete-before-result",
                     about: "done flag signalled before the result is stored",
                     build: admission_complete_before_result,
+                },
+            ],
+        },
+        Protocol {
+            name: "lifecycle",
+            about: "request-span six-stage timeline emission (serve/scheduler.rs)",
+            build: lifecycle_real,
+            mutants: &[
+                MutantInfo {
+                    name: "admitted-after-unlock",
+                    about:
+                        "admitted span emitted after the queue unlock; worker can emit queued first",
+                    build: lifecycle_admitted_after_unlock,
+                },
+                MutantInfo {
+                    name: "skip-responded-on-panic",
+                    about: "caught-panic delivery forgets responded; the timeline dangles",
+                    build: lifecycle_skip_responded_on_panic,
+                },
+                MutantInfo {
+                    name: "double-responded",
+                    about: "delivery emits responded twice",
+                    build: lifecycle_double_responded,
+                },
+                MutantInfo {
+                    name: "kernel-before-dispatched",
+                    about: "kernel span emitted before dispatched",
+                    build: lifecycle_kernel_before_dispatched,
                 },
             ],
         },

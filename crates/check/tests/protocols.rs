@@ -59,5 +59,6 @@ fn registry_lookup_is_by_name() {
     assert!(models::find("handshake").is_some());
     assert!(models::find("publish").is_some());
     assert!(models::find("admission").is_some());
+    assert!(models::find("lifecycle").is_some());
     assert!(models::find("no-such-model").is_none());
 }

@@ -34,6 +34,7 @@
 //! Worker panics are caught so the pool survives; the caller re-raises
 //! a panic after the barrier.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,6 +52,43 @@ use crate::schedule::{claim_guided, Schedule, ThreadTimes};
 /// completed phase never renders as an instant.
 fn dur_ns(seconds: f64) -> u64 {
     ((seconds * 1e9) as u64).max(1)
+}
+
+thread_local! {
+    /// Caller-context tag for dispatch trace events — the serving
+    /// plane's RequestId while a request's kernel runs, `0` (meaning
+    /// "untagged", fall back to the dispatch epoch) otherwise. A
+    /// thread-local `Cell` keeps the hot path at one TLS read: no
+    /// locks, no allocation, no signature change for kernels.
+    static DISPATCH_TAG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with dispatch trace events tagged by `tag`: any
+/// [`ExecEngine::run`]/[`run_labeled`](ExecEngine::run_labeled) call
+/// inside `f` records its caller-side Task/Dispatch events with
+/// `arg = tag` instead of the dispatch epoch, linking the kernel
+/// execution back to the request that caused it. The previous tag is
+/// restored on exit, panics included, so nesting and pooled reuse of
+/// the thread stay correct.
+pub fn with_dispatch_tag<R>(tag: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            // callgraph-ok: `LocalKey::with`, the std thread-local
+            // accessor — not a workspace method named `with`.
+            DISPATCH_TAG.with(|c| c.set(self.0));
+        }
+    }
+    // callgraph-ok: `LocalKey::with` again (see above).
+    let _restore = Restore(DISPATCH_TAG.with(|c| c.replace(tag)));
+    f()
+}
+
+/// The current thread's dispatch tag (`0` when untagged).
+fn dispatch_tag() -> u64 {
+    // callgraph-ok: `LocalKey::with`, the std thread-local accessor —
+    // not a workspace method named `with`.
+    DISPATCH_TAG.with(Cell::get)
 }
 
 /// One dispatched job: a borrowed task and the buffer receiving each
@@ -198,6 +236,10 @@ impl ExecEngine {
         // cost one relaxed load when disabled (`publish_ns == 0`).
         let trace = self.tracer;
         let publish_ns = if trace.enabled() { trace.now_ns() } else { 0 };
+        // Request context (serving plane): only read once tracing is
+        // known to be on, keeping the disabled cost at one relaxed
+        // load.
+        let tag = if publish_ns != 0 { dispatch_tag() } else { 0 };
         let t_wall = Instant::now();
         if n == 1 {
             // The inline path catches panics like the pooled one so a
@@ -212,8 +254,8 @@ impl ExecEngine {
             let wall = t_wall.elapsed().as_secs_f64();
             if publish_ns != 0 {
                 // indexing-ok: lane 0 exists (see above).
-                trace.record(EventKind::Task, 0, label, publish_ns, dur_ns(seconds[0]), 0);
-                trace.record(EventKind::Dispatch, 0, label, publish_ns, dur_ns(wall), 0);
+                trace.record(EventKind::Task, 0, label, publish_ns, dur_ns(seconds[0]), tag);
+                trace.record(EventKind::Dispatch, 0, label, publish_ns, dur_ns(wall), tag);
             }
             spmv_telemetry::metrics::engine_dispatch().record(wall, &seconds);
             if let Err(payload) = outcome {
@@ -259,8 +301,11 @@ impl ExecEngine {
         // leaves balanced trace events and recorded dispatch stats.
         let wall = t_wall.elapsed().as_secs_f64();
         if publish_ns != 0 {
-            trace.record(EventKind::Task, 0, label, caller_start_ns, dur_ns(caller_seconds), epoch);
-            trace.record(EventKind::Dispatch, 0, label, publish_ns, dur_ns(wall), epoch);
+            // A request tag (serving plane) wins over the dispatch
+            // epoch so the trace links the kernel to its request.
+            let arg = if tag != 0 { tag } else { epoch };
+            trace.record(EventKind::Task, 0, label, caller_start_ns, dur_ns(caller_seconds), arg);
+            trace.record(EventKind::Dispatch, 0, label, publish_ns, dur_ns(wall), arg);
         }
         spmv_telemetry::metrics::engine_dispatch().record(wall, &seconds);
 
@@ -833,6 +878,44 @@ mod tests {
             trace.snapshot().into_iter().filter(|e| e.kind == EventKind::Claim).collect();
         assert_eq!(claims.len(), 57usize.div_ceil(8));
         assert_eq!(claims.iter().map(|e| e.arg).sum::<u64>(), 57);
+    }
+
+    #[test]
+    fn dispatch_tag_flows_into_caller_side_events() {
+        let trace = leaked_tracer(1024);
+        let engine = ExecEngine::with_tracer(2, trace);
+        with_dispatch_tag(41, || {
+            engine.run(&|_t| {});
+        });
+        let events = trace.snapshot();
+        for kind in [EventKind::Dispatch, EventKind::Task] {
+            let caller: Vec<_> = events.iter().filter(|e| e.kind == kind && e.tid == 0).collect();
+            assert_eq!(caller.len(), 1, "{kind:?}");
+            assert_eq!(caller[0].arg, 41, "{kind:?} carries the RequestId tag");
+        }
+        // Outside the closure the tag is restored: events fall back
+        // to the dispatch epoch.
+        trace.clear();
+        engine.run(&|_t| {});
+        let dispatch: Vec<_> =
+            trace.snapshot().into_iter().filter(|e| e.kind == EventKind::Dispatch).collect();
+        assert_eq!(dispatch.len(), 1);
+        assert_ne!(dispatch[0].arg, 41, "tag must not leak past its scope");
+
+        // The tag is restored even when the tagged task panics, and
+        // the inline (single-thread) path carries it too.
+        trace.clear();
+        let solo = ExecEngine::with_tracer(1, trace);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_dispatch_tag(77, || solo.run(&|_t| panic!("tagged boom")))
+        }));
+        assert!(caught.is_err());
+        let events = trace.snapshot();
+        assert!(events
+            .iter()
+            .filter(|e| e.kind == EventKind::Dispatch || e.kind == EventKind::Task)
+            .all(|e| e.arg == 77));
+        assert_eq!(super::dispatch_tag(), 0, "panic unwound the tag scope");
     }
 
     #[test]

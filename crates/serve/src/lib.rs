@@ -27,7 +27,12 @@
 //! process-global engine pools. Serving latency and admission
 //! outcomes are exported through `spmv-telemetry`'s registry
 //! (`spmv_serve_*` metrics, including the p50/p99 latency histogram
-//! the load generator reports).
+//! the load generator reports). Every admitted request additionally
+//! carries a RequestId through a six-stage span timeline in the trace
+//! ring (`admitted → queued → batched → dispatched → kernel →
+//! responded`), surfaces as a latency-bucket exemplar on `/metrics`,
+//! and feeds the per-matrix roofline-attainment monitor queried via
+//! `GET /v1/observe/{name}` (DESIGN.md §13).
 //!
 //! [`Validated`]: spmv_sparse::Validated
 
@@ -36,5 +41,5 @@ pub mod scheduler;
 pub mod service;
 
 pub use registry::{MatrixRegistry, Mode, RegisterError, RegisteredMatrix};
-pub use scheduler::{Scheduler, SubmitError, DEFAULT_QUEUE_CAP};
+pub use scheduler::{Observation, Scheduler, SubmitError, DEFAULT_QUEUE_CAP};
 pub use service::{build_x, digest, SpmvService};

@@ -31,6 +31,7 @@ use spmv_kernels::baseline::{CsrKernel, InnerLoop};
 use spmv_kernels::{build_micro_kernel, Schedule, SpmmKernel, SpmvKernel};
 use spmv_machine::MachineModel;
 use spmv_sparse::{Csr, Validated};
+use spmv_telemetry::roofline::{self, RooflineId};
 use spmv_tuner::menu;
 use spmv_tuner::KernelPlan;
 
@@ -52,6 +53,9 @@ pub struct RegisteredMatrix {
     /// The tuner's decision record for `/v1/matrices` introspection.
     plan: KernelPlan,
     nthreads: usize,
+    /// Roofline-monitor slot for live attainment tracking; `None`
+    /// when the monitor's slot table was full at registration.
+    roofline: Option<RooflineId>,
 }
 
 impl RegisteredMatrix {
@@ -92,13 +96,21 @@ impl RegisteredMatrix {
 
     /// One SpMV in the requested mode. `x.len() == ncols`.
     pub fn spmv(&self, x: &[f64], mode: Mode) -> Vec<f64> {
+        self.spmv_timed(x, mode).0
+    }
+
+    /// [`spmv`](RegisteredMatrix::spmv), also reporting the kernel's
+    /// busy seconds (slowest thread — the dispatch's critical path),
+    /// which the scheduler feeds to the roofline monitor and the
+    /// request timeline.
+    pub fn spmv_timed(&self, x: &[f64], mode: Mode) -> (Vec<f64>, f64) {
         let mut y = vec![0.0; self.nrows()];
         let kernel = match mode {
             Mode::Exact => &self.exact,
             Mode::Tuned => &self.tuned,
         };
-        kernel.run_timed(x, &mut y);
-        y
+        let times = kernel.run_timed(x, &mut y);
+        (y, times.max())
     }
 
     /// One coalesced batch: `x` holds `k` interleaved request vectors
@@ -116,9 +128,24 @@ impl RegisteredMatrix {
     /// deinterleave passes. Scalar accumulation order —
     /// bitwise-serial per vector.
     pub fn spmm_multi(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        self.spmm_multi_timed(xs).0
+    }
+
+    /// [`spmm_multi`](RegisteredMatrix::spmm_multi), also reporting
+    /// the batch kernel's busy seconds (slowest thread).
+    pub fn spmm_multi_timed(&self, xs: &[&[f64]]) -> (Vec<Vec<f64>>, f64) {
         let mut ys: Vec<Vec<f64>> = xs.iter().map(|_| vec![0.0; self.nrows()]).collect();
-        self.batch.run_multi(xs, &mut ys);
-        ys
+        let times = self.batch.run_multi(xs, &mut ys);
+        (ys, times.max())
+    }
+
+    /// Folds one dispatch's measured throughput into this matrix's
+    /// roofline-attainment EWMA (no-op if the monitor was full at
+    /// registration).
+    pub fn observe_gflops(&self, gflops: f64) {
+        if let Some(id) = self.roofline {
+            roofline::monitor().observe(id, gflops);
+        }
     }
 }
 
@@ -222,8 +249,13 @@ impl MatrixRegistry {
         }
         // Pin the storage for the process lifetime; see module docs.
         let a: &'static Csr = Box::leak(Box::new(a));
-        let (plan, _trace) =
-            menu::search_or_cached(a, &MachineModel::host(), self.nthreads, self.tune_reps);
+        let machine = MachineModel::host();
+        let (plan, _trace) = menu::search_or_cached(a, &machine, self.nthreads, self.tune_reps);
+        // Feed the live attainment monitor the simulated ceiling the
+        // tuner selected against; measured per-dispatch throughput is
+        // folded in by the scheduler via `observe_gflops`.
+        let bound = menu::roofline_bound_gflops(a, &machine, plan.entry);
+        let roofline = roofline::monitor().register(name, bound);
         let tuned = build_micro_kernel(a, plan.entry, self.nthreads).kernel;
         let exact: Box<dyn SpmvKernel> = Box::new(CsrKernel::with_options(
             a,
@@ -240,6 +272,7 @@ impl MatrixRegistry {
             batch,
             plan,
             nthreads: self.nthreads,
+            roofline,
         });
         match self.lock().entry(name.to_string()) {
             std::collections::hash_map::Entry::Occupied(_) => {
@@ -372,6 +405,34 @@ mod tests {
                 assert_eq!(y_block[i * k + j].to_bits(), y_ref[i].to_bits());
             }
         }
+    }
+
+    #[test]
+    fn registration_feeds_the_roofline_monitor() {
+        let reg = registry();
+        let a = gen::banded(150, 3, 0.9, 5).unwrap();
+        let m = reg.register("roofline-reg-probe", a).expect("register");
+        let s = roofline::monitor().get("roofline-reg-probe").expect("monitored");
+        assert!(s.bound_gflops > 0.0, "tuner bound is a positive ceiling");
+        assert_eq!(s.samples, 0, "no dispatches yet");
+        m.observe_gflops(s.bound_gflops * 0.5);
+        let s = roofline::monitor().get("roofline-reg-probe").unwrap();
+        assert_eq!(s.samples, 1);
+        assert!((s.attainment - 0.5).abs() < 1e-9, "attainment {}", s.attainment);
+    }
+
+    #[test]
+    fn timed_paths_report_kernel_seconds() {
+        let reg = registry();
+        let a = gen::banded(200, 4, 0.9, 3).unwrap();
+        let m = reg.register("timed", a).unwrap();
+        let x = vec![1.0; m.ncols()];
+        let (y, secs) = m.spmv_timed(&x, Mode::Exact);
+        assert_eq!(y.len(), m.nrows());
+        assert!(secs > 0.0, "busy seconds must be positive, got {secs}");
+        let (ys, bsecs) = m.spmm_multi_timed(&[&x, &x]);
+        assert_eq!(ys.len(), 2);
+        assert!(bsecs > 0.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `POST /v1/matrices/{name}` | MatrixMarket text | validate + tune + register; JSON summary |
 //! | `GET /v1/matrices` | — | JSON list of registered matrices |
 //! | `POST /v1/spmv/{name}[?mode=tuned][&digest=1]` | request spec | one SpMV via the scheduler |
+//! | `GET /v1/observe/{name}` | — | JSON roofline attainment + recent request timelines |
 //! | `POST /control/stop` | — | stop the serve lanes (drain + exit) |
 //!
 //! The SpMV request body is a one-line *spec*, not the vector itself:
@@ -101,9 +102,9 @@ impl SpmvService {
             Err(e) => return HttpResponse::text(400, format!("{e}\n")),
         };
         match self.scheduler.submit(matrix, mode, x) {
-            Ok(y) => {
+            Ok((rid, y)) => {
                 if req.query_param("digest") == Some("1") {
-                    HttpResponse::text(200, format!("digest {:016x}\n", digest(&y)))
+                    HttpResponse::text(200, format!("digest {:016x} rid {rid}\n", digest(&y)))
                 } else {
                     let mut body = String::with_capacity(y.len() * 17);
                     for v in &y {
@@ -112,10 +113,51 @@ impl SpmvService {
                     HttpResponse::text(200, body)
                 }
             }
+            // Shed responses carry Retry-After so well-behaved
+            // clients back off instead of hammering a full queue.
             Err(e @ SubmitError::QueueFull) | Err(e @ SubmitError::ShuttingDown) => {
-                HttpResponse::text(503, format!("{e}\n"))
+                HttpResponse::text(503, format!("{e}\n")).with_header("Retry-After", "1")
             }
+            Err(e @ SubmitError::KernelFailed) => HttpResponse::text(500, format!("{e}\n")),
         }
+    }
+
+    /// `GET /v1/observe/{name}`: the matrix's roofline attainment
+    /// plus the stage breakdown of its most recent requests.
+    fn observe(&self, name: &str) -> HttpResponse {
+        if self.registry.get(name).is_none() {
+            return HttpResponse::text(404, format!("no matrix {name:?} registered\n"));
+        }
+        let mut doc = JsonValue::obj().with("matrix", name);
+        doc = match spmv_telemetry::monitor().get(name) {
+            Some(r) => doc.with(
+                "roofline",
+                JsonValue::obj()
+                    .with("bound_gflops", r.bound_gflops)
+                    .with("achieved_gflops", r.achieved_gflops)
+                    .with("attainment", r.attainment)
+                    .with("samples", r.samples as i64)
+                    .with("drift_total", r.drift_total as i64),
+            ),
+            None => doc.with("roofline", JsonValue::Null),
+        };
+        let requests: Vec<JsonValue> = self
+            .scheduler
+            .observations(name)
+            .iter()
+            .map(|o| {
+                JsonValue::obj()
+                    .with("rid", o.rid as i64)
+                    .with("batch", o.batch as i64)
+                    .with("queue_seconds", o.queue_seconds)
+                    .with("kernel_seconds", o.kernel_seconds)
+                    .with("total_seconds", o.total_seconds)
+                    .with("gflops", o.gflops)
+                    .with("ok", o.ok)
+            })
+            .collect();
+        doc = doc.with("requests", JsonValue::Arr(requests));
+        HttpResponse::json(200, doc.render_pretty(2) + "\n")
     }
 }
 
@@ -137,6 +179,12 @@ impl HttpHandler for SpmvService {
         if let Some(name) = req.path.strip_prefix("/v1/spmv/") {
             return match req.method.as_str() {
                 "POST" => Handled::Response(self.spmv(name, req)),
+                _ => Handled::Response(HttpResponse::text(405, "method not allowed\n")),
+            };
+        }
+        if let Some(name) = req.path.strip_prefix("/v1/observe/") {
+            return match req.method.as_str() {
+                "GET" => Handled::Response(self.observe(name)),
                 _ => Handled::Response(HttpResponse::text(405, "method not allowed\n")),
             };
         }
@@ -283,6 +331,51 @@ mod tests {
         svc.registry().register("m", spmv_sparse::Csr::identity(4)).unwrap();
         let reply = response(svc.handle(&post("/v1/spmv/m", "", b"fill 1")));
         assert_eq!(reply.status, 503);
+        // Shed responses tell clients when to come back.
+        assert!(
+            reply.headers.iter().any(|(k, v)| *k == "Retry-After" && v == "1"),
+            "{:?}",
+            reply.headers
+        );
+    }
+
+    #[test]
+    fn shutdown_503_also_carries_retry_after() {
+        let svc = service();
+        svc.registry().register("m", spmv_sparse::Csr::identity(4)).unwrap();
+        svc.scheduler().shutdown();
+        let reply = response(svc.handle(&post("/v1/spmv/m", "", b"fill 1")));
+        assert_eq!(reply.status, 503);
+        assert!(reply.headers.iter().any(|(k, _)| *k == "Retry-After"));
+    }
+
+    #[test]
+    fn observe_route_reports_roofline_and_recent_requests() {
+        let svc = service();
+        assert_eq!(
+            response(svc.handle(&HttpRequest {
+                method: "GET".into(),
+                path: "/v1/observe/ghost".into(),
+                query: String::new(),
+                body: Vec::new(),
+            }))
+            .status,
+            404
+        );
+        svc.registry().register("obs-m", gen::banded(60, 2, 0.9, 3).unwrap()).unwrap();
+        let reply = response(svc.handle(&HttpRequest {
+            method: "GET".into(),
+            path: "/v1/observe/obs-m".into(),
+            query: String::new(),
+            body: Vec::new(),
+        }));
+        assert_eq!(reply.status, 200);
+        let doc = JsonValue::parse(&String::from_utf8_lossy(&reply.body)).unwrap();
+        assert_eq!(doc.get("matrix").and_then(JsonValue::as_str), Some("obs-m"));
+        // Registration alone wires the roofline bound; no requests yet.
+        let roofline = doc.get("roofline").expect("roofline key");
+        assert!(roofline.get("bound_gflops").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert!(matches!(doc.get("requests"), Some(JsonValue::Arr(items)) if items.is_empty()));
     }
 
     #[test]
@@ -320,7 +413,8 @@ mod tests {
         assert!(build_x("", 4).is_err());
         assert!(build_x("fill x", 4).is_err());
         let y = [1.0, -2.0, 3.5];
-        assert_eq!(digest(&y), digest(&y.to_vec()));
+        let y_vec: Vec<f64> = y.to_vec();
+        assert_eq!(digest(&y), digest(&y_vec));
         assert_ne!(digest(&y), digest(&[1.0, -2.0, 3.50000001]));
     }
 }

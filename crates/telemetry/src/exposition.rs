@@ -107,6 +107,9 @@ pub struct HttpResponse {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (`Retry-After`, ...), rendered after
+    /// the built-in ones.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -117,6 +120,7 @@ impl HttpResponse {
         HttpResponse {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -126,8 +130,15 @@ impl HttpResponse {
         HttpResponse {
             status,
             content_type: "application/json; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Adds one extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> HttpResponse {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -539,6 +550,7 @@ fn builtin_route(req: &HttpRequest) -> HttpResponse {
         "/metrics" => HttpResponse {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
             body: MetricsRegistry::gather().render().into_bytes(),
         },
         "/trace" => {
@@ -569,13 +581,20 @@ fn status_text(status: u16) -> &'static str {
 
 /// Writes a complete `HTTP/1.1` response and closes the write side.
 fn write_response(stream: &mut TcpStream, response: &HttpResponse) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len()
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
@@ -803,12 +822,31 @@ mod tests {
                 "/echo" => Handled::Response(HttpResponse {
                     status: 200,
                     content_type: "application/octet-stream",
+                    headers: Vec::new(),
                     body: req.body.clone(),
                 }),
                 "/stop" => Handled::Stop(HttpResponse::text(200, "stopping\n")),
+                "/busy" => Handled::Response(
+                    HttpResponse::text(503, "try later\n").with_header("Retry-After", "1"),
+                ),
                 _ => Handled::NotHandled,
             }
         }
+    }
+
+    #[test]
+    fn extra_headers_render_in_the_response_head() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("bound");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(b"GET /busy HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        server.serve_with(Some(&EchoHandler), None, Some(1)).expect("serve");
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).expect("read reply");
+        assert!(reply.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{reply}");
+        let head = reply.split_once("\r\n\r\n").expect("head/body").0;
+        assert!(head.contains("\r\nRetry-After: 1"), "{reply}");
+        assert_eq!(body_of(&reply), "try later\n");
     }
 
     /// POST bodies reach the handler intact (Content-Length framing,

@@ -16,7 +16,7 @@
 //! upper bounds at bucket granularity, the standard Prometheus
 //! `histogram_quantile` semantics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Smallest bucket upper bound: 1µs in nanoseconds.
 const BASE_NS: u64 = 1 << 10;
@@ -25,12 +25,119 @@ const BASE_NS: u64 = 1 << 10;
 /// bound; the final bucket is the `+Inf` overflow.
 pub const BUCKETS: usize = 27;
 
+/// A recent sample attached to one histogram bucket — the
+/// OpenMetrics exemplar linking the bucket to a concrete RequestId
+/// and its stage breakdown, so a dashboard's tail-latency bucket can
+/// be traced back to an actual request timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// The request whose sample landed in this bucket.
+    pub rid: u64,
+    /// The recorded latency, in seconds.
+    pub value_seconds: f64,
+    /// Admission → batch-pop share of the latency, in seconds.
+    pub queue_seconds: f64,
+    /// Kernel-execution share of the latency, in seconds.
+    pub kernel_seconds: f64,
+}
+
+/// Per-bucket exemplar storage: a miniature single-slot seqlock (the
+/// trace ring's protocol, without the ring). The sequence word is odd
+/// while a write is in flight; a writer that finds the slot busy
+/// *skips* its exemplar rather than wait — exemplars are best-effort
+/// samples, and the latency-recording path must never block.
+struct ExemplarCell {
+    seq: AtomicU64,
+    rid: AtomicU64,
+    value_ns: AtomicU64,
+    queue_ns: AtomicU64,
+    kernel_ns: AtomicU64,
+}
+
+impl ExemplarCell {
+    const fn new() -> ExemplarCell {
+        ExemplarCell {
+            seq: AtomicU64::new(0),
+            rid: AtomicU64::new(0),
+            value_ns: AtomicU64::new(0),
+            queue_ns: AtomicU64::new(0),
+            kernel_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Best-effort exemplar store: claim the cell via CAS or skip.
+    fn record(&self, rid: u64, value_ns: u64, queue_ns: u64, kernel_ns: u64) {
+        // relaxed-ok: the pre-check is advisory; the CAS decides.
+        let cur = self.seq.load(Ordering::Relaxed);
+        if cur & 1 == 1
+            || self
+                .seq
+                // acquire-ok (success): synchronizes with the previous
+                // writer's release publication so its payload stores
+                // happen-before ours (modification order follows
+                // episode order, as in the trace ring's slot claim).
+                // relaxed-ok (failure): a lost race just skips the
+                // exemplar — the histogram count was already recorded.
+                .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            return;
+        }
+        // relaxed-ok (all payload stores): published by the release
+        // store below; readers revalidate the sequence word after an
+        // acquire fence, so a torn mix of two writers never surfaces.
+        self.rid.store(rid, Ordering::Relaxed);
+        self.value_ns.store(value_ns, Ordering::Relaxed); // relaxed-ok: as above.
+        self.queue_ns.store(queue_ns, Ordering::Relaxed); // relaxed-ok: as above.
+        self.kernel_ns.store(kernel_ns, Ordering::Relaxed); // relaxed-ok: as above.
+                                                            // release-ok: publishes the payload to readers that observe
+                                                            // this (even) sequence value with an acquire load.
+        self.seq.store(cur + 2, Ordering::Release);
+    }
+
+    /// Seqlock-validated read; `None` while unwritten or mid-write.
+    fn read(&self) -> Option<Exemplar> {
+        // acquire-ok: pairs with the writer's release publication,
+        // ordering the payload loads below after its payload stores.
+        let q1 = self.seq.load(Ordering::Acquire);
+        if q1 == 0 || q1 & 1 == 1 {
+            return None;
+        }
+        // relaxed-ok (all payload loads): guarded by the seqlock
+        // pair; see the trace ring's read_slot.
+        let rid = self.rid.load(Ordering::Relaxed);
+        let value_ns = self.value_ns.load(Ordering::Relaxed); // relaxed-ok: as above.
+        let queue_ns = self.queue_ns.load(Ordering::Relaxed); // relaxed-ok: as above.
+        let kernel_ns = self.kernel_ns.load(Ordering::Relaxed); // relaxed-ok: as above.
+                                                                // acquire-ok: orders the payload loads before the recheck.
+        fence(Ordering::Acquire);
+        // relaxed-ok: a changed sequence means a concurrent overwrite;
+        // the read is discarded.
+        if self.seq.load(Ordering::Relaxed) != q1 {
+            return None;
+        }
+        Some(Exemplar {
+            rid,
+            value_seconds: value_ns as f64 * 1e-9,
+            queue_seconds: queue_ns as f64 * 1e-9,
+            kernel_seconds: kernel_ns as f64 * 1e-9,
+        })
+    }
+}
+
 /// A fixed-size lock-free latency histogram (const-constructible so
 /// it can back a `static`).
 #[derive(Debug)]
 pub struct LatencyHistogram {
     counts: [AtomicU64; BUCKETS],
     sum_ns: AtomicU64,
+    exemplars: [ExemplarCell; BUCKETS],
+}
+
+impl std::fmt::Debug for ExemplarCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExemplarCell").field("exemplar", &self.read()).finish()
+    }
 }
 
 /// A point-in-time copy of a [`LatencyHistogram`], for rendering and
@@ -41,14 +148,20 @@ pub struct HistogramSnapshot {
     pub counts: [u64; BUCKETS],
     /// Total recorded duration in seconds.
     pub sum_seconds: f64,
+    /// Most recent exemplar per bucket (`None` until a request's
+    /// sample lands there via `observe_with_exemplar`).
+    pub exemplars: [Option<Exemplar>; BUCKETS],
 }
 
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub const fn new() -> LatencyHistogram {
-        // `AtomicU64` is not `Copy`; build the array element-wise.
-        const ZERO: AtomicU64 = AtomicU64::new(0);
-        LatencyHistogram { counts: [ZERO; BUCKETS], sum_ns: AtomicU64::new(0) }
+        // `AtomicU64` is not `Copy`; build the arrays element-wise.
+        LatencyHistogram {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            sum_ns: AtomicU64::new(0),
+            exemplars: [const { ExemplarCell::new() }; BUCKETS],
+        }
     }
 
     /// Upper bound of bucket `i` in seconds (`f64::INFINITY` for the
@@ -81,8 +194,22 @@ impl LatencyHistogram {
         // relaxed-ok: independent monotonic cells; readers only ever
         // consume aggregate snapshots and tolerate torn cross-cell
         // views (standard Prometheus histogram semantics).
+        // indexing-ok: `bucket` clamps its result to `BUCKETS - 1`.
         self.counts[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed); // relaxed-ok: as above.
+    }
+
+    /// Records one sample and attaches it as the bucket's exemplar:
+    /// the RequestId plus the queue/kernel stage breakdown of the
+    /// latency. The count/sum update is identical to
+    /// [`observe`](LatencyHistogram::observe); the exemplar itself is
+    /// best-effort (skipped, never blocked on, under writer
+    /// contention).
+    pub fn observe_with_exemplar(&self, seconds: f64, rid: u64, queue_ns: u64, kernel_ns: u64) {
+        let ns = if seconds <= 0.0 { 0 } else { (seconds * 1e9) as u64 };
+        self.observe_ns(ns);
+        // indexing-ok: `bucket` clamps its result to `BUCKETS - 1`.
+        self.exemplars[Self::bucket(ns)].record(rid, ns, queue_ns, kernel_ns);
     }
 
     /// Copies the current cell values.
@@ -92,10 +219,15 @@ impl LatencyHistogram {
             // relaxed-ok: aggregate read, no ordering dependency.
             *out = cell.load(Ordering::Relaxed);
         }
+        let mut exemplars = [None; BUCKETS];
+        for (out, cell) in exemplars.iter_mut().zip(&self.exemplars) {
+            *out = cell.read();
+        }
         HistogramSnapshot {
             counts,
             // relaxed-ok: aggregate read, no ordering dependency.
             sum_seconds: self.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            exemplars,
         }
     }
 
@@ -107,6 +239,10 @@ impl LatencyHistogram {
             cell.store(0, Ordering::Relaxed);
         }
         self.sum_ns.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+        for cell in &self.exemplars {
+            // relaxed-ok: as above; 0 is the "never written" state.
+            cell.seq.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -148,6 +284,7 @@ pub struct ServeStats {
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
 }
@@ -159,6 +296,7 @@ impl ServeStats {
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
         }
@@ -180,6 +318,14 @@ impl ServeStats {
     pub fn complete(&self) {
         // relaxed-ok: independent monotonic counter, aggregate reads.
         self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request that failed inside the kernel (the
+    /// dispatch panicked; an error was delivered instead of a
+    /// result).
+    pub fn fail(&self) {
+        // relaxed-ok: independent monotonic counter, aggregate reads.
+        self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one dispatched batch of `width` coalesced requests.
@@ -207,6 +353,12 @@ impl ServeStats {
         self.completed.load(Ordering::Relaxed)
     }
 
+    /// Requests failed so far.
+    pub fn failed(&self) -> u64 {
+        // relaxed-ok: aggregate read, no ordering dependency.
+        self.failed.load(Ordering::Relaxed)
+    }
+
     /// Batches dispatched so far.
     pub fn batches(&self) -> u64 {
         // relaxed-ok: aggregate read, no ordering dependency.
@@ -226,6 +378,7 @@ impl ServeStats {
         self.admitted.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed); // relaxed-ok: as above.
         self.completed.store(0, Ordering::Relaxed); // relaxed-ok: as above.
+        self.failed.store(0, Ordering::Relaxed); // relaxed-ok: as above.
         self.batches.store(0, Ordering::Relaxed); // relaxed-ok: as above.
         self.batched_requests.store(0, Ordering::Relaxed); // relaxed-ok: as above.
     }
@@ -318,14 +471,73 @@ mod tests {
         s.admit();
         s.reject();
         s.complete();
+        s.fail();
         s.batch(4);
         s.batch(2);
         assert_eq!(s.admitted(), 2);
         assert_eq!(s.rejected(), 1);
         assert_eq!(s.completed(), 1);
+        assert_eq!(s.failed(), 1);
         assert_eq!(s.batches(), 2);
         assert_eq!(s.batched_requests(), 6);
         s.reset();
-        assert_eq!(s.admitted() + s.rejected() + s.batches(), 0);
+        assert_eq!(s.admitted() + s.rejected() + s.failed() + s.batches(), 0);
+    }
+
+    #[test]
+    fn exemplar_roundtrips_through_its_bucket() {
+        let h = LatencyHistogram::new();
+        h.observe_with_exemplar(1.5e-3, 42, 400_000, 900_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        let bucket = LatencyHistogram::bucket(1_500_000);
+        let ex = snap.exemplars[bucket].expect("bucket carries its exemplar");
+        assert_eq!(ex.rid, 42);
+        assert!((ex.value_seconds - 1.5e-3).abs() < 1e-9);
+        assert!((ex.queue_seconds - 4e-4).abs() < 1e-12);
+        assert!((ex.kernel_seconds - 9e-4).abs() < 1e-12);
+        // Every other bucket stays empty.
+        for (i, e) in snap.exemplars.iter().enumerate() {
+            if i != bucket {
+                assert!(e.is_none(), "bucket {i} should have no exemplar");
+            }
+        }
+    }
+
+    #[test]
+    fn later_exemplar_replaces_the_earlier_one() {
+        let h = LatencyHistogram::new();
+        h.observe_with_exemplar(2e-6, 1, 1_000, 500);
+        h.observe_with_exemplar(2e-6, 2, 1_200, 600);
+        let snap = h.snapshot();
+        let ex = snap.exemplars[LatencyHistogram::bucket(2_000)].unwrap();
+        assert_eq!(ex.rid, 2, "most recent exemplar wins");
+        assert_eq!(snap.count(), 2, "both samples still counted");
+    }
+
+    #[test]
+    fn busy_exemplar_cell_is_skipped_not_blocked() {
+        let h = LatencyHistogram::new();
+        h.observe_with_exemplar(2e-6, 7, 0, 0);
+        // Simulate a writer dying mid-publication: force the cell's
+        // sequence odd, then record again. The second record must
+        // skip (count still advances) and a read must reject the
+        // torn slot.
+        let bucket = LatencyHistogram::bucket(2_000);
+        h.exemplars[bucket].seq.store(3, Ordering::Relaxed);
+        h.observe_with_exemplar(2e-6, 8, 0, 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2, "observation is never lost");
+        assert!(snap.exemplars[bucket].is_none(), "mid-write slot reads as None");
+    }
+
+    #[test]
+    fn reset_clears_exemplars() {
+        let h = LatencyHistogram::new();
+        h.observe_with_exemplar(2e-6, 9, 0, 0);
+        h.reset();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert!(snap.exemplars.iter().all(Option::is_none));
     }
 }

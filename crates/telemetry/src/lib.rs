@@ -18,6 +18,9 @@
 //!   (schema in DESIGN.md) and reading it back for regression gating;
 //! * [`trace`] — a lock-free fixed-capacity ring buffer of per-thread
 //!   dispatch events with a Chrome trace-event (Perfetto) exporter;
+//! * [`roofline`] — the live per-matrix attainment monitor folding
+//!   measured kernel throughput into EWMAs against the tuner's
+//!   simulated roofline bounds, with a drift counter for re-tuning;
 //! * [`registry`] — one labeled metrics namespace over the counters,
 //!   spans and tracer, rendered as Prometheus text exposition;
 //! * [`exposition`] — the `std::net` HTTP endpoint serving
@@ -37,6 +40,7 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod roofline;
 pub mod span;
 pub mod stats;
 pub mod trace;
@@ -44,10 +48,13 @@ pub mod trace;
 pub use exposition::{
     http_request, Handled, HttpHandler, HttpRequest, HttpResponse, MetricsServer,
 };
-pub use hist::{serve_latency, serve_stats, HistogramSnapshot, LatencyHistogram, ServeStats};
+pub use hist::{
+    serve_latency, serve_stats, Exemplar, HistogramSnapshot, LatencyHistogram, ServeStats,
+};
 pub use json::{JsonParseError, JsonValue};
 pub use metrics::{DispatchSnapshot, DispatchStats, TimeCounter};
 pub use registry::{MetricKind, MetricsRegistry};
+pub use roofline::{monitor, RooflineId, RooflineMonitor, RooflineSample};
 pub use span::{Span, SpanSet};
 pub use stats::{imbalance, median};
 pub use trace::{chrome_trace, tracer, EventKind, TraceBuffer, TraceEvent};

@@ -18,8 +18,9 @@
 //! * span timings share one metric, `spmv_span_seconds_total`, with
 //!   the span name as the `span` label.
 
-use crate::hist::{serve_latency, serve_stats, HistogramSnapshot, LatencyHistogram};
+use crate::hist::{serve_latency, serve_stats, Exemplar, HistogramSnapshot, LatencyHistogram};
 use crate::metrics::{engine_dispatch, menu_selection, preprocessing, profiling_runs};
+use crate::roofline::monitor;
 use crate::span::SpanSet;
 use crate::trace::tracer;
 
@@ -42,13 +43,17 @@ impl MetricKind {
     }
 }
 
-/// One exported sample: optional labels plus a value.
+/// One exported sample: optional labels plus a value, optionally
+/// carrying an OpenMetrics-style exemplar (a recent RequestId and its
+/// stage breakdown, appended as `# {...}` after the value).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// `(label name, label value)` pairs, rendered in order.
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// Exemplar rendered after the value, OpenMetrics-style.
+    pub exemplar: Option<Exemplar>,
 }
 
 /// One metric family: name, help text, type and its samples.
@@ -101,10 +106,26 @@ impl MetricsRegistry {
         labels: &[(&str, &str)],
         value: f64,
     ) {
+        self.push_labeled_exemplar(name, help, kind, labels, value, None);
+    }
+
+    /// Pushes a labeled sample carrying an optional exemplar (see
+    /// [`Sample::exemplar`]); otherwise identical to
+    /// [`push_labeled`](MetricsRegistry::push_labeled).
+    pub fn push_labeled_exemplar(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        value: f64,
+        exemplar: Option<Exemplar>,
+    ) {
         debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
         let sample = Sample {
             labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
             value,
+            exemplar,
         };
         match self.metrics.iter_mut().find(|m| m.name == name) {
             Some(metric) => metric.samples.push(sample),
@@ -298,6 +319,43 @@ impl MetricsRegistry {
             MetricKind::Counter,
             s.batched_requests() as f64,
         );
+        reg.push(
+            "spmv_serve_failed_total",
+            "Serving requests that failed inside the kernel dispatch.",
+            MetricKind::Counter,
+            s.failed() as f64,
+        );
+        for m in monitor().snapshot() {
+            reg.push_labeled(
+                "spmv_roofline_attainment",
+                "Measured GFLOP/s EWMA over the tuner's simulated roofline bound (1.0 = at \
+                 the roofline; 0 until the first dispatch).",
+                MetricKind::Gauge,
+                &[("matrix", &m.name)],
+                m.attainment,
+            );
+            reg.push_labeled(
+                "spmv_roofline_bound_gflops",
+                "Simulated roofline bound from the tuner's machine model, GFLOP/s.",
+                MetricKind::Gauge,
+                &[("matrix", &m.name)],
+                m.bound_gflops,
+            );
+            reg.push_labeled(
+                "spmv_roofline_achieved_gflops",
+                "EWMA of measured kernel throughput, GFLOP/s.",
+                MetricKind::Gauge,
+                &[("matrix", &m.name)],
+                m.achieved_gflops,
+            );
+            reg.push_labeled(
+                "spmv_roofline_drift_total",
+                "Drift episodes: attainment stayed below threshold for N consecutive windows.",
+                MetricKind::Counter,
+                &[("matrix", &m.name)],
+                m.drift_total as f64,
+            );
+        }
         reg.record_latency_histogram(&serve_latency().snapshot());
         reg
     }
@@ -312,12 +370,13 @@ impl MetricsRegistry {
             cumulative += count;
             let bound = LatencyHistogram::bound_seconds(i);
             let le = if bound.is_infinite() { "+Inf".to_string() } else { format!("{bound}") };
-            self.push_labeled(
+            self.push_labeled_exemplar(
                 "spmv_serve_latency_seconds_bucket",
                 "Serving request latency histogram (admission to result delivery).",
                 MetricKind::Counter,
                 &[("le", &le)],
                 cumulative as f64,
+                snap.exemplars[i],
             );
         }
         self.push(
@@ -378,6 +437,15 @@ impl MetricsRegistry {
                 }
                 out.push(' ');
                 out.push_str(&format_value(sample.value));
+                if let Some(ex) = &sample.exemplar {
+                    // OpenMetrics exemplar: `# {labels} value` after
+                    // the sample, linking the bucket to a concrete
+                    // RequestId and its stage breakdown.
+                    out.push_str(&format!(
+                        " # {{request_id=\"{}\",queue_seconds=\"{}\",kernel_seconds=\"{}\"}} {}",
+                        ex.rid, ex.queue_seconds, ex.kernel_seconds, ex.value_seconds
+                    ));
+                }
                 out.push('\n');
             }
         }
@@ -537,6 +605,7 @@ mod tests {
             "spmv_serve_completed_total",
             "spmv_serve_batches_total",
             "spmv_serve_batched_requests_total",
+            "spmv_serve_failed_total",
             "spmv_serve_latency_seconds_sum",
             "spmv_serve_latency_seconds_count",
             "spmv_serve_latency_p50_seconds",
@@ -575,6 +644,51 @@ mod tests {
             .unwrap();
         assert!(p50 < 1e-4, "{p50}");
         assert!(p99 >= 0.5, "{p99}");
+    }
+
+    #[test]
+    fn bucket_exemplars_render_openmetrics_style() {
+        let h = LatencyHistogram::new();
+        h.observe_with_exemplar(2e-6, 77, 1_000, 500);
+        let mut reg = MetricsRegistry::new();
+        reg.record_latency_histogram(&h.snapshot());
+        let text = reg.render();
+        let line = text
+            .lines()
+            .find(|l| l.contains("request_id=\"77\""))
+            .unwrap_or_else(|| panic!("no exemplar line in:\n{text}"));
+        assert!(line.starts_with("spmv_serve_latency_seconds_bucket{le="), "{line}");
+        // Seconds values go through ns→f64 conversion, so compare
+        // prefixes rather than exact decimal strings.
+        assert!(line.contains(" # {request_id=\"77\",queue_seconds=\"0.000001"), "{line}");
+        assert!(line.contains("kernel_seconds=\"0.0000005"), "{line}");
+        // Buckets without a recent sample carry no exemplar.
+        assert_eq!(text.matches(" # {").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn gather_exports_roofline_families_once_registered() {
+        // The global monitor is shared process state: use a name no
+        // other test registers and only assert presence.
+        let id = monitor().register("registry-gather-probe", 10.0).expect("slot");
+        monitor().observe(id, 5.0);
+        let text = MetricsRegistry::gather().render();
+        assert!(
+            text.contains("spmv_roofline_attainment{matrix=\"registry-gather-probe\"} 0.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spmv_roofline_bound_gflops{matrix=\"registry-gather-probe\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spmv_roofline_achieved_gflops{matrix=\"registry-gather-probe\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spmv_roofline_drift_total{matrix=\"registry-gather-probe\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub enum EventKind {
     Claim = 4,
     /// A cold-path span (micro-benchmark bound, preprocessing phase).
     Span = 5,
+    /// One request-lifecycle stage (admitted → queued → batched →
+    /// dispatched → kernel → responded); `arg` carries the RequestId.
+    Stage = 6,
 }
 
 impl EventKind {
@@ -70,6 +73,7 @@ impl EventKind {
             EventKind::Park => "park",
             EventKind::Claim => "claim",
             EventKind::Span => "span",
+            EventKind::Stage => "stage",
         }
     }
 
@@ -80,6 +84,7 @@ impl EventKind {
             2 => EventKind::Wake,
             3 => EventKind::Park,
             4 => EventKind::Claim,
+            6 => EventKind::Stage,
             _ => EventKind::Span,
         }
     }
@@ -138,8 +143,9 @@ impl Slot {
 }
 
 /// Packs up to [`NAME_BYTES`] of `name` (truncated at a char
-/// boundary) into little-endian words.
-fn pack_name(name: &str) -> [u64; NAME_BYTES / 8] {
+/// boundary) into little-endian words. Shared with the roofline
+/// monitor, whose per-matrix slots store names the same lock-free way.
+pub(crate) fn pack_name(name: &str) -> [u64; NAME_BYTES / 8] {
     let mut cut = name.len().min(NAME_BYTES);
     while !name.is_char_boundary(cut) {
         cut -= 1;
@@ -158,7 +164,7 @@ fn pack_name(name: &str) -> [u64; NAME_BYTES / 8] {
 }
 
 /// Decodes a packed name, trimming the zero padding.
-fn unpack_name(words: &[u64; NAME_BYTES / 8]) -> String {
+pub(crate) fn unpack_name(words: &[u64; NAME_BYTES / 8]) -> String {
     let mut bytes = [0u8; NAME_BYTES];
     for (chunk, w) in bytes.chunks_exact_mut(8).zip(words.iter()) {
         chunk.copy_from_slice(&w.to_le_bytes());
@@ -416,14 +422,33 @@ impl TraceBuffer {
     /// become thread-scoped instants; everything else is a complete
     /// (`"X"`) event. Timestamps are microseconds, as the format
     /// requires.
+    ///
+    /// The document header carries the ring's exact loss accounting
+    /// (`recorded`, `dropped`, `shed`, `capacity`) so consumers can
+    /// detect a truncated timeline instead of mistaking wraparound
+    /// for a quiet service.
     pub fn to_chrome_trace(&self) -> JsonValue {
+        // Read the counters *before* the snapshot: a concurrent
+        // writer between the two can only make the snapshot newer
+        // than the header, never claim events the header missed.
+        let (recorded, dropped, shed) = (self.recorded(), self.dropped(), self.shed());
         chrome_trace(&self.snapshot())
+            .with("recorded", recorded)
+            .with("dropped", dropped)
+            .with("shed", shed)
+            .with("capacity", self.capacity() as u64)
     }
 }
 
 /// Builds the Chrome trace-event document for `events` (see
 /// [`TraceBuffer::to_chrome_trace`]). Thread-name metadata is emitted
 /// for every lane present, so Perfetto labels tracks `worker-N`.
+///
+/// Request-lifecycle events ([`EventKind::Stage`]) render under a
+/// second process (`pid 2`, "requests") with one track per RequestId
+/// (`tid` = the event's `arg`), so a capture shows every request's
+/// admitted → … → responded timeline as its own swim lane next to the
+/// worker lanes that executed it.
 pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
     let mut out = Vec::with_capacity(events.len() + 4);
     out.push(
@@ -434,7 +459,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
             .with("tid", 0u64)
             .with("args", JsonValue::obj().with("name", "spmv")),
     );
-    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    let mut tids: Vec<u32> =
+        events.iter().filter(|e| e.kind != EventKind::Stage).map(|e| e.tid).collect();
     tids.sort_unstable();
     tids.dedup();
     for tid in tids {
@@ -447,13 +473,38 @@ pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
                 .with("args", JsonValue::obj().with("name", format!("worker-{tid}"))),
         );
     }
+    let mut rids: Vec<u64> =
+        events.iter().filter(|e| e.kind == EventKind::Stage).map(|e| e.arg).collect();
+    rids.sort_unstable();
+    rids.dedup();
+    if !rids.is_empty() {
+        out.push(
+            JsonValue::obj()
+                .with("name", "process_name")
+                .with("ph", "M")
+                .with("pid", 2u64)
+                .with("tid", 0u64)
+                .with("args", JsonValue::obj().with("name", "requests")),
+        );
+        for rid in rids {
+            out.push(
+                JsonValue::obj()
+                    .with("name", "thread_name")
+                    .with("ph", "M")
+                    .with("pid", 2u64)
+                    .with("tid", rid)
+                    .with("args", JsonValue::obj().with("name", format!("request-{rid}"))),
+            );
+        }
+    }
     for e in events {
         let name: &str = if e.name.is_empty() { e.kind.as_str() } else { &e.name };
+        let stage = e.kind == EventKind::Stage;
         let mut ev = JsonValue::obj()
             .with("name", name)
             .with("cat", e.kind.as_str())
-            .with("pid", 1u64)
-            .with("tid", u64::from(e.tid))
+            .with("pid", if stage { 2u64 } else { 1u64 })
+            .with("tid", if stage { e.arg } else { u64::from(e.tid) })
             .with("ts", e.start_ns as f64 / 1e3);
         if e.dur_ns == 0 {
             ev.set("ph", "i");
@@ -626,6 +677,50 @@ mod tests {
         let b = tracer() as *const _ as usize;
         assert_eq!(a, b);
         assert_eq!(tracer().capacity(), DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn chrome_trace_header_reports_exact_loss_counters() {
+        let buf = TraceBuffer::new(4);
+        buf.set_enabled(true);
+        record_n(&buf, 9); // 5 dropped by wraparound
+        let doc = buf.to_chrome_trace();
+        assert_eq!(doc.get("recorded").and_then(JsonValue::as_f64), Some(9.0));
+        assert_eq!(doc.get("dropped").and_then(JsonValue::as_f64), Some(5.0));
+        assert_eq!(doc.get("shed").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(doc.get("capacity").and_then(JsonValue::as_f64), Some(4.0));
+        // Still a parseable trace document.
+        assert!(JsonValue::parse(&doc.render()).is_ok());
+    }
+
+    #[test]
+    fn stage_events_get_their_own_request_tracks() {
+        let buf = TraceBuffer::new(8);
+        buf.set_enabled(true);
+        buf.record(EventKind::Task, 1, "kernel", 1_000, 500, 3);
+        buf.record(EventKind::Stage, 0, "queued", 2_000, 700, 41);
+        buf.record(EventKind::Stage, 0, "responded", 3_000, 0, 41);
+        buf.record(EventKind::Stage, 0, "queued", 2_500, 100, 42);
+        let doc = buf.to_chrome_trace().render();
+        // Second process groups the per-request tracks.
+        assert!(doc.contains("\"name\":\"requests\""), "{doc}");
+        assert!(doc.contains("\"name\":\"request-41\""), "{doc}");
+        assert!(doc.contains("\"name\":\"request-42\""), "{doc}");
+        // Stage events live on pid 2 with tid = RequestId.
+        assert!(doc.contains("\"cat\":\"stage\",\"pid\":2,\"tid\":41"), "{doc}");
+        // Worker events stay on pid 1 untouched.
+        assert!(doc.contains("\"cat\":\"task\",\"pid\":1,\"tid\":1"), "{doc}");
+    }
+
+    #[test]
+    fn stage_kind_roundtrips_through_a_slot() {
+        let buf = TraceBuffer::new(2);
+        buf.set_enabled(true);
+        buf.record(EventKind::Stage, 0, "admitted", 5, 0, 7);
+        let snap = buf.snapshot();
+        assert_eq!(snap[0].kind, EventKind::Stage);
+        assert_eq!(snap[0].kind.as_str(), "stage");
+        assert_eq!(snap[0].arg, 7);
     }
 
     #[test]

@@ -185,6 +185,18 @@ fn optimistic_format_bytes(a: &Csr, entry: MenuEntry) -> f64 {
     }
 }
 
+/// Simulated roofline bound for running `entry` on `a`: the GFLOP/s
+/// ceiling its (optimistic) memory traffic permits at the machine
+/// model's bandwidth for this working-set size. The search prunes
+/// candidates on it; the serving plane's roofline monitor compares
+/// live measured throughput against the selected plan's bound.
+pub fn roofline_bound_gflops(a: &Csr, machine: &MachineModel, entry: MenuEntry) -> f64 {
+    let flops = 2.0 * a.nnz() as f64;
+    let xy_bytes = ((a.ncols() + a.nrows()) * 8) as f64;
+    let bw = machine.bandwidth_for_working_set(working_set_bytes(a)) * 1e9;
+    flops / ((optimistic_format_bytes(a, entry) + xy_bytes) / bw) / 1e9
+}
+
 /// Runs the full menu search for `a` on `nthreads` threads, timing
 /// candidates best-of-`reps` on the warm pool. Returns the winning
 /// plan and the decision trace. Does not consult or fill the plan
@@ -196,9 +208,6 @@ pub fn search(
     reps: usize,
 ) -> (KernelPlan, MenuTrace) {
     let t_search = Instant::now();
-    let flops = 2.0 * a.nnz() as f64;
-    let xy_bytes = ((a.ncols() + a.nrows()) * 8) as f64;
-    let bw = machine.bandwidth_for_working_set(working_set_bytes(a)) * 1e9;
     let x = vec![1.0f64; a.ncols()];
     let mut y = vec![0.0f64; a.nrows()];
 
@@ -214,7 +223,7 @@ pub fn search(
         // The first candidate (scalar CSR baseline) is always timed —
         // pruning needs a measured floor to compare bounds against.
         if i > 0 {
-            let ceiling = flops / ((optimistic_format_bytes(a, entry) + xy_bytes) / bw) / 1e9;
+            let ceiling = roofline_bound_gflops(a, machine, entry);
             if let Some((best_gf, _, _)) = best {
                 if ceiling <= best_gf {
                     pruned.push(PrunedCandidate { id, bound_gflops: ceiling });

@@ -681,6 +681,10 @@ const ORDERINGS: &[(&str, &str)] = &[
 const HOT_PATHS: &[(&str, &[&str])] = &[
     ("crates/kernels/src/engine.rs", &["run", "run_labeled", "worker_loop", "traced_claim"]),
     ("crates/telemetry/src/trace.rs", &["record", "pack_name"]),
+    // Request-span emit paths (PR 9): per-completion exemplar stores
+    // and per-dispatch roofline folds ride inside serve delivery.
+    ("crates/telemetry/src/hist.rs", &["observe_ns", "observe_with_exemplar", "record"]),
+    ("crates/telemetry/src/roofline.rs", &["observe"]),
 ];
 
 /// Path prefix in scope for the cast-narrowing policy (policy 8):
