@@ -30,6 +30,14 @@
 //! early `pending` decrement (caller can pass the barrier while a
 //! worker still runs), and a wait-before-check worker loop (misses a
 //! notify that raced ahead of it → deadlock).
+//!
+//! Lock coverage (read by the static lock-order audit, policy 13 —
+//! the only multi-lock chain in the engine is `dispatch` held across
+//! the `state` publish and the `done` barrier, which this model's
+//! caller thread reproduces):
+//!
+//! * models-lock: engine.dispatch
+//! * models-lock: engine.shared.state
 
 use std::rc::Rc;
 

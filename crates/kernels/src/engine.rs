@@ -131,6 +131,10 @@ struct Shared {
 
 /// Locks a mutex, recovering the guard if a panicking thread poisoned
 /// it (the engine's state stays consistent across caught panics).
+///
+/// lock-id: caller — a generic pass-through: the receiver identity
+/// (and the blocking effect) belongs to each call site, not to this
+/// helper.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -226,6 +230,17 @@ impl ExecEngine {
     /// `micro:<id>`) each dispatch executed. The label stays out of
     /// the worker-side hot path — workers record their events
     /// unnamed, exactly as before.
+    ///
+    /// blocking-ok: the dispatch handshake itself — `dispatch`
+    /// serializes concurrent `run` calls (uncontended in the
+    /// steady state), `state` publishes the job, and the `done`
+    /// wait is the barrier the API contract promises; the per-row
+    /// kernel loops under it never touch any of them.
+    ///
+    /// condvar-ok: the `done` wait intentionally holds `dispatch` —
+    /// it is the serialization lock for the whole dispatch, and the
+    /// workers that notify `done` only ever take `state` (the
+    /// `handshake` model in crates/check proves the pairing).
     pub fn run_labeled(&self, label: &str, task: &(dyn Fn(usize) + Sync)) -> ThreadTimes {
         let n = self.nthreads;
         let mut seconds = vec![0.0f64; n];
@@ -351,6 +366,10 @@ impl Drop for ExecEngine {
 /// the dispatcher's times buffer — governed by the dispatch handshake
 /// (`tid < nthreads` by construction, buffer alive while the
 /// dispatcher blocks), not by matrix validation.
+///
+/// blocking-ok: parking between dispatches is this function's job —
+/// the `state` lock and `work` wait bracket the epoch claim, and the
+/// claimed task runs outside both; only the claim/report edges block.
 fn worker_loop(shared: &Shared, tid: usize, trace: &'static TraceBuffer) {
     let mut seen_epoch = 0u64;
     loop {

@@ -192,16 +192,24 @@ impl HttpHandler for SpmvService {
     }
 }
 
-/// JSON summary of one registered matrix.
+/// JSON summary of one registered matrix: static shape and tuning
+/// facts plus the live roofline attainment (null until the drift
+/// monitor has seen at least one dispatch), so `GET /v1/matrices`
+/// alone is enough to spot a drifted matrix without scraping
+/// `/metrics` or hitting `/v1/observe/{name}` per matrix.
 fn matrix_summary(m: &RegisteredMatrix) -> JsonValue {
-    JsonValue::obj()
+    let doc = JsonValue::obj()
         .with("name", m.name())
         .with("nrows", m.nrows())
         .with("ncols", m.ncols())
         .with("nnz", m.nnz())
         .with("kernel", m.plan().entry.id())
         .with("tuned_gflops", m.plan().gflops)
-        .with("nthreads", m.nthreads())
+        .with("nthreads", m.nthreads());
+    match spmv_telemetry::monitor().get(m.name()) {
+        Some(r) => doc.with("attainment", r.attainment),
+        None => doc.with("attainment", JsonValue::Null),
+    }
 }
 
 /// Expands a request spec into the input vector. Public so tests and
@@ -391,6 +399,18 @@ mod tests {
         }));
         let text = String::from_utf8_lossy(&list.body).to_string();
         assert!(text.find("aa").unwrap() < text.find("zz").unwrap(), "{text}");
+        // Each entry carries the selected menu kernel and the live
+        // roofline attainment, so operators can spot drifted
+        // matrices from the list alone.
+        let doc = JsonValue::parse(&text).unwrap();
+        let items = doc.get("matrices").and_then(JsonValue::as_array).expect("matrices array");
+        assert_eq!(items.len(), 2);
+        for m in items {
+            assert!(m.get("kernel").and_then(JsonValue::as_str).is_some(), "{text}");
+            // Registration wires the drift monitor, so attainment is
+            // numeric (0.0 before any dispatch), not null.
+            assert!(m.get("attainment").and_then(JsonValue::as_f64).is_some(), "{text}");
+        }
 
         assert!(matches!(svc.handle(&post("/control/stop", "", b"")), Handled::Stop(_)));
         // Unrelated paths fall through to the telemetry built-ins.

@@ -1,0 +1,11 @@
+//! Policy 14 fixture: a dispatch root takes a mutex directly.
+//! Scanned under a non-root path, the same source is clean — the
+//! policy is about reachability from the hot roots, not about locks
+//! per se.
+
+use std::sync::Mutex;
+
+pub fn run(m: &Mutex<u64>) -> u64 {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    *g
+}

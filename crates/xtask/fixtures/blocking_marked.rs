@@ -1,0 +1,14 @@
+//! Policy 14 clean twin: the same root-level lock as
+//! blocking_in_hot_path.rs, justified with a `blocking-ok:` marker
+//! in the fn doc naming why the block cannot stall dispatch.
+
+use std::sync::Mutex;
+
+/// Cold-path reconfiguration read.
+///
+/// blocking-ok: taken once per engine rebuild, never per dispatch;
+/// contention is impossible while lanes are parked
+pub fn run(m: &Mutex<u64>) -> u64 {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    *g
+}

@@ -1,0 +1,18 @@
+//! Policy 14 fixture: the blocking effect is transitive — the root
+//! stays lock-free syntactically, but a helper it calls parks on a
+//! mutex, so the finding must carry the call chain.
+
+use std::sync::Mutex;
+
+pub struct Work {
+    pub items: Mutex<Vec<u64>>,
+}
+
+pub fn run(q: &Work) {
+    drain(q);
+}
+
+fn drain(q: &Work) {
+    let mut g = q.items.lock().unwrap_or_else(|p| p.into_inner());
+    g.clear();
+}

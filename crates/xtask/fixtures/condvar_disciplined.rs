@@ -1,0 +1,26 @@
+//! Policy 15 clean twin: the textbook shape — wait in a loop
+//! re-checking the predicate, notify only after mutating the
+//! predicate under the paired mutex.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Queue {
+    state: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Queue {
+    pub fn consume(&self) -> u32 {
+        let mut g = self.state.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+        *g
+    }
+
+    pub fn produce(&self) {
+        let mut g = self.state.lock().unwrap();
+        *g += 1;
+        self.cv.notify_one();
+    }
+}

@@ -1,0 +1,24 @@
+//! Policy 15 fixture: the notify side never takes the mutex paired
+//! with the condvar, so the predicate mutation can race the waiter's
+//! re-check — the classic lost-wakeup window.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Queue {
+    state: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Queue {
+    pub fn consume(&self) -> u32 {
+        let mut g = self.state.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+        *g
+    }
+
+    pub fn produce(&self) {
+        self.cv.notify_one();
+    }
+}

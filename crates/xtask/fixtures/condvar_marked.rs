@@ -1,0 +1,24 @@
+//! Policy 15 clean twin: the same single-shot wait and held second
+//! lock as the violating fixtures, justified with `condvar-ok:`
+//! (and `model-ok:` for the incidental aux/state chain).
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Stage {
+    state: Mutex<u32>,
+    aux: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Stage {
+    /// One-shot startup barrier: exactly one notify is ever sent,
+    /// after the predicate is set, and `aux` is only read at startup.
+    ///
+    /// condvar-ok: startup-only barrier, single notifier, no re-use
+    /// model-ok: fixture pair, modeled in the demo crate
+    pub fn await_boot(&self) {
+        let _aux = self.aux.lock().unwrap();
+        let g = self.state.lock().unwrap();
+        let _g = self.cv.wait(g).unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! Policy 15 fixture: the waiter parks while still holding a second
+//! lock — any notifier that needs `aux` deadlocks against the
+//! sleeper. (`model-ok:` keeps the incidental aux/state chain out of
+//! policy 13, so the fixture isolates the condvar finding.)
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Stage {
+    state: Mutex<u32>,
+    aux: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Stage {
+    /// model-ok: fixture pair, modeled in the demo crate
+    pub fn wait_holding_aux(&self) {
+        let _aux = self.aux.lock().unwrap();
+        let mut g = self.state.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}

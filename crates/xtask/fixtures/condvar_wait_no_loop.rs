@@ -1,0 +1,17 @@
+//! Policy 15 fixture: a single-shot `wait` with no enclosing loop —
+//! spurious wakeups or a stolen signal resume the waiter with the
+//! predicate still false.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub fn await_open(&self) {
+        let g = self.state.lock().unwrap();
+        let _g = self.cv.wait(g).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! Policy 13 fixture: the cycle closes *interprocedurally* — the
+//! second lock is taken by a helper called while the first guard is
+//! live, so the held set must propagate along the call edge for the
+//! cycle to be visible.
+
+use std::sync::Mutex;
+
+pub struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Hub {
+    pub fn forward(&self) {
+        let a = self.a.lock().unwrap();
+        self.take_b(*a);
+    }
+
+    fn take_b(&self, x: u32) {
+        let mut b = self.b.lock().unwrap();
+        *b = x;
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.b.lock().unwrap();
+        let a = self.a.lock().unwrap();
+        *b - *a
+    }
+}

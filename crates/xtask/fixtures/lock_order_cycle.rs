@@ -1,0 +1,24 @@
+//! Policy 13 fixture: two mutexes acquired in opposite orders by two
+//! methods of one impl — the acquired-while-holding graph has a
+//! cycle, a potential deadlock. The participants are also unmodeled.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.b.lock().unwrap();
+        let a = self.a.lock().unwrap();
+        *b - *a
+    }
+}

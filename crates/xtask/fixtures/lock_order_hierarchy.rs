@@ -1,0 +1,26 @@
+//! Policy 13 clean twin: every multi-lock path acquires in the same
+//! fixed order (outer, then inner) — no cycle — and both mutexes
+//! carry `model-ok:` coverage justifications.
+
+use std::sync::Mutex;
+
+pub struct Tiered {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl Tiered {
+    /// model-ok: fixture hierarchy, modeled in the demo crate
+    pub fn update(&self) {
+        let o = self.outer.lock().unwrap();
+        let mut i = self.inner.lock().unwrap();
+        *i = *o;
+    }
+
+    /// model-ok: fixture hierarchy, modeled in the demo crate
+    pub fn refresh(&self) {
+        let o = self.outer.lock().unwrap();
+        let mut i = self.inner.lock().unwrap();
+        *i += *o;
+    }
+}

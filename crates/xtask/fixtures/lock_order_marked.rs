@@ -1,0 +1,29 @@
+//! Policy 13 clean twin: the same reversed acquisition as
+//! lock_order_cycle.rs, but the reversed edge carries a
+//! `lock-order-ok:` justification (severing it from cycle detection)
+//! and both mutexes carry `model-ok:` coverage justifications.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    /// model-ok: fixture pair, protocol modeled in the demo crate
+    pub fn forward(&self) -> u32 {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap();
+        *a + *b
+    }
+
+    /// model-ok: fixture pair, protocol modeled in the demo crate
+    pub fn backward(&self) -> u32 {
+        let b = self.b.lock().unwrap();
+        // lock-order-ok: cold drain path; forward() never runs
+        // concurrently with it (exclusive &mut-like phase)
+        let a = self.a.lock().unwrap();
+        *b - *a
+    }
+}

@@ -1,0 +1,25 @@
+//! Policy 13 fixture: a consistent two-lock hierarchy (no cycle),
+//! but the participating mutexes are declared by no protocol model
+//! in crates/check/src/models/ and carry no `model-ok:` marker — the
+//! static layer must flag the dynamic layer's coverage gap.
+
+use std::sync::Mutex;
+
+pub struct Tiered {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl Tiered {
+    pub fn update(&self) {
+        let o = self.outer.lock().unwrap();
+        let mut i = self.inner.lock().unwrap();
+        *i = *o;
+    }
+
+    pub fn refresh(&self) {
+        let o = self.outer.lock().unwrap();
+        let mut i = self.inner.lock().unwrap();
+        *i += *o;
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded lock-order mutant (half 2/2) — see scheduler.rs. This
+//! side acquires in the opposite order: matrix table first, then the
+//! scheduler's queue mutex through a helper.
+
+use std::sync::Mutex;
+
+use crate::scheduler::Scheduler;
+
+pub struct Registry {
+    pub matrices: Mutex<Vec<u32>>,
+}
+
+impl Registry {
+    /// Takes the matrix table, then drains the queue under it.
+    pub fn evict(&self, sched: &Scheduler) {
+        let matrices = self.matrices.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = matrices.len();
+        drain_queue(sched);
+    }
+}
+
+/// Helper: acquires the scheduler's queue mutex.
+fn drain_queue(sched: &Scheduler) {
+    // lock-id: scheduler.state
+    let mut state = sched.state.lock().unwrap_or_else(|p| p.into_inner());
+    state.queue.clear();
+}

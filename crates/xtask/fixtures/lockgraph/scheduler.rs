@@ -1,0 +1,37 @@
+//! Seeded lock-order mutant (half 1/2), exercised by
+//! `cargo xtask audit --demo` and the self-test: `submit` takes the
+//! scheduler's queue mutex and then resolves the matrix registry
+//! *under it*, while `Registry::evict` (registry.rs) takes the
+//! registry lock and then drains the queue under *that* — reversed
+//! acquisition orders across two files, the deadlock shape the
+//! lock-order policy exists to catch. The `lock-id:` markers alias
+//! the cross-file receiver paths onto their canonical identities.
+
+use std::sync::Mutex;
+
+use crate::registry::Registry;
+
+pub struct SchedState {
+    pub queue: Vec<u64>,
+    pub pending: usize,
+}
+
+pub struct Scheduler {
+    pub state: Mutex<SchedState>,
+}
+
+impl Scheduler {
+    /// Takes the queue mutex, then resolves the registry under it.
+    pub fn submit(&self, reg: &Registry) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.pending += 1;
+        resolve(reg);
+    }
+}
+
+/// Helper: acquires the registry's matrix table.
+fn resolve(reg: &Registry) {
+    // lock-id: registry.matrices
+    let matrices = reg.matrices.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = matrices.len();
+}

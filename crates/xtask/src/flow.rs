@@ -107,6 +107,7 @@ const AMBIENT_METHODS: &[&str] = &[
     "flush",
     "get",
     "insert",
+    "is_empty",
     "iter",
     "join",
     "last",
@@ -165,23 +166,46 @@ pub(crate) struct Graph<'a> {
     /// Adjacency: outgoing edges, deduplicated, in deterministic
     /// order.
     edges: Vec<Vec<usize>>,
+    /// Every resolved call site as `(caller, line, callee)` — the
+    /// line-resolved view of `edges` the lock-order analysis needs to
+    /// know *where* in the caller an edge leaves (a call made while a
+    /// guard is held propagates the held set; one on a `spawn(` line
+    /// runs on a fresh stack and does not). Sorted, deduplicated.
+    site_edges: Vec<(usize, usize, usize)>,
     /// For each unit, the node attributed to each line (the innermost
     /// enclosing fn), so sinks inside nested fns are charged to the
     /// nested fn, not its host.
     line_owner: Vec<Vec<Option<usize>>>,
+    /// `(unit, item)` -> node index.
+    by_item: HashMap<(usize, usize), usize>,
 }
 
 impl<'a> Graph<'a> {
-    fn span(&self, n: usize) -> &ItemSpan {
+    pub(crate) fn span(&self, n: usize) -> &ItemSpan {
         &self.units[self.nodes[n].unit].items.items[self.nodes[n].item]
     }
 
-    fn file(&self, n: usize) -> &str {
+    pub(crate) fn file(&self, n: usize) -> &str {
         &self.units[self.nodes[n].unit].path
     }
 
-    fn unit(&self, n: usize) -> &FileUnit {
+    pub(crate) fn unit(&self, n: usize) -> &FileUnit {
         &self.units[self.nodes[n].unit]
+    }
+
+    /// Index of the unit node `n` lives in.
+    pub(crate) fn unit_index(&self, n: usize) -> usize {
+        self.nodes[n].unit
+    }
+
+    /// The node for fn item `item` of unit `unit`, if it is a fn.
+    pub(crate) fn node_of(&self, unit: usize, item: usize) -> Option<usize> {
+        self.by_item.get(&(unit, item)).copied()
+    }
+
+    /// All resolved call sites as `(caller, line, callee)`.
+    pub(crate) fn site_edges(&self) -> &[(usize, usize, usize)] {
+        &self.site_edges
     }
 
     /// Display name: `Owner::name` for methods, `name` for free fns.
@@ -299,6 +323,7 @@ impl<'a> Graph<'a> {
         };
 
         let mut edge_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut site_set: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
         for (u, unit) in units.iter().enumerate() {
             for call in &unit.calls {
                 let Some(item) = unit.items.enclosing_fn_idx(call.line) else {
@@ -311,6 +336,7 @@ impl<'a> Graph<'a> {
                 for target in resolve(&call.kind, &call.name, u, caller) {
                     if target != caller {
                         edge_set.insert((caller, target));
+                        site_set.insert((caller, call.line, target));
                     }
                 }
             }
@@ -349,6 +375,7 @@ impl<'a> Graph<'a> {
                 for target in targets {
                     if target != caller {
                         edge_set.insert((caller, target));
+                        site_set.insert((caller, line, target));
                     }
                 }
             }
@@ -358,6 +385,7 @@ impl<'a> Graph<'a> {
         for (a, b) in edge_set {
             edges[a].push(b);
         }
+        let site_edges: Vec<_> = site_set.into_iter().collect();
 
         let line_owner = units
             .iter()
@@ -369,12 +397,12 @@ impl<'a> Graph<'a> {
             })
             .collect();
 
-        Graph { units, nodes, edges, line_owner }
+        Graph { units, nodes, edges, site_edges, line_owner, by_item }
     }
 
     /// Lines attributed to node `n`: inside its span, innermost-owned
     /// by it, and not in `#[cfg(test)]` code.
-    fn lines_of(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+    pub(crate) fn lines_of(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
         let node = &self.nodes[n];
         let it = self.span(n);
         let unit = &self.units[node.unit];
@@ -385,7 +413,7 @@ impl<'a> Graph<'a> {
 
     /// Breadth-first closure from `starts`, skipping nodes where
     /// `skip` holds; returns the parent map (`start -> start`).
-    fn reach(
+    pub(crate) fn reach(
         &self,
         starts: impl IntoIterator<Item = usize>,
         skip: impl Fn(usize) -> bool,
@@ -411,7 +439,7 @@ impl<'a> Graph<'a> {
 
     /// Renders the call chain from a start node to `n` using the
     /// parent map from [`Graph::reach`].
-    fn chain(&self, parent: &HashMap<usize, usize>, mut n: usize) -> Vec<String> {
+    pub(crate) fn chain(&self, parent: &HashMap<usize, usize>, mut n: usize) -> Vec<String> {
         let mut out = vec![self.qual(n)];
         while let Some(&p) = parent.get(&n) {
             if p == n {
@@ -476,12 +504,13 @@ fn module_aliases(path: &str) -> Vec<String> {
     out
 }
 
-/// Runs all three dataflow policies over the parsed workspace.
-pub(crate) fn analyze(units: &[FileUnit]) -> Vec<Finding> {
-    let g = Graph::build(units);
+/// Runs all three dataflow policies over a pre-built workspace call
+/// graph (the graph is built once in `audit_files` and shared with
+/// the lock-order analysis in [`crate::locks`]).
+pub(crate) fn analyze(g: &Graph<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    witness_flow(&g, &mut findings);
-    reachable_sinks(&g, &mut findings);
+    witness_flow(g, &mut findings);
+    reachable_sinks(g, &mut findings);
     findings
 }
 
@@ -573,9 +602,9 @@ fn witness_finding(g: &Graph<'_>, target: usize, chain: &[String]) -> Finding {
     }
 }
 
-/// Dispatch roots for policies 11 and 12: the panic-safety hot
+/// Dispatch roots for policies 11, 12, and 14: the panic-safety hot
 /// functions plus the microkernel bodies.
-fn flow_roots(g: &Graph<'_>) -> Vec<usize> {
+pub(crate) fn flow_roots(g: &Graph<'_>) -> Vec<usize> {
     (0..g.node_count())
         .filter(|&i| {
             let it = g.span(i);

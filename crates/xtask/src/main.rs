@@ -14,10 +14,12 @@
 //!   `BENCH_spmv.json` at the repo root (see DESIGN.md, "Telemetry &
 //!   the benchmark trajectory").
 //!
-//! The audit enforces twelve policies over every `.rs` file
+//! The audit enforces fifteen policies over every `.rs` file
 //! in the repository (vendored deps and build output excluded) —
-//! nine lexical/item-level policies here, plus three interprocedural
-//! dataflow policies over the workspace call graph in [`flow`]:
+//! nine lexical/item-level policies here, three interprocedural
+//! dataflow policies over the workspace call graph in [`flow`], and
+//! three concurrency-effects policies over the lock-order graph in
+//! [`locks`]:
 //!
 //! 1. **SAFETY comments** — every `unsafe` occurrence (block, fn,
 //!    impl) is immediately preceded by a `// SAFETY:` comment or a
@@ -72,6 +74,21 @@
 //! 12. **hot-path-alloc** — no allocation (`Vec::push`, `Box::new`,
 //!     `format!`, `String::from`, `to_string`, `collect`) reachable
 //!     from the dispatch roots without an `alloc-ok` marker.
+//! 13. **lock-order** — a cycle in the acquired-while-holding graph
+//!     (held-lock sets propagated along call edges) is a potential
+//!     deadlock; findings render every constituent acquisition
+//!     chain. `lock-order-ok:` justifies an intentional hierarchy,
+//!     and every named mutex in a multi-lock chain must be declared
+//!     by a `models-lock:` comment in a `crates/check` protocol
+//!     model or carry a `model-ok:` marker.
+//! 14. **blocking-in-hot-path** — no `Mutex::lock`, `RwLock` guard,
+//!     `Condvar::wait`, or TCP socket transitively reachable from
+//!     the dispatch/microkernel roots without `blocking-ok:`.
+//! 15. **condvar-discipline** — every `wait` sits in a loop
+//!     re-checking its predicate, is paired with the mutex whose
+//!     guard it consumes, and holds no second lock across the wait;
+//!     notifies on paired condvars must mutate under the paired
+//!     mutex (lost-wakeup). `condvar-ok:` justifies exceptions.
 //!
 //! The audit first runs a self-test over `crates/xtask/fixtures/`:
 //! deliberately violating snippets it must flag, plus clean files it
@@ -83,7 +100,11 @@
 //! non-baselined finding; **2** — internal error (self-test failure,
 //! unreadable file, bad usage). `--json` emits the machine-readable
 //! findings document (schema `spmv-audit/1`) on stdout; `--annotate`
-//! emits GitHub `::error file=…` workflow commands for CI.
+//! emits GitHub `::error file=…` workflow commands for CI;
+//! `--strict` turns stale baseline entries (key matches nothing)
+//! from a warning into a hard failure; `--dot FILE` writes the
+//! lock-order graph as Graphviz DOT; `--demo` scans the seeded
+//! deadlock fixture crate and renders its cycle finding.
 //!
 //! No external dependencies beyond the in-tree `spmv-check`: the
 //! scanner is a hand-rolled lexer that strips string literals and
@@ -93,12 +114,13 @@
 //! gating, and unsafe contexts.
 
 mod flow;
+mod locks;
 mod parse;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use parse::{extract_calls, parse_items, CallSite, Items};
+use parse::{extract_calls, extract_locks, parse_items, CallSite, Items, LockSite};
 use spmv_telemetry::JsonValue;
 
 const USAGE: &str = "usage: cargo xtask <audit|check|bench>";
@@ -304,20 +326,29 @@ const EXIT_INTERNAL: u8 = 2;
 const BASELINE_REL: &str = "crates/xtask/audit-baseline.txt";
 
 /// `cargo xtask audit [--root DIR] [--json] [--annotate]
-/// [--baseline FILE]` — self-tests the scanner against the fixtures
-/// (always from this crate's own tree), then scans every workspace
-/// `.rs` file under `DIR` (default: the repo root).
+/// [--baseline FILE] [--strict] [--dot FILE] [--demo]` — self-tests
+/// the scanner against the fixtures (always from this crate's own
+/// tree), then scans every workspace `.rs` file under `DIR`
+/// (default: the repo root).
 ///
 /// Human-readable findings go to stderr. `--json` writes the
 /// `spmv-audit/1` findings document to stdout; `--annotate` writes
 /// GitHub `::error` workflow commands to stdout instead. Findings
 /// whose key appears in the baseline file are reported but do not
-/// affect the exit code; exit codes are 0 (clean), 1 (non-baselined
-/// findings), 2 (internal error).
+/// affect the exit code — unless `--strict`, which also turns stale
+/// baseline entries into hard failures so the committed baseline
+/// cannot rot. `--dot FILE` writes the workspace lock-order graph as
+/// Graphviz DOT. `--demo` scans only the seeded deadlock fixture
+/// crate (`fixtures/lockgraph/`) and renders its lock-order cycle —
+/// exit codes are 0 (clean), 1 (non-baselined findings; always the
+/// case for `--demo`), 2 (internal error).
 fn run_audit(args: &[String]) -> ExitCode {
     let mut scan_root = repo_root();
     let mut json = false;
     let mut annotate = false;
+    let mut strict = false;
+    let mut demo = false;
+    let mut dot_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -336,8 +367,17 @@ fn run_audit(args: &[String]) -> ExitCode {
                     return ExitCode::from(EXIT_INTERNAL);
                 }
             },
+            "--dot" => match it.next() {
+                Some(p) => dot_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("audit: --dot requires a file");
+                    return ExitCode::from(EXIT_INTERNAL);
+                }
+            },
             "--json" => json = true,
             "--annotate" => annotate = true,
+            "--strict" => strict = true,
+            "--demo" => demo = true,
             other => {
                 eprintln!("audit: unknown flag `{other}`");
                 return ExitCode::from(EXIT_INTERNAL);
@@ -355,6 +395,10 @@ fn run_audit(args: &[String]) -> ExitCode {
         return ExitCode::from(EXIT_INTERNAL);
     }
 
+    if demo {
+        return run_demo();
+    }
+
     let mut files = Vec::new();
     collect_rs_files(&scan_root, &scan_root, &mut files);
     files.sort();
@@ -369,7 +413,18 @@ fn run_audit(args: &[String]) -> ExitCode {
             }
         }
     }
-    let mut findings = audit_files(&sources);
+    let (mut findings, lock_graph) = audit_files_full(&sources);
+    if let Some(dot) = &dot_path {
+        if let Err(e) = std::fs::write(dot, lock_graph.to_dot()) {
+            eprintln!("audit: cannot write {}: {e}", dot.display());
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+        eprintln!(
+            "audit: wrote lock-order graph ({} edge(s)) to {}",
+            lock_graph.edge_count(),
+            dot.display()
+        );
+    }
 
     // Baseline: suppressed finding keys, committed with justification
     // comments. An explicitly-passed file must exist; the default
@@ -425,6 +480,15 @@ fn run_audit(args: &[String]) -> ExitCode {
             baselined_count
         );
     }
+    if strict && !stale.is_empty() {
+        eprintln!(
+            "audit FAILED: {} stale baseline entr{} (--strict): prune {}",
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" },
+            baseline_file.display()
+        );
+        return ExitCode::from(EXIT_FINDINGS);
+    }
     if new_count == 0 {
         ExitCode::SUCCESS
     } else {
@@ -435,6 +499,39 @@ fn run_audit(args: &[String]) -> ExitCode {
             files.len()
         );
         ExitCode::from(EXIT_FINDINGS)
+    }
+}
+
+/// `cargo xtask audit --demo` — scans the seeded lock-order mutant
+/// fixture crate (a scheduler that resolves the registry under its
+/// queue mutex, and a registry that drains the queue under its own
+/// lock: a classic two-lock deadlock) and renders the resulting
+/// cycle finding with both acquisition chains. Exits 1, since a
+/// finding was (deliberately) found — same contract as
+/// `cargo xtask check --demo-mutant`.
+fn run_demo() -> ExitCode {
+    let dir = repo_root().join("crates/xtask/fixtures/lockgraph");
+    let mut sources = Vec::new();
+    for (name, virt) in LOCKGRAPH_FIXTURES {
+        match std::fs::read_to_string(dir.join(name)) {
+            Ok(t) => sources.push((virt.to_string(), t)),
+            Err(e) => {
+                eprintln!("audit: cannot read fixture {name}: {e}");
+                return ExitCode::from(EXIT_INTERNAL);
+            }
+        }
+    }
+    let (findings, lock_graph) = audit_files_full(&sources);
+    eprintln!("audit --demo: seeded deadlock in fixtures/lockgraph/ (scanned as crates/demo)");
+    eprintln!("{}", lock_graph.to_dot());
+    for f in &findings {
+        eprintln!("{}", f.render());
+    }
+    if findings.iter().any(|f| f.policy == locks::POLICY_LOCK_ORDER) {
+        ExitCode::from(EXIT_FINDINGS)
+    } else {
+        eprintln!("audit --demo: BUG — seeded cycle was not detected");
+        ExitCode::from(EXIT_INTERNAL)
     }
 }
 
@@ -495,16 +592,21 @@ fn findings_json(files: &[String], findings: &[Finding], stale: &[&String]) -> J
 }
 
 /// The full audit pipeline over in-memory sources: parse every file
-/// once, run the nine lexical policies per file, then the three
-/// interprocedural policies over the whole set. Findings come back
-/// in deterministic (file, line, policy) order.
-fn audit_files(sources: &[(String, String)]) -> Vec<Finding> {
+/// once, run the nine lexical policies per file, then the
+/// interprocedural and concurrency-effects policies over the whole
+/// set (the call graph is built once and shared). Findings come back
+/// in deterministic (file, line, policy) order, alongside the
+/// lock-order graph for `--dot`.
+fn audit_files_full(sources: &[(String, String)]) -> (Vec<Finding>, locks::LockGraphExport) {
     let units: Vec<FileUnit> = sources.iter().map(|(p, t)| FileUnit::new(p, t)).collect();
     let mut findings = Vec::new();
     for unit in &units {
         findings.extend(scan_unit(unit));
     }
-    findings.extend(flow::analyze(&units));
+    let g = flow::Graph::build(&units);
+    findings.extend(flow::analyze(&g));
+    let (lock_findings, lock_graph) = locks::analyze(&units, &g);
+    findings.extend(lock_findings);
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.policy, a.detail.as_str()).cmp(&(
             b.file.as_str(),
@@ -513,7 +615,13 @@ fn audit_files(sources: &[(String, String)]) -> Vec<Finding> {
             b.detail.as_str(),
         ))
     });
-    findings
+    (findings, lock_graph)
+}
+
+/// [`audit_files_full`] without the graph export — the self-test and
+/// unit-test entry point.
+fn audit_files(sources: &[(String, String)]) -> Vec<Finding> {
+    audit_files_full(sources).0
 }
 
 /// Recursively collects workspace `.rs` files as `/`-separated paths
@@ -553,6 +661,7 @@ pub(crate) struct FileUnit {
     pub(crate) s: Scrubbed,
     pub(crate) items: Items,
     pub(crate) calls: Vec<CallSite>,
+    pub(crate) locks: Vec<LockSite>,
 }
 
 impl FileUnit {
@@ -560,7 +669,8 @@ impl FileUnit {
         let s = scrub(text);
         let items = parse_items(&s);
         let calls = extract_calls(&s);
-        FileUnit { path: path.to_string(), s, items, calls }
+        let locks = extract_locks(&s);
+        FileUnit { path: path.to_string(), s, items, calls, locks }
     }
 }
 
@@ -1319,6 +1429,42 @@ const FIXTURES: &[(&str, &str, &[&str])] = &[
     // `callgraph-ok` severs one, making the same sink unreachable.
     ("flow_edge_marker.rs", "crates/kernels/src/engine.rs", &[flow::POLICY_PANIC_FLOW]),
     ("flow_callgraph_ok.rs", "crates/kernels/src/engine.rs", &[]),
+    // Policy 13 (lock-order): a two-mutex cycle inside one impl, the
+    // same cycle closed interprocedurally through a helper, and a
+    // consistent hierarchy whose mutexes lack protocol-model
+    // coverage. `lock-order-ok:` severs the reversed edge and
+    // `model-ok:` supplies coverage in the clean twins.
+    ("lock_order_cycle.rs", "crates/sim/src/fixture.rs", &[locks::POLICY_LOCK_ORDER]),
+    ("lock_order_chain.rs", "crates/sim/src/fixture.rs", &[locks::POLICY_LOCK_ORDER]),
+    ("lock_order_unmodeled.rs", "crates/sim/src/fixture.rs", &[locks::POLICY_LOCK_ORDER]),
+    ("lock_order_marked.rs", "crates/sim/src/fixture.rs", &[]),
+    ("lock_order_hierarchy.rs", "crates/sim/src/fixture.rs", &[]),
+    // Policy 14 (blocking-in-hot-path): a lock in a dispatch root and
+    // one reachable through a helper; the same source under a
+    // non-root path is clean, and `blocking-ok:` justifies it.
+    ("blocking_in_hot_path.rs", "crates/kernels/src/engine.rs", &[locks::POLICY_BLOCKING]),
+    ("blocking_reachable.rs", "crates/kernels/src/engine.rs", &[locks::POLICY_BLOCKING]),
+    ("blocking_in_hot_path.rs", "crates/serve/src/scheduler.rs", &[]),
+    ("blocking_marked.rs", "crates/kernels/src/engine.rs", &[]),
+    // Policy 15 (condvar-discipline): a single-shot wait outside any
+    // loop, a notify mutating its predicate outside the paired mutex
+    // (lost wakeup), and a wait holding a second lock; the textbook
+    // loop/notify-under-mutex shape is clean, and `condvar-ok:`
+    // justifies the departures.
+    ("condvar_wait_no_loop.rs", "crates/sim/src/fixture.rs", &[locks::POLICY_CONDVAR]),
+    ("condvar_lost_wakeup.rs", "crates/sim/src/fixture.rs", &[locks::POLICY_CONDVAR]),
+    ("condvar_second_lock.rs", "crates/sim/src/fixture.rs", &[locks::POLICY_CONDVAR]),
+    ("condvar_disciplined.rs", "crates/sim/src/fixture.rs", &[]),
+    ("condvar_marked.rs", "crates/sim/src/fixture.rs", &[]),
+];
+
+/// The multi-file seeded-deadlock crate under `fixtures/lockgraph/`,
+/// with the virtual paths its files are scanned under. Swept by the
+/// self-test (the two halves must close a lock-order cycle *when
+/// scanned together*) and rendered by `cargo xtask audit --demo`.
+const LOCKGRAPH_FIXTURES: &[(&str, &str)] = &[
+    ("scheduler.rs", "crates/demo/src/scheduler.rs"),
+    ("registry.rs", "crates/demo/src/registry.rs"),
 ];
 
 /// Scans each fixture under its virtual path and checks the triggered
@@ -1341,6 +1487,33 @@ fn self_test(root: &Path) -> Result<(), String> {
         if got != want {
             return Err(format!(
                 "fixture {name} (as {virtual_path}): triggered policies {got:?}, expected {want:?}"
+            ));
+        }
+    }
+    // The seeded deadlock crate: scanned *together*, the two halves'
+    // reversed acquisition orders must close a lock-order cycle, and
+    // the finding must render both acquisition chains.
+    let lg = dir.join("lockgraph");
+    let mut sources = Vec::new();
+    for (name, virt) in LOCKGRAPH_FIXTURES {
+        let path = lg.join(name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read fixture {}: {e}", path.display()))?;
+        sources.push((virt.to_string(), text));
+    }
+    let findings = audit_files(&sources);
+    if findings.iter().any(|f| f.policy != locks::POLICY_LOCK_ORDER) {
+        return Err(format!("lockgraph fixtures: non-lock-order findings: {findings:?}"));
+    }
+    let cycle = findings
+        .iter()
+        .find(|f| f.detail.starts_with("cycle:"))
+        .ok_or("lockgraph fixtures: seeded deadlock cycle not detected")?;
+    for chain in ["Scheduler::submit -> resolve", "Registry::evict -> drain_queue"] {
+        if !cycle.message.contains(chain) {
+            return Err(format!(
+                "lockgraph cycle finding does not render acquisition chain `{chain}`: {}",
+                cycle.message
             ));
         }
     }

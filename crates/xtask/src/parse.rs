@@ -488,6 +488,266 @@ pub fn extract_calls(s: &Scrubbed) -> Vec<CallSite> {
     out
 }
 
+/// Which blocking primitive a lock site invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockOp {
+    /// `Mutex::lock` — the `.lock()` method form or the workspace's
+    /// bare `lock(&mutex)` poison-stripping helper form.
+    Lock,
+    /// `RwLock::read` (`.read()` with no arguments).
+    Read,
+    /// `RwLock::write` (`.write()` with no arguments).
+    Write,
+    /// `Condvar::wait` / `wait_while` / `wait_timeout*`.
+    Wait,
+    /// `Condvar::notify_one` / `notify_all`.
+    Notify,
+}
+
+impl LockOp {
+    /// Human-readable operation name for findings.
+    pub fn describe(self) -> &'static str {
+        match self {
+            LockOp::Lock => "Mutex::lock",
+            LockOp::Read => "RwLock::read",
+            LockOp::Write => "RwLock::write",
+            LockOp::Wait => "Condvar::wait",
+            LockOp::Notify => "Condvar::notify",
+        }
+    }
+}
+
+/// One lock-acquisition or condvar site (0-based line number).
+///
+/// `recv` is the literal receiver path text: `self.state`,
+/// `done.slot`, `plan_cache()`, `REGISTRY`, … For the bare
+/// `lock(&mutex)` helper form it is the first argument with `&`/`mut`
+/// stripped. Identity classification (static/field/local, `lock-id:`
+/// aliasing) happens later, in [`crate::locks`] — extraction is
+/// purely lexical.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    pub line: usize,
+    pub op: LockOp,
+    pub recv: String,
+    /// Guard binding target when the statement is `let [mut] g = …`,
+    /// a plain `g = …` reassignment, or a `_ => g = …` match arm.
+    /// `None` for unbound (temporary) guards, which die on their own
+    /// line.
+    pub bound: Option<String>,
+    /// For `Wait` sites: the guard variable passed as first argument,
+    /// which ties the wait back to the mutex that produced the guard.
+    pub arg: Option<String>,
+}
+
+/// Method-form patterns: (pattern, op, requires-zero-args). The
+/// zero-arg requirement is what tells `RwLock::read()` apart from
+/// `io::Read::read(&mut buf)` and `RwLock::write()` from
+/// `io::Write::write(&buf)`.
+const METHOD_OPS: &[(&str, LockOp, bool)] = &[
+    (".lock(", LockOp::Lock, true),
+    (".read(", LockOp::Read, true),
+    (".write(", LockOp::Write, true),
+    (".wait(", LockOp::Wait, false),
+    (".wait_while(", LockOp::Wait, false),
+    (".wait_timeout(", LockOp::Wait, false),
+    (".wait_timeout_while(", LockOp::Wait, false),
+    (".notify_one(", LockOp::Notify, false),
+    (".notify_all(", LockOp::Notify, false),
+];
+
+/// Walks a receiver expression backwards from `end` (exclusive):
+/// identifier bytes, `.` separators, and complete `(...)` groups
+/// (call receivers like `plan_cache()`). Returns the start index.
+fn recv_walk(b: &[u8], end: usize) -> usize {
+    let mut j = end;
+    loop {
+        if j == 0 {
+            return 0;
+        }
+        let c = b[j - 1];
+        if is_ident_byte(c) || c == b'.' {
+            j -= 1;
+        } else if c == b')' {
+            let mut depth = 1usize;
+            let mut k = j - 1;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                match b[k] {
+                    b')' => depth += 1,
+                    b'(' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth != 0 {
+                return j;
+            }
+            j = k;
+        } else {
+            return j;
+        }
+    }
+}
+
+/// Extracts the receiver path ending at byte `dot` of line `line_no`,
+/// joining up to three previous lines when a rustfmt-broken method
+/// chain puts `.lock()` at the start of a line. Returns the receiver
+/// text plus the (line, column) where the statement's receiver
+/// begins, which is where a `let g =` binding would sit.
+fn receiver_before(s: &Scrubbed, line_no: usize, dot: usize) -> (String, usize, usize) {
+    let mut recv = String::new();
+    let mut cur = line_no;
+    let mut end = dot;
+    let (mut stmt_line, mut stmt_col) = (line_no, dot);
+    for _ in 0..4 {
+        let line = &s.code[cur];
+        let start = recv_walk(line.as_bytes(), end);
+        if start < end {
+            recv.insert_str(0, &line[start..end]);
+            stmt_line = cur;
+            stmt_col = start;
+        }
+        // Keep joining only while the chain segment begins the line
+        // (nothing but indentation before it) and the previous line
+        // ends in something a receiver could continue from.
+        if start > 0 && !line[..start].chars().all(char::is_whitespace) {
+            break;
+        }
+        if cur == 0 {
+            break;
+        }
+        let prev_trim = s.code[cur - 1].trim_end();
+        let Some(&pc) = prev_trim.as_bytes().last() else { break };
+        if !(is_ident_byte(pc) || pc == b')') {
+            break;
+        }
+        cur -= 1;
+        end = prev_trim.len();
+    }
+    (recv, stmt_line, stmt_col)
+}
+
+/// Detects a guard binding in the statement prefix before a receiver:
+/// `let [mut] g =`, a plain `g =` reassignment, or a `.. => g =`
+/// match-arm rebinding. Comparison operators (`==`, `>=`, `=>` …) and
+/// compound assignments never match.
+fn bound_before(prefix: &str) -> Option<String> {
+    let t = prefix.trim_end().strip_suffix('=')?;
+    if t.ends_with(['=', '<', '>', '!', '+', '-', '*', '/', '%', '&', '|', '^']) {
+        return None;
+    }
+    let t = t.trim_end();
+    let b = t.as_bytes();
+    let mut e = b.len();
+    while e > 0 && is_ident_byte(b[e - 1]) {
+        e -= 1;
+    }
+    if e == t.len() || t.as_bytes()[e].is_ascii_digit() {
+        return None;
+    }
+    let var = &t[e..];
+    let mut rest = t[..e].trim_end();
+    if let Some(r) = rest.strip_suffix("mut") {
+        if r.is_empty() || !is_ident_byte(*r.as_bytes().last().unwrap_or(&b' ')) {
+            rest = r.trim_end();
+        }
+    }
+    if let Some(r) = rest.strip_suffix("let") {
+        if r.is_empty() || !is_ident_byte(*r.as_bytes().last().unwrap_or(&b' ')) {
+            rest = r.trim_end();
+        }
+    }
+    (rest.is_empty() || rest.ends_with('{') || rest.ends_with(';') || rest.ends_with("=>"))
+        .then(|| var.to_string())
+}
+
+/// First argument of a `wait*` call as a plain identifier (`&`, `mut`
+/// stripped); `None` when the argument is not a simple variable.
+fn first_arg_ident(after: &str) -> Option<String> {
+    let t = after.trim_start().trim_start_matches('&').trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let b = t.as_bytes();
+    let mut e = 0;
+    while e < b.len() && is_ident_byte(b[e]) {
+        e += 1;
+    }
+    if e == 0 || b[0].is_ascii_digit() {
+        return None;
+    }
+    Some(t[..e].to_string())
+}
+
+/// First argument of the bare `lock(&expr)` helper form, as a `.`
+/// path with `&`/`mut` stripped.
+fn bare_arg(after: &str) -> String {
+    let t = after.trim_start();
+    let t = t.strip_prefix('&').unwrap_or(t);
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let b = t.as_bytes();
+    let mut e = 0;
+    while e < b.len() && (is_ident_byte(b[e]) || b[e] == b'.') {
+        e += 1;
+    }
+    t[..e].trim_end_matches('.').to_string()
+}
+
+/// Extracts every lock-acquisition and condvar site from the scrubbed
+/// code channel. Purely lexical: `.lock()` / zero-argument `.read()` /
+/// `.write()` / `.wait*( … )` / `.notify_*()` method calls plus the
+/// bare `lock(&mutex)` helper-call form, each with its receiver path,
+/// guard binding, and (for waits) guard argument. Classification —
+/// whether a `.read()` is really an `RwLock`, whether a receiver is a
+/// wrapper method — is [`crate::locks`]'s job; decoys like `unlock()`
+/// or `io::Write::write(&buf)` are already excluded here by the
+/// word-boundary and zero-arg rules.
+pub fn extract_locks(s: &Scrubbed) -> Vec<LockSite> {
+    let mut out = Vec::new();
+    for (line_no, line) in s.code.iter().enumerate() {
+        let b = line.as_bytes();
+        for p in 0..b.len() {
+            if b[p] == b'.' {
+                let Some(&(pat, op, zero_args)) =
+                    METHOD_OPS.iter().find(|(pat, ..)| line[p..].starts_with(pat))
+                else {
+                    continue;
+                };
+                let after = p + pat.len();
+                if zero_args && !line[after..].trim_start().starts_with(')') {
+                    continue;
+                }
+                let (recv, stmt_line, stmt_col) = receiver_before(s, line_no, p);
+                if recv.is_empty() || recv.starts_with('.') || recv.as_bytes()[0].is_ascii_digit() {
+                    continue;
+                }
+                let arg = if op == LockOp::Wait { first_arg_ident(&line[after..]) } else { None };
+                let bound = if op == LockOp::Notify {
+                    None
+                } else {
+                    bound_before(&s.code[stmt_line][..stmt_col])
+                };
+                out.push(LockSite { line: line_no, op, recv, bound, arg });
+            } else if line[p..].starts_with("lock(")
+                && (p == 0 || (!is_ident_byte(b[p - 1]) && b[p - 1] != b'.' && b[p - 1] != b':'))
+            {
+                // `fn lock(` is a declaration, not a call.
+                let before = line[..p].trim_end();
+                if before.ends_with("fn")
+                    && (before.len() == 2 || !is_ident_byte(before.as_bytes()[before.len() - 3]))
+                {
+                    continue;
+                }
+                let recv = bare_arg(&line[p + "lock(".len()..]);
+                if recv.is_empty() {
+                    continue;
+                }
+                let bound = bound_before(&line[..p]);
+                out.push(LockSite { line: line_no, op: LockOp::Lock, recv, bound, arg: None });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +905,72 @@ mod tests {
         let count = calls.iter().find(|c| c.name == "count").expect("count call");
         assert_eq!(count.kind, CallKind::Bare, "`..count(` is a bare call, not a method");
     }
+
+    #[test]
+    fn lock_extraction_method_and_bare_forms() {
+        let s = scrub(
+            "fn f(&self) {\n    let mut state = self.state.lock().unwrap();\n    let _d = lock(&self.dispatch);\n    let g = REGISTRY.lock().unwrap();\n    drop(g);\n}\n",
+        );
+        let sites = extract_locks(&s);
+        let got: Vec<_> =
+            sites.iter().map(|l| (l.line, l.op, l.recv.as_str(), l.bound.as_deref())).collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, LockOp::Lock, "self.state", Some("state")),
+                (2, LockOp::Lock, "self.dispatch", Some("_d")),
+                (3, LockOp::Lock, "REGISTRY", Some("g")),
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_extraction_joins_rustfmt_broken_chains() {
+        let s = scrub(
+            "fn obs(&self) -> Vec<Obs> {\n    self.observations\n        .lock()\n        .unwrap_or_else(|p| p.into_inner())\n        .clone()\n}\n",
+        );
+        let sites = extract_locks(&s);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert_eq!(sites[0].recv, "self.observations");
+        assert_eq!(sites[0].line, 2, "site reported at the `.lock()` line");
+        assert_eq!(sites[0].bound, None, "expression position, not a binding");
+    }
+
+    #[test]
+    fn lock_extraction_wait_captures_guard_arg_and_match_arm_rebinding() {
+        let s = scrub(
+            "fn w(&self) {\n    let mut st = self.state.lock().unwrap();\n    loop {\n        match st.job {\n            Some(_) => break,\n            None => st = self.work.wait(st).unwrap(),\n        }\n    }\n    self.done.notify_all();\n}\n",
+        );
+        let sites = extract_locks(&s);
+        let wait = sites.iter().find(|l| l.op == LockOp::Wait).expect("wait site");
+        assert_eq!(wait.recv, "self.work");
+        assert_eq!(wait.arg.as_deref(), Some("st"));
+        assert_eq!(wait.bound.as_deref(), Some("st"), "match-arm rebinding is a binding");
+        let notify = sites.iter().find(|l| l.op == LockOp::Notify).expect("notify site");
+        assert_eq!(notify.recv, "self.done");
+    }
+
+    #[test]
+    fn lock_extraction_rejects_io_and_name_decoys() {
+        let s = scrub(
+            "fn d(&self, out: &mut TcpStream) {\n    out.write(b\"x\").unwrap();\n    out.read(&mut self.buf).unwrap();\n    self.cell.unlock();\n    relock(self);\n    let n = 0..lock_step(3);\n    let r = self.shared.read();\n}\n",
+        );
+        let sites = extract_locks(&s);
+        let got: Vec<_> = sites.iter().map(|l| (l.op, l.recv.as_str())).collect();
+        // Only the zero-arg `.read()` survives; whether it is really
+        // an RwLock is the classifier's problem, not the extractor's.
+        assert_eq!(got, vec![(LockOp::Read, "self.shared")], "{sites:?}");
+    }
+
+    #[test]
+    fn lock_extraction_zero_arg_rule_admits_rwlock_read_write() {
+        let s = scrub(
+            "fn rw(l: &RwLock<u32>) {\n    let r = l.read().unwrap();\n    drop(r);\n    *l.write().unwrap() += 1;\n}\n",
+        );
+        let sites = extract_locks(&s);
+        let got: Vec<_> = sites.iter().map(|l| (l.line, l.op)).collect();
+        assert_eq!(got, vec![(1, LockOp::Read), (3, LockOp::Write)]);
+    }
 }
 
 /// Property coverage for the item parser: random interleavings of
@@ -724,6 +1050,111 @@ mod span_proptests {
                 .map(|(l, _)| l)
                 .collect();
             prop_assert_eq!(starts, fn_lines);
+        }
+    }
+}
+
+/// Property coverage for the lock-site extractor: random
+/// interleavings of real acquisition shapes (guards bound in match
+/// arms, shadowed guard bindings, `drop(guard)` early release,
+/// rustfmt-broken chains, the bare helper form) with decoys
+/// (`unlock`/`relock` names, lock calls inside strings and comments,
+/// argument-taking `read`/`write`). The invariant: extraction finds
+/// every generated acquisition site exactly once — never a miss,
+/// never a double count — with the expected op and binding.
+#[cfg(test)]
+mod lock_proptests {
+    use super::*;
+    use crate::scrub;
+    use proptest::prelude::*;
+
+    type Expect = (usize, LockOp, &'static str, Option<&'static str>);
+
+    /// Appends chunk `i` of the given kind to `src`, recording every
+    /// real acquisition site it introduces as
+    /// (line, op, recv-suffix, bound).
+    fn render(i: usize, kind: u8, src: &mut String, expected: &mut Vec<Expect>) {
+        let base = src.lines().count();
+        match kind {
+            0 => {
+                src.push_str(&format!(
+                    "fn a{i}(m: &Mutex<u32>) {{\n    let mut g = m.lock().unwrap();\n    *g += 1;\n}}\n"
+                ));
+                expected.push((base + 1, LockOp::Lock, "m", Some("g")));
+            }
+            1 => {
+                // Guard rebound in a match arm inside a wait loop.
+                src.push_str(&format!(
+                    "fn b{i}(m: &Mutex<u32>, c: &Condvar) {{\n    let mut g = m.lock().unwrap();\n    loop {{\n        match *g {{\n            0 => g = c.wait(g).unwrap(),\n            _ => break,\n        }}\n    }}\n}}\n"
+                ));
+                expected.push((base + 1, LockOp::Lock, "m", Some("g")));
+                expected.push((base + 4, LockOp::Wait, "c", Some("g")));
+            }
+            2 => {
+                // Shadowed guard bindings: two distinct sites.
+                src.push_str(&format!(
+                    "fn c{i}(m: &Mutex<u32>, n: &Mutex<u32>) {{\n    let g = m.lock().unwrap();\n    let g = n.lock().unwrap();\n    drop(g);\n}}\n"
+                ));
+                expected.push((base + 1, LockOp::Lock, "m", Some("g")));
+                expected.push((base + 2, LockOp::Lock, "n", Some("g")));
+            }
+            3 => {
+                // drop(guard) early release between two acquisitions.
+                src.push_str(&format!(
+                    "fn d{i}(&self) {{\n    let g = self.first.lock().unwrap();\n    drop(g);\n    let h = self.second.lock().unwrap();\n    drop(h);\n}}\n"
+                ));
+                expected.push((base + 1, LockOp::Lock, "self.first", Some("g")));
+                expected.push((base + 3, LockOp::Lock, "self.second", Some("h")));
+            }
+            4 => {
+                // rustfmt-broken chain: receiver on the previous line.
+                src.push_str(&format!(
+                    "fn e{i}(&self) -> u32 {{\n    self.observations\n        .lock()\n        .unwrap()\n        .len()\n}}\n"
+                ));
+                expected.push((base + 2, LockOp::Lock, "self.observations", None));
+            }
+            5 => {
+                // Bare poison-stripping helper form.
+                src.push_str(&format!(
+                    "fn h{i}(&self) {{\n    let st = lock(&self.shared.state);\n    drop(st);\n}}\n"
+                ));
+                expected.push((base + 1, LockOp::Lock, "self.shared.state", Some("st")));
+            }
+            6 => src.push_str(&format!(
+                "const S{i}: &str = \" m.lock() c.wait(g) \";\n// ghost{i}: g = m.lock();\n"
+            )),
+            _ => {
+                // Name and io decoys: none of these are lock sites.
+                src.push_str(&format!(
+                    "fn z{i}(b: &mut Buf{i}) {{\n    b.unlock();\n    relock(b);\n    b.write(&[{i}]).unwrap();\n    b.read(&mut [0]).unwrap();\n}}\n"
+                ));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn lock_sites_are_extracted_exactly_once(
+            kinds in proptest::collection::vec(0u8..8, 1..16)
+        ) {
+            let mut src = String::new();
+            let mut expected = Vec::new();
+            for (i, &k) in kinds.iter().enumerate() {
+                render(i, k, &mut src, &mut expected);
+            }
+            let sites = extract_locks(&scrub(&src));
+            let got: Vec<(usize, LockOp, String, Option<String>)> = sites
+                .iter()
+                .map(|l| (l.line, l.op, l.recv.clone(), l.bound.clone()))
+                .collect();
+            let want: Vec<(usize, LockOp, String, Option<String>)> = expected
+                .iter()
+                .map(|&(line, op, recv, bound)| {
+                    (line, op, recv.to_string(), bound.map(str::to_string))
+                })
+                .collect();
+            prop_assert_eq!(&got, &want, "lock sites diverge from generated sites");
         }
     }
 }
